@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Ablation bench for the paper's stated future work (§5): selecting
+ * branches for static prediction by their *collision involvement*
+ * rather than by bias alone. Compares, for gshare across sizes on
+ * the two alias-dominated programs (go, gcc):
+ *
+ *   - Static_95   (bias-only selection, the paper's scheme)
+ *   - Static_Alias (bias > 90% AND collision rate above threshold)
+ *
+ * plus the hint counts, showing Static_Alias spends far fewer hint
+ * bits for a comparable share of the aliasing relief.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace bpsim;
+using namespace bpsim::bench;
+
+int
+main()
+{
+    const std::size_t sizes_kb[] = {1, 2, 4, 8};
+
+    std::printf("Ablation: bias-only vs collision-aware static "
+                "selection (gshare)\n\n");
+    std::printf("%-8s %6s %10s | %10s %8s | %10s %8s\n", "program",
+                "size", "base", "static95", "hints", "st_alias",
+                "hints");
+
+    for (const auto id : {SpecProgram::Go, SpecProgram::Gcc}) {
+        SyntheticProgram program = makeSpecProgram(id, InputSet::Ref);
+        for (const std::size_t kb : sizes_kb) {
+            ExperimentConfig config = baseConfig(
+                PredictorKind::Gshare, kb * 1024, StaticScheme::None);
+            const double base =
+                runExperiment(program, config).stats.mispKi();
+
+            config.scheme = StaticScheme::Static95;
+            const ExperimentResult s95 =
+                runExperiment(program, config);
+
+            config.scheme = StaticScheme::StaticAlias;
+            const ExperimentResult alias =
+                runExperiment(program, config);
+
+            std::printf("%-8s %4zuKB %10.2f | %10.2f %8zu | %10.2f "
+                        "%8zu\n",
+                        program.name().c_str(), kb, base,
+                        s95.stats.mispKi(), s95.hintCount,
+                        alias.stats.mispKi(), alias.hintCount);
+        }
+    }
+
+    std::printf("\nExpected shape: static_alias selects fewer "
+                "branches (only the contested ones) while capturing "
+                "much of the same MISP/KI relief at small sizes.\n");
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Ablation bench (DESIGN.md decision #2): sweep the per-bank history
+ * lengths of 2bcgskew around the auto defaults and report MISP/KI on
+ * go and gcc. The paper states it "selected the best history lengths"
+ * for its 2bcgskew simulations; this bench shows how sensitive the
+ * result is to that choice on our workloads.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "core/engine.hh"
+#include "predictor/two_bc_gskew.hh"
+
+using namespace bpsim;
+using namespace bpsim::bench;
+
+int
+main()
+{
+    const std::size_t size_bytes = 8192; // 13 index bits per bank
+
+    std::printf("Ablation: 2bcgskew history lengths (8 KB), MISP/KI\n"
+                "\n");
+    std::printf("%6s %6s %6s | %10s %10s\n", "hG0", "hG1", "hMeta",
+                "go", "gcc");
+
+    const BitCount g0_options[] = {3, 6, 10};
+    const BitCount g1_options[] = {8, 13, 20};
+    const BitCount meta_options[] = {6};
+
+    for (const BitCount g0 : g0_options) {
+        for (const BitCount g1 : g1_options) {
+            for (const BitCount meta : meta_options) {
+                std::printf("%6u %6u %6u |", g0, g1, meta);
+                for (const auto id :
+                     {SpecProgram::Go, SpecProgram::Gcc}) {
+                    SyntheticProgram program =
+                        makeSpecProgram(id, InputSet::Ref);
+                    TwoBcGskew predictor(size_bytes, g0, g1, meta);
+                    SimOptions options;
+                    options.maxBranches = evalBranches;
+                    SimStats stats =
+                        simulate(predictor, program, options);
+                    std::printf(" %10.2f", stats.mispKi());
+                }
+                std::printf("\n");
+            }
+        }
+    }
+
+    std::printf("\nAuto defaults at this size: hG0=6 hG1=13 hMeta=6.\n");
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Small shared helpers for the table/figure reproduction benches.
+ */
+
+#ifndef BPSIM_BENCH_BENCH_UTIL_HH
+#define BPSIM_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+
+#include "core/experiment.hh"
+#include "workload/specint.hh"
+
+namespace bpsim::bench
+{
+
+/** Branches simulated per evaluation run in the benches. */
+constexpr Count evalBranches = 2'000'000;
+
+/** Branches simulated per profiling (selection-phase) run. */
+constexpr Count profileBranches = 1'000'000;
+
+/** Shared experiment defaults. */
+inline ExperimentConfig
+baseConfig(PredictorKind kind, std::size_t size_bytes,
+           StaticScheme scheme)
+{
+    ExperimentConfig config;
+    config.kind = kind;
+    config.sizeBytes = size_bytes;
+    config.scheme = scheme;
+    config.profileBranches = profileBranches;
+    config.evalBranches = evalBranches;
+    return config;
+}
+
+/** Percentage improvement (positive = better) formatted as "+x.x%". */
+inline std::string
+formatImprovement(double base_misp_ki, double with_misp_ki)
+{
+    if (base_misp_ki == 0.0)
+        return "  n/a";
+    const double pct =
+        100.0 * (base_misp_ki - with_misp_ki) / base_misp_ki;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%+5.1f%%", pct);
+    return buf;
+}
+
+} // namespace bpsim::bench
+
+#endif // BPSIM_BENCH_BENCH_UTIL_HH

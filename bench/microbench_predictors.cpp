@@ -1,0 +1,83 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks: predict/update/history throughput
+ * of every predictor kind at several sizes, and the synthetic
+ * workload generator's record throughput. These are engineering
+ * benchmarks for the simulator itself, not paper reproductions.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "predictor/factory.hh"
+#include "support/random.hh"
+#include "trace/branch_record.hh"
+#include "workload/specint.hh"
+
+namespace
+{
+
+using namespace bpsim;
+
+/** A fixed pseudo-random branch stream shared by the benchmarks. */
+const std::vector<std::pair<Addr, bool>> &
+stimulus()
+{
+    static const auto data = [] {
+        std::vector<std::pair<Addr, bool>> records;
+        Rng rng(99);
+        records.reserve(1 << 14);
+        for (int i = 0; i < (1 << 14); ++i) {
+            records.emplace_back(0x120000000ULL +
+                                     4 * rng.nextBelow(4096),
+                                 rng.chance(0.6));
+        }
+        return records;
+    }();
+    return data;
+}
+
+void
+predictorThroughput(benchmark::State &state, const std::string &spec)
+{
+    auto predictor = makePredictor(spec);
+    const auto &records = stimulus();
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const auto &[pc, taken] = records[i++ & (records.size() - 1)];
+        benchmark::DoNotOptimize(predictor->predict(pc));
+        predictor->update(pc, taken);
+        predictor->updateHistory(taken);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+
+void
+workloadThroughput(benchmark::State &state)
+{
+    SyntheticProgram program =
+        makeSpecProgram(SpecProgram::Gcc, InputSet::Ref);
+    BranchRecord record;
+    for (auto _ : state) {
+        program.next(record);
+        benchmark::DoNotOptimize(record.pc);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(predictorThroughput, bimodal_8k, "bimodal:8192");
+BENCHMARK_CAPTURE(predictorThroughput, ghist_8k, "ghist:8192");
+BENCHMARK_CAPTURE(predictorThroughput, gshare_8k, "gshare:8192");
+BENCHMARK_CAPTURE(predictorThroughput, bimode_8k, "bimode:8192");
+BENCHMARK_CAPTURE(predictorThroughput, gskew2bc_8k, "2bcgskew:8192");
+BENCHMARK_CAPTURE(predictorThroughput, gshare_64k, "gshare:65536");
+BENCHMARK_CAPTURE(predictorThroughput, gskew2bc_64k, "2bcgskew:65536");
+BENCHMARK_CAPTURE(predictorThroughput, gselect_8k, "gselect:8192");
+BENCHMARK_CAPTURE(predictorThroughput, agree_8k, "agree:8192");
+BENCHMARK_CAPTURE(predictorThroughput, tournament_8k, "tournament:8192");
+BENCHMARK(workloadThroughput);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,112 @@
+#include "core/combined_predictor.hh"
+
+#include "support/logging.hh"
+
+namespace bpsim
+{
+
+std::string
+shiftPolicyName(ShiftPolicy policy)
+{
+    switch (policy) {
+      case ShiftPolicy::NoShift:
+        return "noshift";
+      case ShiftPolicy::ShiftOutcome:
+        return "shift";
+      case ShiftPolicy::ShiftPrediction:
+        return "shiftpred";
+    }
+    bpsim_panic("unknown ShiftPolicy");
+}
+
+CombinedPredictor::CombinedPredictor(
+    std::unique_ptr<BranchPredictor> dynamic, HintDb hints,
+    ShiftPolicy policy)
+    : dynamic(std::move(dynamic)), hints(std::move(hints)),
+      shiftPolicy(policy)
+{
+    bpsim_assert(this->dynamic != nullptr, "null dynamic component");
+}
+
+bool
+CombinedPredictor::predict(Addr pc)
+{
+    bool hinted_direction = false;
+    if (hints.lookup(pc, hinted_direction)) {
+        // Static hit: the dynamic tables are not consulted at all —
+        // this is what relieves the aliasing.
+        staticActive = true;
+        staticPrediction = hinted_direction;
+        return staticPrediction;
+    }
+    staticActive = false;
+    return dynamic->predict(pc);
+}
+
+void
+CombinedPredictor::update(Addr pc, bool taken)
+{
+    if (staticActive)
+        return; // static branches never train the dynamic tables
+    dynamic->update(pc, taken);
+}
+
+void
+CombinedPredictor::updateHistory(bool taken)
+{
+    if (!staticActive) {
+        dynamic->updateHistory(taken);
+        return;
+    }
+    switch (shiftPolicy) {
+      case ShiftPolicy::NoShift:
+        break;
+      case ShiftPolicy::ShiftOutcome:
+        dynamic->updateHistory(taken);
+        break;
+      case ShiftPolicy::ShiftPrediction:
+        dynamic->updateHistory(staticPrediction);
+        break;
+    }
+}
+
+void
+CombinedPredictor::reset()
+{
+    dynamic->reset();
+    staticActive = false;
+    staticPrediction = false;
+}
+
+std::size_t
+CombinedPredictor::sizeBytes() const
+{
+    // Hint bits live in the instruction encoding, not predictor RAM.
+    return dynamic->sizeBytes();
+}
+
+std::string
+CombinedPredictor::name() const
+{
+    return dynamic->name() + "+static";
+}
+
+CollisionStats
+CombinedPredictor::collisionStats() const
+{
+    return dynamic->collisionStats();
+}
+
+void
+CombinedPredictor::clearCollisionStats()
+{
+    dynamic->clearCollisionStats();
+}
+
+Count
+CombinedPredictor::lastPredictCollisions() const
+{
+    return staticActive ? 0 : dynamic->lastPredictCollisions();
+}
+
+} // namespace bpsim

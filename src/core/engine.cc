@@ -1,0 +1,77 @@
+#include "core/engine.hh"
+
+#include "core/combined_predictor.hh"
+
+namespace bpsim
+{
+
+SimStats
+simulate(BranchPredictor &predictor, BranchStream &stream,
+         const SimOptions &options)
+{
+    if (options.resetStream)
+        stream.reset();
+    if (options.resetPredictor)
+        predictor.reset();
+    predictor.clearCollisionStats();
+
+    auto *combined = dynamic_cast<CombinedPredictor *>(&predictor);
+
+    SimStats stats;
+    BranchRecord record;
+    const Count limit = options.maxBranches == 0 ? ~Count{0}
+                                                 : options.maxBranches;
+
+    // Warmup: train the predictor without recording anything.
+    for (Count i = 0;
+         i < options.warmupBranches && stream.next(record); ++i) {
+        predictor.predict(record.pc);
+        predictor.update(record.pc, record.taken);
+        predictor.updateHistory(record.taken);
+    }
+    predictor.clearCollisionStats();
+
+    while (stats.branches < limit && stream.next(record)) {
+        const bool prediction = predictor.predict(record.pc);
+        const bool correct = prediction == record.taken;
+        // Must be sampled between predict() and update(): update()
+        // classifies and clears the pending collision state.
+        const Count lookup_collisions =
+            options.profile != nullptr
+                ? predictor.lastPredictCollisions()
+                : 0;
+
+        predictor.update(record.pc, record.taken);
+        predictor.updateHistory(record.taken);
+
+        ++stats.branches;
+        stats.instructions += record.instGap;
+        if (!correct)
+            ++stats.mispredictions;
+
+        const bool was_static =
+            combined != nullptr && combined->lastWasStatic();
+        if (was_static) {
+            ++stats.staticPredicted;
+            if (!correct)
+                ++stats.staticMispredictions;
+        }
+
+        if (options.profile != nullptr) {
+            options.profile->recordOutcome(record.pc, record.taken);
+            // Accuracy counts describe the *dynamic* predictor, so
+            // statically resolved branches do not contribute.
+            if (!was_static) {
+                options.profile->recordPrediction(record.pc, correct);
+                if (lookup_collisions > 0)
+                    options.profile->recordCollisions(
+                        record.pc, lookup_collisions);
+            }
+        }
+    }
+
+    stats.collisions = predictor.collisionStats();
+    return stats;
+}
+
+} // namespace bpsim

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Trace-driven simulation engine.
+ *
+ * Drives a predictor over a branch stream with the strict
+ * predict/update/updateHistory protocol, gathers SimStats, and can
+ * simultaneously populate a ProfileDb with per-branch outcome and
+ * accuracy counts — which is exactly what the paper's phase-1
+ * (selection) runs need.
+ */
+
+#ifndef BPSIM_CORE_ENGINE_HH
+#define BPSIM_CORE_ENGINE_HH
+
+#include "core/sim_stats.hh"
+#include "predictor/predictor.hh"
+#include "profile/profile_db.hh"
+#include "trace/branch_stream.hh"
+
+namespace bpsim
+{
+
+/** Options for one simulation run. */
+struct SimOptions
+{
+    /** Stop after this many branches (0 = run the stream dry). */
+    Count maxBranches = 0;
+
+    /**
+     * Branches simulated before statistics collection starts. The
+     * predictor trains during warmup but mispredictions, collisions
+     * and profile data are not recorded; maxBranches counts only the
+     * measured window. Warmup removes cold-start noise when
+     * comparing small measurement windows.
+     */
+    Count warmupBranches = 0;
+
+    /**
+     * Optional per-branch profile collector. Receives every outcome
+     * and, for dynamically predicted branches, every prediction
+     * result.
+     */
+    ProfileDb *profile = nullptr;
+
+    /** Reset the predictor (tables + stats) before starting. */
+    bool resetPredictor = true;
+
+    /** Reset the stream before starting. */
+    bool resetStream = true;
+};
+
+/**
+ * Run @p predictor over @p stream.
+ *
+ * Works for plain dynamic predictors and for CombinedPredictor; in
+ * the latter case static/dynamic attribution in the stats is taken
+ * from the combined predictor.
+ */
+SimStats simulate(BranchPredictor &predictor, BranchStream &stream,
+                  const SimOptions &options = {});
+
+} // namespace bpsim
+
+#endif // BPSIM_CORE_ENGINE_HH

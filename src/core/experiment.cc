@@ -1,0 +1,72 @@
+#include "core/experiment.hh"
+
+#include "core/engine.hh"
+#include "profile/profile_db.hh"
+#include "trace/trace_io.hh"
+
+namespace bpsim
+{
+
+ExperimentResult
+runExperiment(SyntheticProgram &program, const ExperimentConfig &config)
+{
+    HintDb hints;
+
+    if (config.scheme != StaticScheme::None) {
+        // Phase 1: profile the program, simulating the target dynamic
+        // predictor so the profile carries per-branch accuracy (only
+        // Static_Acc/Static_Fac read it; Static_95 just uses bias).
+        program.setInput(config.profileInput);
+        auto profiling_predictor =
+            makePredictor(config.kind, config.sizeBytes);
+        ProfileDb profile;
+        SimOptions profile_options;
+        profile_options.maxBranches = config.profileBranches;
+        profile_options.profile = &profile;
+        simulate(*profiling_predictor, program, profile_options);
+
+        if (config.filterUnstable &&
+            config.profileInput != config.evalInput) {
+            // The Spike-style merge filter: gather a bias-only
+            // profile under the evaluation input and drop branches
+            // whose behaviour is input-dependent.
+            program.setInput(config.evalInput);
+            BoundedStream bounded(program, config.profileBranches);
+            ProfileDb eval_profile =
+                ProfileDb::collect(bounded, config.profileBranches);
+            profile = stableSubset(profile, eval_profile,
+                                   config.stabilityThreshold);
+        }
+
+        hints = selectStatic(config.scheme, profile, config.selection);
+    }
+
+    // Phase 2: evaluate the combined predictor from a cold start.
+    program.setInput(config.evalInput);
+    const std::size_t hint_count = hints.size();
+    CombinedPredictor combined(
+        makePredictor(config.kind, config.sizeBytes),
+        std::move(hints), config.shift);
+
+    SimOptions eval_options;
+    eval_options.maxBranches = config.evalBranches;
+    ExperimentResult result;
+    result.stats = simulate(combined, program, eval_options);
+    result.hintCount = hint_count;
+    return result;
+}
+
+SimStats
+runBaseline(SyntheticProgram &program, PredictorKind kind,
+            std::size_t size_bytes, Count eval_branches, InputSet input)
+{
+    ExperimentConfig config;
+    config.kind = kind;
+    config.sizeBytes = size_bytes;
+    config.scheme = StaticScheme::None;
+    config.evalBranches = eval_branches;
+    config.evalInput = input;
+    return runExperiment(program, config).stats;
+}
+
+} // namespace bpsim

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Two-phase experiment driver reproducing the paper's methodology
+ * (§4): a selection phase that profiles the program (simulating the
+ * dynamic predictor when the scheme needs per-branch accuracy),
+ * followed by an evaluation phase that simulates the combined
+ * static/dynamic predictor.
+ */
+
+#ifndef BPSIM_CORE_EXPERIMENT_HH
+#define BPSIM_CORE_EXPERIMENT_HH
+
+#include <cstddef>
+
+#include "core/combined_predictor.hh"
+#include "core/sim_stats.hh"
+#include "predictor/factory.hh"
+#include "staticsel/selection.hh"
+#include "workload/synthetic_program.hh"
+
+namespace bpsim
+{
+
+/** Full description of one experiment. */
+struct ExperimentConfig
+{
+    /** Dynamic prediction scheme. */
+    PredictorKind kind = PredictorKind::Gshare;
+
+    /** Dynamic predictor budget in bytes. */
+    std::size_t sizeBytes = 8192;
+
+    /** Static selection scheme (None = pure dynamic baseline). */
+    StaticScheme scheme = StaticScheme::None;
+
+    /** History treatment of statically predicted branches. */
+    ShiftPolicy shift = ShiftPolicy::NoShift;
+
+    /** Selection tunables (cutoff bias, factor, noise floor). */
+    SelectionParams selection;
+
+    /** Branches simulated in the selection (profiling) phase. */
+    Count profileBranches = 2'000'000;
+
+    /** Branches simulated in the evaluation phase. */
+    Count evalBranches = 4'000'000;
+
+    /** Input used for profiling ("self-trained" = same as eval). */
+    InputSet profileInput = InputSet::Ref;
+
+    /** Input used for the measured run. */
+    InputSet evalInput = InputSet::Ref;
+
+    /**
+     * Apply the §5.1 merge filter: drop profile entries whose bias
+     * shifts more than stabilityThreshold between the profiling input
+     * and the evaluation input (requires an extra bias-only profiling
+     * pass over the evaluation input).
+     */
+    bool filterUnstable = false;
+
+    /** Bias-change tolerance of the merge filter. */
+    double stabilityThreshold = 0.05;
+};
+
+/** Outcome of one experiment. */
+struct ExperimentResult
+{
+    /** Evaluation-phase statistics of the combined predictor. */
+    SimStats stats;
+
+    /** Number of branches given static hints. */
+    std::size_t hintCount = 0;
+};
+
+/**
+ * Run the two-phase experiment on @p program. The program's input
+ * set is switched as the config requires; it is left on
+ * config.evalInput afterwards.
+ */
+ExperimentResult runExperiment(SyntheticProgram &program,
+                               const ExperimentConfig &config);
+
+/**
+ * Convenience: pure dynamic baseline of @p kind / @p size_bytes over
+ * @p eval_branches branches of @p program under @p input.
+ */
+SimStats runBaseline(SyntheticProgram &program, PredictorKind kind,
+                     std::size_t size_bytes, Count eval_branches,
+                     InputSet input = InputSet::Ref);
+
+} // namespace bpsim
+
+#endif // BPSIM_CORE_EXPERIMENT_HH

@@ -1,0 +1,48 @@
+#include "core/iterative.hh"
+
+#include "core/engine.hh"
+
+namespace bpsim
+{
+
+IterativeResult
+selectStaticIterative(SyntheticProgram &program,
+                      const IterativeConfig &config)
+{
+    IterativeResult result;
+    program.setInput(config.profileInput);
+
+    for (unsigned round = 0; round < config.maxIterations; ++round) {
+        // Profile the combined predictor with the hints accumulated
+        // so far; hinted branches contribute outcomes but no dynamic
+        // prediction statistics, so the factor test below only
+        // considers still-dynamic branches.
+        CombinedPredictor combined(
+            makePredictor(config.kind, config.sizeBytes),
+            result.hints, config.shift);
+
+        ProfileDb profile;
+        SimOptions options;
+        options.maxBranches = config.profileBranches;
+        options.profile = &profile;
+        simulate(combined, program, options);
+
+        const HintDb additions =
+            selectStaticFac(profile, config.selection);
+
+        std::size_t added = 0;
+        for (const auto &[pc, taken] : additions.entries()) {
+            if (!result.hints.contains(pc)) {
+                result.hints.insert(pc, taken);
+                ++added;
+            }
+        }
+        result.addedPerRound.push_back(added);
+        ++result.iterations;
+        if (added == 0)
+            break;
+    }
+    return result;
+}
+
+} // namespace bpsim

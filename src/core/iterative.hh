@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Iterative static-hint selection (extension).
+ *
+ * The paper's Static_Fac is "a simpler, single iteration, version of
+ * Lindsay's scheme" [19], where selection originally alternated
+ * between profiling and simulation: simulate the *combined* predictor
+ * with the current hint set, find more branches whose static
+ * misprediction cost beats their measured dynamic cost, add them, and
+ * repeat until the hint set stops growing. Each round measures the
+ * dynamic predictor as it would actually behave with the previous
+ * round's branches already removed, so later rounds see the true
+ * residual aliasing.
+ */
+
+#ifndef BPSIM_CORE_ITERATIVE_HH
+#define BPSIM_CORE_ITERATIVE_HH
+
+#include "core/combined_predictor.hh"
+#include "predictor/factory.hh"
+#include "staticsel/selection.hh"
+#include "workload/synthetic_program.hh"
+
+namespace bpsim
+{
+
+/** Configuration of the iterative selection loop. */
+struct IterativeConfig
+{
+    /** Dynamic predictor being tuned for. */
+    PredictorKind kind = PredictorKind::Gshare;
+
+    /** Its hardware budget. */
+    std::size_t sizeBytes = 8192;
+
+    /** Branches simulated per profiling round. */
+    Count profileBranches = 1'000'000;
+
+    /** Input set profiled. */
+    InputSet profileInput = InputSet::Ref;
+
+    /** History policy used during profiling rounds. */
+    ShiftPolicy shift = ShiftPolicy::NoShift;
+
+    /** Per-round selection criterion (Static_Fac's factor test). */
+    SelectionParams selection;
+
+    /** Bound on profile/select rounds. */
+    unsigned maxIterations = 4;
+};
+
+/** Result of the iterative loop. */
+struct IterativeResult
+{
+    /** Final accumulated hint set. */
+    HintDb hints;
+
+    /** Rounds actually executed (converged when < maxIterations). */
+    unsigned iterations = 0;
+
+    /** Hints added per round (size == iterations). */
+    std::vector<std::size_t> addedPerRound;
+};
+
+/**
+ * Run Lindsay-style iterative selection on @p program. The program
+ * is left on config.profileInput.
+ */
+IterativeResult selectStaticIterative(SyntheticProgram &program,
+                                      const IterativeConfig &config);
+
+} // namespace bpsim
+
+#endif // BPSIM_CORE_ITERATIVE_HH

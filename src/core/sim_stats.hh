@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Aggregate results of one simulation run.
+ */
+
+#ifndef BPSIM_CORE_SIM_STATS_HH
+#define BPSIM_CORE_SIM_STATS_HH
+
+#include "predictor/predictor.hh"
+#include "support/stats.hh"
+#include "support/types.hh"
+
+namespace bpsim
+{
+
+/**
+ * Whole-run statistics. The paper's headline metric is MISP/KI —
+ * conditional-branch mispredictions per thousand instructions — which
+ * it argues is more honest than raw accuracy when branch densities
+ * differ across programs.
+ */
+struct SimStats
+{
+    /** Conditional branches simulated. */
+    Count branches = 0;
+
+    /** Instructions represented by the simulated stream. */
+    Count instructions = 0;
+
+    /** Total mispredictions (static- and dynamic-predicted). */
+    Count mispredictions = 0;
+
+    /** Branches resolved by a static hint. */
+    Count staticPredicted = 0;
+
+    /** Mispredictions among the statically predicted branches. */
+    Count staticMispredictions = 0;
+
+    /** Collision statistics of the dynamic predictor's tables. */
+    CollisionStats collisions;
+
+    /** Mispredictions per thousand instructions. */
+    double mispKi() const { return perKilo(mispredictions, instructions); }
+
+    /** Overall prediction accuracy in percent. */
+    double
+    accuracyPercent() const
+    {
+        return branches == 0
+                   ? 0.0
+                   : percent(branches - mispredictions, branches);
+    }
+
+    /** Dynamic conditional branches per thousand instructions. */
+    double cbrsKi() const { return perKilo(branches, instructions); }
+
+    /** Share of branches handled statically, in percent. */
+    double
+    staticShare() const
+    {
+        return percent(staticPredicted, branches);
+    }
+};
+
+/** Percentage improvement of @p with over baseline @p without. */
+inline double
+mispKiImprovement(const SimStats &without, const SimStats &with)
+{
+    if (without.mispKi() == 0.0)
+        return 0.0;
+    return 100.0 * (without.mispKi() - with.mispKi()) /
+           without.mispKi();
+}
+
+} // namespace bpsim
+
+#endif // BPSIM_CORE_SIM_STATS_HH

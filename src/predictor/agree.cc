@@ -1,0 +1,93 @@
+#include "predictor/agree.hh"
+
+#include "support/bits.hh"
+#include "predictor/table_size.hh"
+
+namespace bpsim
+{
+
+Agree::Agree(std::size_t size_bytes, BitCount counter_bits)
+    : table(entriesForBudget(size_bytes, counter_bits), counter_bits,
+            // Power-on state: strongly "agree".
+            static_cast<std::uint8_t>((1u << counter_bits) - 1)),
+      history(table.indexBits())
+{
+}
+
+std::size_t
+Agree::index(Addr pc) const
+{
+    const std::uint64_t addr_bits =
+        foldBits(pc / instructionBytes, table.indexBits());
+    return static_cast<std::size_t>(
+        (addr_bits ^ history.value()) & mask(table.indexBits()));
+}
+
+bool
+Agree::predict(Addr pc)
+{
+    lastIndex = index(pc);
+    const bool agree = table.lookup(lastIndex, pc).taken();
+
+    const auto it = biasBits.find(pc);
+    lastHadBias = it != biasBits.end();
+    // Before the first execution assigns a bias bit, fall back to
+    // backward-taken-style static default: predict not-taken.
+    lastBias = lastHadBias ? it->second : false;
+    return agree ? lastBias : !lastBias;
+}
+
+void
+Agree::update(Addr pc, bool taken)
+{
+    if (!lastHadBias) {
+        // First execution: latch the bias bit to the first outcome.
+        biasBits.emplace(pc, taken);
+        lastBias = taken;
+    }
+    const bool prediction_correct =
+        (table.at(lastIndex).taken() ? lastBias : !lastBias) == taken;
+    table.classify(prediction_correct);
+    // Train toward "did the branch agree with its bias bit".
+    table.at(lastIndex).train(taken == lastBias);
+}
+
+void
+Agree::updateHistory(bool taken)
+{
+    history.push(taken);
+}
+
+void
+Agree::reset()
+{
+    table.reset();
+    history.clear();
+    biasBits.clear();
+}
+
+std::size_t
+Agree::sizeBytes() const
+{
+    return table.sizeBytes();
+}
+
+CollisionStats
+Agree::collisionStats() const
+{
+    return table.stats();
+}
+
+void
+Agree::clearCollisionStats()
+{
+    table.clearStats();
+}
+
+Count
+Agree::lastPredictCollisions() const
+{
+    return table.pending();
+}
+
+} // namespace bpsim

@@ -1,0 +1,73 @@
+#include "predictor/bimodal.hh"
+
+#include "support/bits.hh"
+#include "predictor/table_size.hh"
+
+namespace bpsim
+{
+
+Bimodal::Bimodal(std::size_t size_bytes, BitCount counter_bits)
+    : table(entriesForBudget(size_bytes, counter_bits), counter_bits,
+            SatCounter::weak(counter_bits, false).value())
+{
+}
+
+std::size_t
+Bimodal::index(Addr pc) const
+{
+    return (pc / instructionBytes) & mask(table.indexBits());
+}
+
+bool
+Bimodal::predict(Addr pc)
+{
+    lastIndex = index(pc);
+    return table.lookup(lastIndex, pc).taken();
+}
+
+void
+Bimodal::update(Addr pc, bool taken)
+{
+    (void)pc;
+    const bool correct = table.at(lastIndex).taken() == taken;
+    table.classify(correct);
+    table.at(lastIndex).train(taken);
+}
+
+void
+Bimodal::updateHistory(bool)
+{
+    // Bimodal keeps no global history.
+}
+
+void
+Bimodal::reset()
+{
+    table.reset();
+}
+
+std::size_t
+Bimodal::sizeBytes() const
+{
+    return table.sizeBytes();
+}
+
+CollisionStats
+Bimodal::collisionStats() const
+{
+    return table.stats();
+}
+
+void
+Bimodal::clearCollisionStats()
+{
+    table.clearStats();
+}
+
+Count
+Bimodal::lastPredictCollisions() const
+{
+    return table.pending();
+}
+
+} // namespace bpsim

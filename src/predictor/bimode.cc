@@ -1,0 +1,117 @@
+#include "predictor/bimode.hh"
+
+#include "support/bits.hh"
+#include "predictor/table_size.hh"
+
+namespace bpsim
+{
+
+BiMode::BiMode(std::size_t size_bytes, BitCount counter_bits)
+    : choice(entriesForBudget(size_bytes / 2, counter_bits),
+             counter_bits, SatCounter::weak(counter_bits, true).value()),
+      takenTable(entriesForBudget(size_bytes / 4, counter_bits),
+                 counter_bits,
+                 SatCounter::weak(counter_bits, true).value()),
+      notTakenTable(entriesForBudget(size_bytes / 4, counter_bits),
+                    counter_bits,
+                    SatCounter::weak(counter_bits, false).value()),
+      history(takenTable.indexBits())
+{
+    bpsim_assert(size_bytes >= 4, "bi-mode budget too small");
+}
+
+std::size_t
+BiMode::directionIndex(Addr pc) const
+{
+    const BitCount bits = takenTable.indexBits();
+    const std::uint64_t addr_bits =
+        foldBits(pc / instructionBytes, bits);
+    return static_cast<std::size_t>((addr_bits ^ history.value()) &
+                                    mask(bits));
+}
+
+bool
+BiMode::predict(Addr pc)
+{
+    lastChoiceIndex = static_cast<std::size_t>(
+        (pc / instructionBytes) & mask(choice.indexBits()));
+    lastDirectionIndex = directionIndex(pc);
+
+    lastChoseTaken = choice.lookup(lastChoiceIndex, pc).taken();
+    CounterTable &direction =
+        lastChoseTaken ? takenTable : notTakenTable;
+    lastPrediction = direction.lookup(lastDirectionIndex, pc).taken();
+    return lastPrediction;
+}
+
+void
+BiMode::update(Addr pc, bool taken)
+{
+    (void)pc;
+    const bool correct = lastPrediction == taken;
+
+    CounterTable &selected = lastChoseTaken ? takenTable : notTakenTable;
+    CounterTable &unselected =
+        lastChoseTaken ? notTakenTable : takenTable;
+
+    selected.classify(correct);
+    unselected.classify(correct);
+    choice.classify(correct);
+
+    // Partial update: only the selected direction table trains.
+    selected.at(lastDirectionIndex).train(taken);
+
+    // Choice trains toward the outcome except when it opposed the
+    // outcome but the selected direction table still got it right.
+    const bool choice_opposes = lastChoseTaken != taken;
+    if (!(choice_opposes && correct))
+        choice.at(lastChoiceIndex).train(taken);
+}
+
+void
+BiMode::updateHistory(bool taken)
+{
+    history.push(taken);
+}
+
+void
+BiMode::reset()
+{
+    choice.reset();
+    takenTable.reset();
+    notTakenTable.reset();
+    history.clear();
+}
+
+std::size_t
+BiMode::sizeBytes() const
+{
+    return choice.sizeBytes() + takenTable.sizeBytes() +
+           notTakenTable.sizeBytes();
+}
+
+CollisionStats
+BiMode::collisionStats() const
+{
+    CollisionStats stats;
+    stats += choice.stats();
+    stats += takenTable.stats();
+    stats += notTakenTable.stats();
+    return stats;
+}
+
+void
+BiMode::clearCollisionStats()
+{
+    choice.clearStats();
+    takenTable.clearStats();
+    notTakenTable.clearStats();
+}
+
+Count
+BiMode::lastPredictCollisions() const
+{
+    return choice.pending() + takenTable.pending() + notTakenTable.pending();
+}
+
+} // namespace bpsim

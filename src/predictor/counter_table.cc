@@ -1,0 +1,59 @@
+#include "predictor/counter_table.hh"
+
+namespace bpsim
+{
+
+namespace
+{
+
+/** Tag value meaning "no branch has used this entry yet". */
+constexpr Addr invalidTag = ~Addr{0};
+
+} // namespace
+
+CounterTable::CounterTable(std::size_t entries, BitCount counter_bits,
+                           std::uint8_t initial)
+    : counterBits(counter_bits), initialValue(initial)
+{
+    bpsim_assert(entries > 0 && isPowerOfTwo(entries),
+                 "table entries (", entries, ") must be a power of two");
+    bpsim_assert(counter_bits >= 1 && counter_bits <= 8,
+                 "bad counter width");
+    counters.assign(entries, SatCounter(counter_bits, initial));
+    tags.assign(entries, invalidTag);
+    idxBits = floorLog2(entries);
+}
+
+SatCounter &
+CounterTable::lookup(std::size_t index, Addr pc)
+{
+    bpsim_assert(index < counters.size(), "index out of range");
+    ++collisionStats.lookups;
+    if (tags[index] != invalidTag && tags[index] != pc) {
+        ++collisionStats.collisions;
+        ++pendingCollisions;
+    }
+    tags[index] = pc;
+    return counters[index];
+}
+
+void
+CounterTable::classify(bool correct)
+{
+    if (correct)
+        collisionStats.constructive += pendingCollisions;
+    else
+        collisionStats.destructive += pendingCollisions;
+    pendingCollisions = 0;
+}
+
+void
+CounterTable::reset()
+{
+    for (auto &counter : counters)
+        counter.set(initialValue);
+    std::fill(tags.begin(), tags.end(), invalidTag);
+    pendingCollisions = 0;
+}
+
+} // namespace bpsim

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * A table of saturating counters with collision-tag instrumentation.
+ */
+
+#ifndef BPSIM_PREDICTOR_COUNTER_TABLE_HH
+#define BPSIM_PREDICTOR_COUNTER_TABLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "support/bits.hh"
+#include "support/logging.hh"
+#include "support/sat_counter.hh"
+#include "support/types.hh"
+#include "predictor/predictor.hh"
+
+namespace bpsim
+{
+
+/**
+ * Power-of-two sized table of n-bit saturating counters.
+ *
+ * Each entry carries a measurement-only tag holding the PC of the
+ * last branch that looked the entry up. lookup() reports whether the
+ * access collided (tag mismatch); the owning predictor later calls
+ * classify() once it knows whether its overall prediction was
+ * correct, which buckets the pending collisions of the current
+ * prediction round into constructive/destructive.
+ */
+class CounterTable
+{
+  public:
+    /**
+     * @param entries      table size; must be a power of two
+     * @param counter_bits width of each counter (1..8)
+     * @param initial      initial raw counter value
+     */
+    CounterTable(std::size_t entries, BitCount counter_bits,
+                 std::uint8_t initial);
+
+    /** Number of entries. */
+    std::size_t entries() const { return counters.size(); }
+
+    /** log2(entries): the index width. */
+    BitCount indexBits() const { return idxBits; }
+
+    /** Storage budget in bytes, excluding measurement tags. */
+    std::size_t
+    sizeBytes() const
+    {
+        return counters.size() * counterBits / 8;
+    }
+
+    /**
+     * Access the counter at @p index for branch @p pc, recording
+     * collision statistics and updating the tag.
+     */
+    SatCounter &lookup(std::size_t index, Addr pc);
+
+    /** Direct access without instrumentation (for update paths). */
+    SatCounter &
+    at(std::size_t index)
+    {
+        bpsim_assert(index < counters.size(), "index out of range");
+        return counters[index];
+    }
+
+    const SatCounter &
+    at(std::size_t index) const
+    {
+        bpsim_assert(index < counters.size(), "index out of range");
+        return counters[index];
+    }
+
+    /**
+     * Attribute the collisions recorded since the last classify()
+     * call as constructive (@p correct) or destructive.
+     */
+    void classify(bool correct);
+
+    /** Reset every counter (and tag) to the power-on state. */
+    void reset();
+
+    /** Collision statistics gathered so far. */
+    const CollisionStats &stats() const { return collisionStats; }
+
+    /** Collisions recorded since the last classify() call. */
+    Count pending() const { return pendingCollisions; }
+
+    /** Zero the collision statistics. */
+    void clearStats() { collisionStats = CollisionStats{}; }
+
+  private:
+    std::vector<SatCounter> counters;
+    std::vector<Addr> tags;
+    CollisionStats collisionStats;
+    Count pendingCollisions = 0;
+    BitCount counterBits;
+    BitCount idxBits;
+    std::uint8_t initialValue;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_PREDICTOR_COUNTER_TABLE_HH

@@ -1,0 +1,106 @@
+#include "predictor/factory.hh"
+
+#include <cstdlib>
+
+#include "support/logging.hh"
+#include "predictor/agree.hh"
+#include "predictor/bimodal.hh"
+#include "predictor/bimode.hh"
+#include "predictor/ghist.hh"
+#include "predictor/gselect.hh"
+#include "predictor/ideal_gshare.hh"
+#include "predictor/gshare.hh"
+#include "predictor/tournament.hh"
+#include "predictor/two_bc_gskew.hh"
+#include "predictor/yags.hh"
+
+namespace bpsim
+{
+
+const std::vector<PredictorKind> &
+allPredictorKinds()
+{
+    static const std::vector<PredictorKind> kinds = {
+        PredictorKind::Bimodal, PredictorKind::Ghist,
+        PredictorKind::Gshare,  PredictorKind::BiMode,
+        PredictorKind::TwoBcGskew,
+    };
+    return kinds;
+}
+
+std::string
+predictorKindName(PredictorKind kind)
+{
+    switch (kind) {
+      case PredictorKind::Bimodal:
+        return "bimodal";
+      case PredictorKind::Ghist:
+        return "ghist";
+      case PredictorKind::Gshare:
+        return "gshare";
+      case PredictorKind::BiMode:
+        return "bimode";
+      case PredictorKind::TwoBcGskew:
+        return "2bcgskew";
+    }
+    bpsim_panic("unknown PredictorKind");
+}
+
+PredictorKind
+predictorKindFromName(const std::string &name)
+{
+    for (const auto kind : allPredictorKinds()) {
+        if (predictorKindName(kind) == name)
+            return kind;
+    }
+    bpsim_fatal("unknown predictor '", name,
+                "' (expected bimodal/ghist/gshare/bimode/2bcgskew)");
+}
+
+std::unique_ptr<BranchPredictor>
+makePredictor(PredictorKind kind, std::size_t size_bytes)
+{
+    switch (kind) {
+      case PredictorKind::Bimodal:
+        return std::make_unique<Bimodal>(size_bytes);
+      case PredictorKind::Ghist:
+        return std::make_unique<Ghist>(size_bytes);
+      case PredictorKind::Gshare:
+        return std::make_unique<Gshare>(size_bytes);
+      case PredictorKind::BiMode:
+        return std::make_unique<BiMode>(size_bytes);
+      case PredictorKind::TwoBcGskew:
+        return std::make_unique<TwoBcGskew>(size_bytes);
+    }
+    bpsim_panic("unknown PredictorKind");
+}
+
+std::unique_ptr<BranchPredictor>
+makePredictor(const std::string &spec)
+{
+    const auto colon = spec.find(':');
+    const std::string name = spec.substr(0, colon);
+    std::size_t bytes = 8192;
+    if (colon != std::string::npos) {
+        const std::string size_str = spec.substr(colon + 1);
+        char *end = nullptr;
+        bytes = std::strtoull(size_str.c_str(), &end, 10);
+        if (end == nullptr || *end != '\0' || bytes == 0)
+            bpsim_fatal("bad predictor size in spec '", spec, "'");
+    }
+    // Extension predictors reachable by name only (not part of the
+    // paper's five simulated schemes).
+    if (name == "agree")
+        return std::make_unique<Agree>(bytes);
+    if (name == "tournament")
+        return std::make_unique<Tournament>(bytes);
+    if (name == "gselect")
+        return std::make_unique<Gselect>(bytes);
+    if (name == "yags")
+        return std::make_unique<Yags>(bytes);
+    if (name == "ideal")
+        return std::make_unique<IdealGshare>();
+    return makePredictor(predictorKindFromName(name), bytes);
+}
+
+} // namespace bpsim

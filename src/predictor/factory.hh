@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Construction of predictors by kind or by "name:bytes" spec string.
+ */
+
+#ifndef BPSIM_PREDICTOR_FACTORY_HH
+#define BPSIM_PREDICTOR_FACTORY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "predictor/predictor.hh"
+
+namespace bpsim
+{
+
+/** The five dynamic prediction schemes simulated in the paper. */
+enum class PredictorKind
+{
+    Bimodal,
+    Ghist,
+    Gshare,
+    BiMode,
+    TwoBcGskew,
+};
+
+/** All kinds in the paper's Figures 7-12 order. */
+const std::vector<PredictorKind> &allPredictorKinds();
+
+/** Scheme name as used in the paper ("bimodal", "ghist", ...). */
+std::string predictorKindName(PredictorKind kind);
+
+/** Parse a scheme name; fatal() on an unknown one. */
+PredictorKind predictorKindFromName(const std::string &name);
+
+/** Build a predictor of @p kind with a @p size_bytes budget. */
+std::unique_ptr<BranchPredictor> makePredictor(PredictorKind kind,
+                                               std::size_t size_bytes);
+
+/**
+ * Build from a spec string "name:bytes", e.g. "gshare:16384".
+ * A bare name defaults to 8 KB.
+ */
+std::unique_ptr<BranchPredictor> makePredictor(const std::string &spec);
+
+} // namespace bpsim
+
+#endif // BPSIM_PREDICTOR_FACTORY_HH

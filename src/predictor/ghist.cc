@@ -1,0 +1,68 @@
+#include "predictor/ghist.hh"
+
+#include "predictor/table_size.hh"
+
+namespace bpsim
+{
+
+Ghist::Ghist(std::size_t size_bytes, BitCount counter_bits)
+    : table(entriesForBudget(size_bytes, counter_bits), counter_bits,
+            SatCounter::weak(counter_bits, false).value()),
+      history(table.indexBits())
+{
+}
+
+bool
+Ghist::predict(Addr pc)
+{
+    lastIndex = static_cast<std::size_t>(history.value());
+    return table.lookup(lastIndex, pc).taken();
+}
+
+void
+Ghist::update(Addr pc, bool taken)
+{
+    (void)pc;
+    const bool correct = table.at(lastIndex).taken() == taken;
+    table.classify(correct);
+    table.at(lastIndex).train(taken);
+}
+
+void
+Ghist::updateHistory(bool taken)
+{
+    history.push(taken);
+}
+
+void
+Ghist::reset()
+{
+    table.reset();
+    history.clear();
+}
+
+std::size_t
+Ghist::sizeBytes() const
+{
+    return table.sizeBytes();
+}
+
+CollisionStats
+Ghist::collisionStats() const
+{
+    return table.stats();
+}
+
+void
+Ghist::clearCollisionStats()
+{
+    table.clearStats();
+}
+
+Count
+Ghist::lastPredictCollisions() const
+{
+    return table.pending();
+}
+
+} // namespace bpsim

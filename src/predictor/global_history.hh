@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The global branch-history ("ghist") register.
+ */
+
+#ifndef BPSIM_PREDICTOR_GLOBAL_HISTORY_HH
+#define BPSIM_PREDICTOR_GLOBAL_HISTORY_HH
+
+#include <cstdint>
+
+#include "support/bits.hh"
+#include "support/logging.hh"
+#include "support/types.hh"
+
+namespace bpsim
+{
+
+/**
+ * Shift register of recent branch outcomes, LSB = most recent.
+ * Tracks up to 64 outcomes; consumers slice off what they need.
+ */
+class GlobalHistory
+{
+  public:
+    /** @param bits number of outcomes retained (1..64). */
+    explicit GlobalHistory(BitCount bits = 64) : numBits(bits)
+    {
+        bpsim_assert(bits >= 1 && bits <= 64, "bad history width");
+    }
+
+    /** Shift in one outcome. */
+    void
+    push(bool taken)
+    {
+        bits = ((bits << 1) | (taken ? 1 : 0)) & mask(numBits);
+    }
+
+    /** The full register value. */
+    std::uint64_t value() const { return bits; }
+
+    /** The @p n most recent outcomes (n <= width). */
+    std::uint64_t
+    recent(BitCount n) const
+    {
+        bpsim_assert(n <= numBits, "slice wider than register");
+        return bits & mask(n);
+    }
+
+    /** Register width in bits. */
+    BitCount width() const { return numBits; }
+
+    /** Clear to the power-on (all not-taken) state. */
+    void clear() { bits = 0; }
+
+  private:
+    std::uint64_t bits = 0;
+    BitCount numBits;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_PREDICTOR_GLOBAL_HISTORY_HH

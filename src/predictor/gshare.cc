@@ -1,0 +1,81 @@
+#include "predictor/gshare.hh"
+
+#include "support/bits.hh"
+#include "predictor/table_size.hh"
+
+namespace bpsim
+{
+
+Gshare::Gshare(std::size_t size_bytes, BitCount history_bits,
+               BitCount counter_bits)
+    : table(entriesForBudget(size_bytes, counter_bits), counter_bits,
+            SatCounter::weak(counter_bits, false).value()),
+      history(history_bits == 0 ? table.indexBits() : history_bits)
+{
+    bpsim_assert(history.width() <= table.indexBits(),
+                 "gshare history longer than index");
+}
+
+std::size_t
+Gshare::index(Addr pc) const
+{
+    const std::uint64_t addr_bits =
+        foldBits(pc / instructionBytes, table.indexBits());
+    return static_cast<std::size_t>(
+        (addr_bits ^ history.value()) & mask(table.indexBits()));
+}
+
+bool
+Gshare::predict(Addr pc)
+{
+    lastIndex = index(pc);
+    return table.lookup(lastIndex, pc).taken();
+}
+
+void
+Gshare::update(Addr pc, bool taken)
+{
+    (void)pc;
+    const bool correct = table.at(lastIndex).taken() == taken;
+    table.classify(correct);
+    table.at(lastIndex).train(taken);
+}
+
+void
+Gshare::updateHistory(bool taken)
+{
+    history.push(taken);
+}
+
+void
+Gshare::reset()
+{
+    table.reset();
+    history.clear();
+}
+
+std::size_t
+Gshare::sizeBytes() const
+{
+    return table.sizeBytes();
+}
+
+CollisionStats
+Gshare::collisionStats() const
+{
+    return table.stats();
+}
+
+void
+Gshare::clearCollisionStats()
+{
+    table.clearStats();
+}
+
+Count
+Gshare::lastPredictCollisions() const
+{
+    return table.pending();
+}
+
+} // namespace bpsim

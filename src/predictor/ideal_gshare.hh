@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Interference-free gshare (extension): an unbounded table keyed by
+ * the exact (pc, history) pair, so no two branches ever share a
+ * counter. Not implementable hardware — a measurement instrument.
+ *
+ * Comparing a real gshare against IdealGshare at the same history
+ * length isolates exactly the quantity the paper is about: the
+ * misprediction cost of aliasing. The aliasing_loss bench uses it to
+ * report how much of that cost each static scheme recovers.
+ */
+
+#ifndef BPSIM_PREDICTOR_IDEAL_GSHARE_HH
+#define BPSIM_PREDICTOR_IDEAL_GSHARE_HH
+
+#include <cstddef>
+#include <unordered_map>
+
+#include "predictor/global_history.hh"
+#include "predictor/predictor.hh"
+#include "support/sat_counter.hh"
+
+namespace bpsim
+{
+
+/** Unbounded, alias-free gshare-equivalent predictor. */
+class IdealGshare : public BranchPredictor
+{
+  public:
+    /** @param history_bits global history length (default 13, the
+     * length a 4 KB gshare would use). */
+    explicit IdealGshare(BitCount history_bits = 13);
+
+    bool predict(Addr pc) override;
+    void update(Addr pc, bool taken) override;
+    void updateHistory(bool taken) override;
+    void reset() override;
+
+    /** Unbounded storage: reported as 0 (not a hardware design). */
+    std::size_t sizeBytes() const override { return 0; }
+
+    std::string name() const override { return "ideal-gshare"; }
+
+    /** Alias-free by construction: always empty statistics. */
+    CollisionStats collisionStats() const override { return {}; }
+    void clearCollisionStats() override {}
+
+    /** Distinct (pc, history) pairs ever observed. */
+    std::size_t tableEntries() const { return counters.size(); }
+
+  private:
+    std::uint64_t key(Addr pc) const;
+
+    std::unordered_map<std::uint64_t, SatCounter> counters;
+    GlobalHistory history;
+    std::uint64_t lastKey = 0;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_PREDICTOR_IDEAL_GSHARE_HH

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Shared helper translating a byte budget into a counter-table entry
+ * count.
+ */
+
+#ifndef BPSIM_PREDICTOR_TABLE_SIZE_HH
+#define BPSIM_PREDICTOR_TABLE_SIZE_HH
+
+#include <cstddef>
+
+#include "support/bits.hh"
+#include "support/logging.hh"
+#include "support/types.hh"
+
+namespace bpsim
+{
+
+/**
+ * Entries of @p counter_bits-wide counters that fit a budget of
+ * @p size_bytes bytes; fatal unless the result is a power of two.
+ */
+inline std::size_t
+entriesForBudget(std::size_t size_bytes, BitCount counter_bits)
+{
+    if (size_bytes == 0)
+        bpsim_fatal("zero-size predictor table");
+    const std::size_t entries = size_bytes * 8 / counter_bits;
+    if (entries == 0 || !isPowerOfTwo(entries)) {
+        bpsim_fatal("size ", size_bytes, " bytes with ", counter_bits,
+                    "-bit counters does not give a power-of-two table");
+    }
+    return entries;
+}
+
+} // namespace bpsim
+
+#endif // BPSIM_PREDICTOR_TABLE_SIZE_HH

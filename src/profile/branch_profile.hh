@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Per-static-branch profile record.
+ */
+
+#ifndef BPSIM_PROFILE_BRANCH_PROFILE_HH
+#define BPSIM_PROFILE_BRANCH_PROFILE_HH
+
+#include "support/types.hh"
+
+namespace bpsim
+{
+
+/**
+ * Execution statistics of one static branch, as a profiling run (the
+ * paper's Atom instrumentation, our simulation engine) collects them:
+ * outcome counts, and optionally the accuracy a specific dynamic
+ * predictor achieved on the branch (the input to Static_Acc).
+ */
+struct BranchProfile
+{
+    /** Times the branch executed. */
+    Count executed = 0;
+
+    /** Times it was taken. */
+    Count taken = 0;
+
+    /** Dynamic-predictor predictions observed for this branch. */
+    Count predicted = 0;
+
+    /** How many of those predictions were correct. */
+    Count correct = 0;
+
+    /** Predictor-table collisions observed at this branch's lookups. */
+    Count collisions = 0;
+
+    /** Fraction of executions that were taken (0 when never run). */
+    double
+    takenRate() const
+    {
+        return executed == 0
+                   ? 0.0
+                   : static_cast<double>(taken) /
+                         static_cast<double>(executed);
+    }
+
+    /**
+     * The paper's bias: max(taken-bias, not-taken-bias), in [0.5, 1]
+     * for any executed branch.
+     */
+    double
+    bias() const
+    {
+        const double t = takenRate();
+        return t >= 0.5 ? t : 1.0 - t;
+    }
+
+    /** Majority direction (true = taken). */
+    bool majorityTaken() const { return 2 * taken >= executed; }
+
+    /** Per-branch dynamic prediction accuracy (0 when unmeasured). */
+    double
+    accuracy() const
+    {
+        return predicted == 0
+                   ? 0.0
+                   : static_cast<double>(correct) /
+                         static_cast<double>(predicted);
+    }
+
+    /** Collisions per dynamic prediction (0 when unmeasured). */
+    double
+    collisionRate() const
+    {
+        return predicted == 0
+                   ? 0.0
+                   : static_cast<double>(collisions) /
+                         static_cast<double>(predicted);
+    }
+
+    /** Accumulate another run's counts (Spike-style profile merge). */
+    BranchProfile &
+    operator+=(const BranchProfile &other)
+    {
+        executed += other.executed;
+        taken += other.taken;
+        predicted += other.predicted;
+        correct += other.correct;
+        collisions += other.collisions;
+        return *this;
+    }
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_PROFILE_BRANCH_PROFILE_HH

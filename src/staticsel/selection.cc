@@ -1,0 +1,130 @@
+#include "staticsel/selection.hh"
+
+#include "support/logging.hh"
+
+namespace bpsim
+{
+
+std::string
+staticSchemeName(StaticScheme scheme)
+{
+    switch (scheme) {
+      case StaticScheme::None:
+        return "none";
+      case StaticScheme::Static95:
+        return "static_95";
+      case StaticScheme::StaticAcc:
+        return "static_acc";
+      case StaticScheme::StaticFac:
+        return "static_fac";
+      case StaticScheme::StaticAlias:
+        return "static_alias";
+    }
+    bpsim_panic("unknown StaticScheme");
+}
+
+StaticScheme
+staticSchemeFromName(const std::string &name)
+{
+    if (name == "none")
+        return StaticScheme::None;
+    if (name == "static_95")
+        return StaticScheme::Static95;
+    if (name == "static_acc")
+        return StaticScheme::StaticAcc;
+    if (name == "static_fac")
+        return StaticScheme::StaticFac;
+    if (name == "static_alias")
+        return StaticScheme::StaticAlias;
+    bpsim_fatal("unknown static scheme '", name, "'");
+}
+
+HintDb
+selectStatic95(const ProfileDb &profile, const SelectionParams &params)
+{
+    HintDb hints;
+    for (const auto &[pc, record] : profile.entries()) {
+        if (record.executed < params.minExecutions)
+            continue;
+        if (record.bias() > params.cutoffBias)
+            hints.insert(pc, record.majorityTaken());
+    }
+    return hints;
+}
+
+HintDb
+selectStaticAcc(const ProfileDb &profile, const SelectionParams &params)
+{
+    HintDb hints;
+    for (const auto &[pc, record] : profile.entries()) {
+        if (record.executed < params.minExecutions ||
+            record.predicted == 0) {
+            continue;
+        }
+        if (record.bias() > record.accuracy())
+            hints.insert(pc, record.majorityTaken());
+    }
+    return hints;
+}
+
+HintDb
+selectStaticFac(const ProfileDb &profile, const SelectionParams &params)
+{
+    HintDb hints;
+    for (const auto &[pc, record] : profile.entries()) {
+        if (record.executed < params.minExecutions ||
+            record.predicted == 0) {
+            continue;
+        }
+        // Expected mispredictions if predicted statically in the
+        // majority direction, versus the mispredictions the dynamic
+        // predictor actually suffered.
+        const double static_misp =
+            (1.0 - record.bias()) *
+            static_cast<double>(record.executed);
+        const double dynamic_misp =
+            static_cast<double>(record.predicted - record.correct);
+        if (static_misp * params.factor <= dynamic_misp)
+            hints.insert(pc, record.majorityTaken());
+    }
+    return hints;
+}
+
+HintDb
+selectStaticAlias(const ProfileDb &profile,
+                  const SelectionParams &params)
+{
+    HintDb hints;
+    for (const auto &[pc, record] : profile.entries()) {
+        if (record.executed < params.minExecutions ||
+            record.predicted == 0) {
+            continue;
+        }
+        if (record.bias() > params.aliasCutoffBias &&
+            record.collisionRate() >= params.aliasMinCollisionRate) {
+            hints.insert(pc, record.majorityTaken());
+        }
+    }
+    return hints;
+}
+
+HintDb
+selectStatic(StaticScheme scheme, const ProfileDb &profile,
+             const SelectionParams &params)
+{
+    switch (scheme) {
+      case StaticScheme::None:
+        return HintDb{};
+      case StaticScheme::Static95:
+        return selectStatic95(profile, params);
+      case StaticScheme::StaticAcc:
+        return selectStaticAcc(profile, params);
+      case StaticScheme::StaticFac:
+        return selectStaticFac(profile, params);
+      case StaticScheme::StaticAlias:
+        return selectStaticAlias(profile, params);
+    }
+    bpsim_panic("unknown StaticScheme");
+}
+
+} // namespace bpsim

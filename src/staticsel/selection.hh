@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Profile-directed selection of branches for static prediction — the
+ * paper's core contribution (§4).
+ *
+ * Three schemes:
+ *
+ *  - Static_95: select every branch whose bias exceeds a cutoff
+ *    (default 95%); these easy branches are predicted statically to
+ *    free dynamic-table space. Predictor-independent.
+ *
+ *  - Static_Acc: select every branch whose bias exceeds the accuracy
+ *    a specific dynamic predictor achieved on it during a phase-1
+ *    simulation; using the dominant direction can then never be worse
+ *    for those branches. Predictor-dependent.
+ *
+ *  - Static_Fac: a single-iteration version of Lindsay's scheme —
+ *    select branches whose expected static misprediction count is at
+ *    least @c factor times lower than their observed dynamic
+ *    misprediction count.
+ *
+ * Every scheme predicts a selected branch in its profiled majority
+ * direction.
+ */
+
+#ifndef BPSIM_STATICSEL_SELECTION_HH
+#define BPSIM_STATICSEL_SELECTION_HH
+
+#include <string>
+
+#include "profile/profile_db.hh"
+#include "staticsel/static_hint.hh"
+
+namespace bpsim
+{
+
+/**
+ * The static selection schemes evaluated by the paper, plus
+ * StaticAlias — the collision-aware selection the paper sketches as
+ * future work ("we want to predict only those branches statically
+ * that will... reduce destructive collisions").
+ */
+enum class StaticScheme
+{
+    None,        ///< pure dynamic prediction
+    Static95,    ///< bias cutoff (easy branches)
+    StaticAcc,   ///< bias > per-branch dynamic accuracy (hard)
+    StaticFac,   ///< misprediction-count factor test
+    StaticAlias, ///< biased branches with high collision involvement
+};
+
+/** Scheme name for table output ("none", "static_95", ...). */
+std::string staticSchemeName(StaticScheme scheme);
+
+/** Parse a scheme name; fatal() on an unknown one. */
+StaticScheme staticSchemeFromName(const std::string &name);
+
+/** Tunables for the selection schemes. */
+struct SelectionParams
+{
+    /** Bias cutoff for Static_95. */
+    double cutoffBias = 0.95;
+
+    /** Advantage factor for Static_Fac. */
+    double factor = 2.0;
+
+    /**
+     * Ignore branches executed fewer times than this during the
+     * profiling run; their bias estimate is noise.
+     */
+    Count minExecutions = 16;
+
+    /** StaticAlias: bias floor (matches Static_95 so the alias
+     * scheme is a strict refinement: the contested subset). */
+    double aliasCutoffBias = 0.95;
+
+    /** StaticAlias: minimum collisions per prediction to qualify. */
+    double aliasMinCollisionRate = 0.10;
+};
+
+/** Static_95: branches with bias > params.cutoffBias. */
+HintDb selectStatic95(const ProfileDb &profile,
+                      const SelectionParams &params = {});
+
+/**
+ * Static_Acc: branches with bias > measured dynamic accuracy. The
+ * profile must carry prediction counts (collected by simulating the
+ * target dynamic predictor in phase 1).
+ */
+HintDb selectStaticAcc(const ProfileDb &profile,
+                       const SelectionParams &params = {});
+
+/**
+ * Static_Fac: branches whose static mispredictions would be at least
+ * params.factor times fewer than their dynamic mispredictions.
+ */
+HintDb selectStaticFac(const ProfileDb &profile,
+                       const SelectionParams &params = {});
+
+/**
+ * Static_Alias (future work of the paper, §5): biased branches whose
+ * predictor lookups collide often. Removing exactly the contested,
+ * easily-predicted branches targets the destructive-aliasing budget
+ * directly instead of using bias alone as a proxy. Requires a
+ * profile with collision counts (phase-1 simulation records them).
+ */
+HintDb selectStaticAlias(const ProfileDb &profile,
+                         const SelectionParams &params = {});
+
+/** Dispatch on @p scheme (None yields an empty database). */
+HintDb selectStatic(StaticScheme scheme, const ProfileDb &profile,
+                    const SelectionParams &params = {});
+
+} // namespace bpsim
+
+#endif // BPSIM_STATICSEL_SELECTION_HH

@@ -1,0 +1,42 @@
+#include "staticsel/static_hint.hh"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "support/logging.hh"
+
+namespace bpsim
+{
+
+void
+HintDb::save(const std::string &path) const
+{
+    std::FILE *out = std::fopen(path.c_str(), "w");
+    if (out == nullptr)
+        bpsim_fatal("cannot open hint db '", path, "' for writing");
+    for (const auto &[pc, taken] : hints)
+        std::fprintf(out, "%#" PRIx64 " %c\n", pc, taken ? 'T' : 'N');
+    std::fclose(out);
+}
+
+HintDb
+HintDb::load(const std::string &path)
+{
+    std::FILE *in = std::fopen(path.c_str(), "r");
+    if (in == nullptr)
+        bpsim_fatal("cannot open hint db '", path, "'");
+    HintDb db;
+    std::uint64_t pc;
+    char dir;
+    while (std::fscanf(in, "%" SCNx64 " %c", &pc, &dir) == 2) {
+        if (dir != 'T' && dir != 'N') {
+            std::fclose(in);
+            bpsim_fatal("bad direction in hint db '", path, "'");
+        }
+        db.insert(pc, dir == 'T');
+    }
+    std::fclose(in);
+    return db;
+}
+
+} // namespace bpsim

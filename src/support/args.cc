@@ -1,0 +1,149 @@
+#include "support/args.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace bpsim
+{
+
+ArgParser::ArgParser(std::string tool_name)
+    : toolName(std::move(tool_name))
+{
+}
+
+void
+ArgParser::addOption(const std::string &name,
+                     const std::string &default_value,
+                     const std::string &help)
+{
+    bpsim_assert(find(name) == nullptr, "duplicate option ", name);
+    options.push_back({name, default_value, help, false});
+}
+
+void
+ArgParser::addFlag(const std::string &name, const std::string &help)
+{
+    bpsim_assert(find(name) == nullptr, "duplicate option ", name);
+    options.push_back({name, "", help, true});
+}
+
+ArgParser::Option *
+ArgParser::find(const std::string &name)
+{
+    for (auto &option : options) {
+        if (option.name == name)
+            return &option;
+    }
+    return nullptr;
+}
+
+const ArgParser::Option *
+ArgParser::find(const std::string &name) const
+{
+    return const_cast<ArgParser *>(this)->find(name);
+}
+
+void
+ArgParser::parse(int argc, char **argv, int first)
+{
+    for (int i = first; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::fputs(usage().c_str(), stdout);
+            std::exit(0);
+        }
+        if (arg.rfind("--", 0) != 0) {
+            positionals.push_back(arg);
+            continue;
+        }
+        arg = arg.substr(2);
+        std::string value;
+        bool has_value = false;
+        const auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            value = arg.substr(eq + 1);
+            arg = arg.substr(0, eq);
+            has_value = true;
+        }
+        Option *option = find(arg);
+        if (option == nullptr)
+            bpsim_fatal("unknown option '--", arg, "'\n", usage());
+        if (option->isFlag) {
+            if (has_value)
+                bpsim_fatal("flag '--", arg, "' takes no value");
+            option->value = "1";
+        } else {
+            if (!has_value) {
+                if (i + 1 >= argc)
+                    bpsim_fatal("option '--", arg,
+                                "' needs a value");
+                value = argv[++i];
+            }
+            option->value = value;
+        }
+    }
+}
+
+const std::string &
+ArgParser::get(const std::string &name) const
+{
+    const Option *option = find(name);
+    bpsim_assert(option != nullptr && !option->isFlag,
+                 "undeclared option ", name);
+    return option->value;
+}
+
+std::uint64_t
+ArgParser::getUint(const std::string &name) const
+{
+    const std::string &text = get(name);
+    char *end = nullptr;
+    const std::uint64_t value = std::strtoull(text.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0')
+        bpsim_fatal("option '--", name, "' expects an integer, got '",
+                    text, "'");
+    return value;
+}
+
+double
+ArgParser::getDouble(const std::string &name) const
+{
+    const std::string &text = get(name);
+    char *end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    if (end == nullptr || *end != '\0')
+        bpsim_fatal("option '--", name, "' expects a number, got '",
+                    text, "'");
+    return value;
+}
+
+bool
+ArgParser::getFlag(const std::string &name) const
+{
+    const Option *option = find(name);
+    bpsim_assert(option != nullptr && option->isFlag,
+                 "undeclared flag ", name);
+    return !option->value.empty();
+}
+
+std::string
+ArgParser::usage() const
+{
+    std::ostringstream os;
+    os << "usage: " << toolName << " [options]\n";
+    for (const auto &option : options) {
+        os << "  --" << option.name;
+        if (!option.isFlag)
+            os << " <value>";
+        os << "\n      " << option.help;
+        if (!option.isFlag && !option.value.empty())
+            os << " (default: " << option.value << ")";
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace bpsim

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Minimal command-line option parser for the library's tools.
+ *
+ * Supports "--name value", "--name=value", boolean flags, defaults,
+ * and generated usage text. Unknown options are fatal (user error).
+ */
+
+#ifndef BPSIM_SUPPORT_ARGS_HH
+#define BPSIM_SUPPORT_ARGS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bpsim
+{
+
+/** Declarative option parser. */
+class ArgParser
+{
+  public:
+    /** @param tool_name used in the usage banner. */
+    explicit ArgParser(std::string tool_name);
+
+    /** Declare a string option with a default. */
+    void addOption(const std::string &name,
+                   const std::string &default_value,
+                   const std::string &help);
+
+    /** Declare a boolean flag (defaults to false). */
+    void addFlag(const std::string &name, const std::string &help);
+
+    /**
+     * Parse argv (excluding any leading subcommand the caller has
+     * already consumed). fatal() on unknown options or a missing
+     * value; prints usage and exits 0 on --help.
+     */
+    void parse(int argc, char **argv, int first = 1);
+
+    /** Value of a declared string option. */
+    const std::string &get(const std::string &name) const;
+
+    /** Value of a string option parsed as an unsigned integer. */
+    std::uint64_t getUint(const std::string &name) const;
+
+    /** Value of a string option parsed as a double. */
+    double getDouble(const std::string &name) const;
+
+    /** State of a declared flag. */
+    bool getFlag(const std::string &name) const;
+
+    /** Positional (non-option) arguments in order. */
+    const std::vector<std::string> &positional() const
+    {
+        return positionals;
+    }
+
+    /** Render the usage text. */
+    std::string usage() const;
+
+  private:
+    struct Option
+    {
+        std::string name;
+        std::string value;
+        std::string help;
+        bool isFlag;
+    };
+
+    Option *find(const std::string &name);
+    const Option *find(const std::string &name) const;
+
+    std::string toolName;
+    std::vector<Option> options;
+    std::vector<std::string> positionals;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_SUPPORT_ARGS_HH

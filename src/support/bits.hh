@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Bit-manipulation utilities used by predictor indexing logic.
+ */
+
+#ifndef BPSIM_SUPPORT_BITS_HH
+#define BPSIM_SUPPORT_BITS_HH
+
+#include <cstdint>
+
+#include "support/logging.hh"
+#include "support/types.hh"
+
+namespace bpsim
+{
+
+/** Return a mask with the low @p bits bits set. Supports 0..64. */
+constexpr std::uint64_t
+mask(BitCount bits)
+{
+    return bits >= 64 ? ~std::uint64_t{0}
+                      : ((std::uint64_t{1} << bits) - 1);
+}
+
+/** True iff @p value is a nonzero power of two. */
+constexpr bool
+isPowerOfTwo(std::uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** Floor of log2; @p value must be nonzero. */
+constexpr BitCount
+floorLog2(std::uint64_t value)
+{
+    BitCount result = 0;
+    while (value >>= 1)
+        ++result;
+    return result;
+}
+
+/** Ceiling of log2; @p value must be nonzero. */
+constexpr BitCount
+ceilLog2(std::uint64_t value)
+{
+    return isPowerOfTwo(value) ? floorLog2(value) : floorLog2(value) + 1;
+}
+
+/**
+ * Fold a wide value down to @p bits bits by XORing successive
+ * @p bits-wide slices together. Used to hash long histories or
+ * addresses into a table index without discarding entropy.
+ */
+constexpr std::uint64_t
+foldBits(std::uint64_t value, BitCount bits)
+{
+    if (bits == 0)
+        return 0;
+    if (bits >= 64)
+        return value;
+    std::uint64_t folded = 0;
+    while (value != 0) {
+        folded ^= value & mask(bits);
+        value >>= bits;
+    }
+    return folded;
+}
+
+/** Extract bits [lo, lo+len) of @p value. */
+constexpr std::uint64_t
+bitSlice(std::uint64_t value, BitCount lo, BitCount len)
+{
+    return (value >> lo) & mask(len);
+}
+
+/**
+ * Reversible mix of a branch PC into a well-distributed 64-bit value
+ * (splitmix64 finalizer). Deterministic; used for synthetic PC layout
+ * and hash-based index schemes.
+ */
+constexpr std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace bpsim
+
+#endif // BPSIM_SUPPORT_BITS_HH

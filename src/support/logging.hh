@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * fatal() is for user errors (bad configuration, malformed input files):
+ * the process exits with status 1. panic() is for internal invariant
+ * violations (simulator bugs): the process aborts.
+ */
+
+#ifndef BPSIM_SUPPORT_LOGGING_HH
+#define BPSIM_SUPPORT_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace bpsim
+{
+
+/** Terminate with an error message attributable to the user. */
+[[noreturn]] inline void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::exit(1);
+}
+
+/** Terminate with an error message attributable to a simulator bug. */
+[[noreturn]] inline void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+namespace detail
+{
+
+/** Build a message string from stream-formattable pieces. */
+template <typename... Args>
+std::string
+formatPieces(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace detail
+
+} // namespace bpsim
+
+#define bpsim_fatal(...) \
+    ::bpsim::fatalImpl(__FILE__, __LINE__, \
+                       ::bpsim::detail::formatPieces(__VA_ARGS__))
+
+#define bpsim_panic(...) \
+    ::bpsim::panicImpl(__FILE__, __LINE__, \
+                       ::bpsim::detail::formatPieces(__VA_ARGS__))
+
+/** Panic unless an internal invariant holds. */
+#define bpsim_assert(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::bpsim::panicImpl(__FILE__, __LINE__, \
+                ::bpsim::detail::formatPieces("assertion '", #cond, \
+                                              "' failed ", ##__VA_ARGS__)); \
+        } \
+    } while (0)
+
+#endif // BPSIM_SUPPORT_LOGGING_HH

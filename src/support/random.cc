@@ -1,0 +1,150 @@
+#include "support/random.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bpsim
+{
+
+namespace
+{
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t s = seed;
+    for (auto &word : state)
+        word = splitmix64(s);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+    const std::uint64_t t = state[1] << 17;
+
+    state[2] ^= state[0];
+    state[3] ^= state[1];
+    state[1] ^= state[2];
+    state[0] ^= state[3];
+    state[2] ^= t;
+    state[3] = rotl(state[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::nextBelow(std::uint64_t bound)
+{
+    bpsim_assert(bound != 0, "nextBelow(0)");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+        const std::uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return nextDouble() < p;
+}
+
+std::uint64_t
+Rng::geometric(double mean)
+{
+    bpsim_assert(mean >= 1.0, "geometric mean below 1");
+    if (mean == 1.0)
+        return 1;
+    const double p = 1.0 / mean;
+    // Inverse-CDF sampling of a geometric distribution on {1, 2, ...}.
+    const double u = std::max(nextDouble(), 1e-300);
+    const double value = std::ceil(std::log(u) / std::log(1.0 - p));
+    return value < 1.0 ? 1 : static_cast<std::uint64_t>(value);
+}
+
+Rng::Zipf::Zipf(std::size_t n, double s)
+{
+    bpsim_assert(n > 0, "empty Zipf support");
+    cdf.resize(n);
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+        cdf[i] = total;
+    }
+    for (auto &c : cdf)
+        c /= total;
+}
+
+std::size_t
+Rng::Zipf::sample(Rng &rng) const
+{
+    const double u = rng.nextDouble();
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    return static_cast<std::size_t>(it - cdf.begin());
+}
+
+double
+Rng::Zipf::mass(std::size_t i) const
+{
+    bpsim_assert(i < cdf.size(), "Zipf index out of range");
+    return i == 0 ? cdf[0] : cdf[i] - cdf[i - 1];
+}
+
+Rng::Discrete::Discrete(const std::vector<double> &weights)
+{
+    cdf.reserve(weights.size());
+    for (const double w : weights) {
+        bpsim_assert(w >= 0.0, "negative weight");
+        total += w;
+        cdf.push_back(total);
+    }
+}
+
+std::size_t
+Rng::Discrete::sample(Rng &rng) const
+{
+    bpsim_assert(total > 0.0, "sampling from empty distribution");
+    const double u = rng.nextDouble() * total;
+    const auto it = std::upper_bound(cdf.begin(), cdf.end(), u);
+    const auto idx = static_cast<std::size_t>(it - cdf.begin());
+    return idx < cdf.size() ? idx : cdf.size() - 1;
+}
+
+Rng
+Rng::fork()
+{
+    // Derive a child seed from the parent stream; both remain usable.
+    return Rng(next());
+}
+
+} // namespace bpsim

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * The generator is xoshiro256**, seeded through splitmix64 so that any
+ * 64-bit seed yields a well-mixed state. All randomness in the simulator
+ * flows through this class so experiments are reproducible bit-for-bit
+ * from a seed.
+ */
+
+#ifndef BPSIM_SUPPORT_RANDOM_HH
+#define BPSIM_SUPPORT_RANDOM_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "support/logging.hh"
+
+namespace bpsim
+{
+
+/** xoshiro256** PRNG with convenience distributions. */
+class Rng
+{
+  public:
+    /** Seed deterministically from a single 64-bit value. */
+    explicit Rng(std::uint64_t seed = 0x1234567890abcdefULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform in [0, bound); @p bound must be nonzero. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli trial: true with probability @p p. */
+    bool chance(double p);
+
+    /**
+     * Geometric-ish trip count: 1 + number of failures before a success
+     * with probability 1/mean; approximates loop trip-count spread.
+     */
+    std::uint64_t geometric(double mean);
+
+    /**
+     * Sample an index in [0, n) from a Zipf distribution with exponent
+     * @p s, using a precomputed CDF. Used for branch execution
+     * frequencies, which are heavily skewed in real programs.
+     */
+    class Zipf
+    {
+      public:
+        Zipf(std::size_t n, double s);
+
+        /** Draw one sample using @p rng. */
+        std::size_t sample(Rng &rng) const;
+
+        /** Probability mass of index @p i. */
+        double mass(std::size_t i) const;
+
+      private:
+        std::vector<double> cdf;
+    };
+
+    /**
+     * Sample an index from an arbitrary weight vector (CDF method).
+     * Weights need not be normalised; zero-weight entries are never
+     * drawn.
+     */
+    class Discrete
+    {
+      public:
+        explicit Discrete(const std::vector<double> &weights);
+
+        /** Draw one index using @p rng. */
+        std::size_t sample(Rng &rng) const;
+
+        /** True when every weight was zero (sampling not possible). */
+        bool empty() const { return total == 0.0; }
+
+      private:
+        std::vector<double> cdf;
+        double total = 0.0;
+    };
+
+    /** Fork a child generator whose stream is independent of this one. */
+    Rng fork();
+
+  private:
+    std::array<std::uint64_t, 4> state;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_SUPPORT_RANDOM_HH

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Saturating up/down counter, the basic storage cell of every
+ * table-based dynamic branch predictor in this library.
+ */
+
+#ifndef BPSIM_SUPPORT_SAT_COUNTER_HH
+#define BPSIM_SUPPORT_SAT_COUNTER_HH
+
+#include <cstdint>
+
+#include "support/logging.hh"
+#include "support/types.hh"
+
+namespace bpsim
+{
+
+/**
+ * An n-bit saturating up/down counter (n in 1..8).
+ *
+ * The most significant bit is the "taken" prediction. Counters are
+ * constructed weakly-not-taken by default (value 2^(n-1) - 1), the
+ * convention used in the literature the paper builds on, but any
+ * initial value may be given.
+ */
+class SatCounter
+{
+  public:
+    /** Construct an @p bits wide counter with initial @p value. */
+    explicit SatCounter(BitCount bits = 2, std::uint8_t value = 0)
+        : counter(value), numBits(static_cast<std::uint8_t>(bits))
+    {
+        bpsim_assert(bits >= 1 && bits <= 8,
+                     "counter width ", bits, " out of range");
+        bpsim_assert(value <= maxValue(), "initial value too large");
+    }
+
+    /** Construct weakly biased toward @p taken. */
+    static SatCounter
+    weak(BitCount bits, bool taken)
+    {
+        const std::uint8_t mid =
+            static_cast<std::uint8_t>((1u << (bits - 1)) - (taken ? 0 : 1));
+        return SatCounter(bits, mid);
+    }
+
+    /** Largest representable value. */
+    std::uint8_t maxValue() const
+    {
+        return static_cast<std::uint8_t>((1u << numBits) - 1);
+    }
+
+    /** Current raw value. */
+    std::uint8_t value() const { return counter; }
+
+    /** Width in bits. */
+    BitCount bits() const { return numBits; }
+
+    /** Prediction carried by the counter (MSB set => predict taken). */
+    bool taken() const { return counter >= (1u << (numBits - 1)); }
+
+    /** True when the counter cannot move further in its direction. */
+    bool
+    saturated() const
+    {
+        return counter == 0 || counter == maxValue();
+    }
+
+    /** Increment with saturation. */
+    void
+    increment()
+    {
+        if (counter < maxValue())
+            ++counter;
+    }
+
+    /** Decrement with saturation. */
+    void
+    decrement()
+    {
+        if (counter > 0)
+            --counter;
+    }
+
+    /** Train toward the actual outcome of a branch. */
+    void
+    train(bool taken_outcome)
+    {
+        if (taken_outcome)
+            increment();
+        else
+            decrement();
+    }
+
+    /** Reset to an explicit value (used by tests and table clears). */
+    void
+    set(std::uint8_t value)
+    {
+        bpsim_assert(value <= maxValue(), "value too large");
+        counter = value;
+    }
+
+  private:
+    std::uint8_t counter;
+    std::uint8_t numBits;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_SUPPORT_SAT_COUNTER_HH

@@ -1,0 +1,55 @@
+#include "support/skew.hh"
+
+#include "support/bits.hh"
+#include "support/logging.hh"
+
+namespace bpsim
+{
+
+std::uint64_t
+skewH(std::uint64_t x, BitCount bits)
+{
+    bpsim_assert(bits >= 1 && bits <= 63, "bad H width ", bits);
+    x &= mask(bits);
+    if (bits == 1)
+        return x;
+    const std::uint64_t msb = (x >> (bits - 1)) & 1;
+    const std::uint64_t lsb = x & 1;
+    return ((msb ^ lsb) << (bits - 1)) | (x >> 1);
+}
+
+std::uint64_t
+skewHinv(std::uint64_t x, BitCount bits)
+{
+    bpsim_assert(bits >= 1 && bits <= 63, "bad H width ", bits);
+    x &= mask(bits);
+    if (bits == 1)
+        return x;
+    // Forward: new_msb = old_msb ^ old_lsb; rest = old >> 1, so the
+    // old MSB now sits at position bits-2 and the old LSB is the XOR
+    // of the two top bits of the transformed value.
+    const std::uint64_t msb = (x >> (bits - 1)) & 1;
+    const std::uint64_t old_msb = (x >> (bits - 2)) & 1;
+    const std::uint64_t old_lsb = msb ^ old_msb;
+    return ((x << 1) & mask(bits)) | old_lsb;
+}
+
+std::uint64_t
+skewIndex(unsigned bank, std::uint64_t v1, std::uint64_t v2, BitCount bits)
+{
+    v1 &= mask(bits);
+    v2 &= mask(bits);
+    // Apply H (bank+1) times to v1 and its inverse as many times to v2,
+    // then mix in one of the raw sources depending on bank parity. Each
+    // bank therefore uses a distinct bijective combination, giving the
+    // inter-bank dispersion the gskew scheme relies on.
+    std::uint64_t a = v1;
+    std::uint64_t b = v2;
+    for (unsigned i = 0; i <= bank; ++i) {
+        a = skewH(a, bits);
+        b = skewHinv(b, bits);
+    }
+    return (a ^ b ^ (bank % 2 == 0 ? v2 : v1)) & mask(bits);
+}
+
+} // namespace bpsim

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Skewed indexing functions in the style of Seznec's skewed-associative
+ * caches and the (2bc)gskew family of branch predictors.
+ *
+ * Each bank of a skewed predictor indexes its table with a different
+ * member of a family of hashing functions built from the bijection H
+ * and its inverse. The family has the inter-bank dispersion property:
+ * two branches that collide in one bank are very unlikely to collide in
+ * another, which is what lets the majority vote absorb aliasing.
+ */
+
+#ifndef BPSIM_SUPPORT_SKEW_HH
+#define BPSIM_SUPPORT_SKEW_HH
+
+#include <cstdint>
+
+#include "support/types.hh"
+
+namespace bpsim
+{
+
+/**
+ * The n-bit bijection H: rotate right by one with the new MSB set to
+ * (old MSB xor old LSB). A bijection for any width 1..63.
+ */
+std::uint64_t skewH(std::uint64_t x, BitCount bits);
+
+/** Inverse of skewH: skewHinv(skewH(x)) == x. */
+std::uint64_t skewHinv(std::uint64_t x, BitCount bits);
+
+/**
+ * Bank-specific skewed index for a table of 2^bits entries.
+ *
+ * @param bank which member of the function family (0, 1, 2, ...)
+ * @param v1   first index source (e.g. folded branch address)
+ * @param v2   second index source (e.g. folded global history)
+ * @param bits table index width
+ */
+std::uint64_t skewIndex(unsigned bank, std::uint64_t v1, std::uint64_t v2,
+                        BitCount bits);
+
+} // namespace bpsim
+
+#endif // BPSIM_SUPPORT_SKEW_HH

@@ -1,0 +1,86 @@
+#include "support/stats.hh"
+
+#include <cmath>
+#include <cstdio>
+
+namespace bpsim
+{
+
+void
+RunningStat::add(double x)
+{
+    if (n == 0) {
+        minValue = x;
+        maxValue = x;
+    } else {
+        if (x < minValue)
+            minValue = x;
+        if (x > maxValue)
+            maxValue = x;
+    }
+    ++n;
+    const double delta = x - runningMean;
+    runningMean += delta / static_cast<double>(n);
+    m2 += delta * (x - runningMean);
+}
+
+double
+RunningStat::variance() const
+{
+    return n < 2 ? 0.0 : m2 / static_cast<double>(n - 1);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+Correlation::add(double x, double y)
+{
+    ++n;
+    const double inv_n = 1.0 / static_cast<double>(n);
+    const double dx = x - meanX;
+    const double dy = y - meanY;
+    meanX += dx * inv_n;
+    meanY += dy * inv_n;
+    m2x += dx * (x - meanX);
+    m2y += dy * (y - meanY);
+    cxy += dx * (y - meanY);
+}
+
+double
+Correlation::r() const
+{
+    if (n < 2 || m2x == 0.0 || m2y == 0.0)
+        return 0.0;
+    return cxy / std::sqrt(m2x * m2y);
+}
+
+double
+percent(Count part, Count whole)
+{
+    if (whole == 0)
+        return 0.0;
+    return 100.0 * static_cast<double>(part) / static_cast<double>(whole);
+}
+
+double
+perKilo(Count events, Count base)
+{
+    if (base == 0)
+        return 0.0;
+    return 1000.0 * static_cast<double>(events) /
+           static_cast<double>(base);
+}
+
+std::string
+formatFixed(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+} // namespace bpsim

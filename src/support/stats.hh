@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Small statistics accumulators used by the simulation engine and the
+ * benchmark harnesses (running moments, Pearson correlation, ratios).
+ */
+
+#ifndef BPSIM_SUPPORT_STATS_HH
+#define BPSIM_SUPPORT_STATS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "support/types.hh"
+
+namespace bpsim
+{
+
+/** Welford running mean / variance / extrema accumulator. */
+class RunningStat
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Number of samples so far. */
+    Count count() const { return n; }
+
+    /** Sample mean (0 when empty). */
+    double mean() const { return n == 0 ? 0.0 : runningMean; }
+
+    /** Unbiased sample variance (0 when fewer than two samples). */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /** Smallest sample seen. */
+    double min() const { return minValue; }
+
+    /** Largest sample seen. */
+    double max() const { return maxValue; }
+
+  private:
+    Count n = 0;
+    double runningMean = 0.0;
+    double m2 = 0.0;
+    double minValue = 0.0;
+    double maxValue = 0.0;
+};
+
+/** Streaming Pearson correlation between two paired series. */
+class Correlation
+{
+  public:
+    /** Add one (x, y) pair. */
+    void add(double x, double y);
+
+    /** Number of pairs. */
+    Count count() const { return n; }
+
+    /** Pearson r (0 when degenerate). */
+    double r() const;
+
+  private:
+    Count n = 0;
+    double meanX = 0.0;
+    double meanY = 0.0;
+    double m2x = 0.0;
+    double m2y = 0.0;
+    double cxy = 0.0;
+};
+
+/** Percentage of @p part in @p whole, 0 when whole is 0. */
+double percent(Count part, Count whole);
+
+/** Events per thousand of a base count (e.g. MISP/KI), 0 when base 0. */
+double perKilo(Count events, Count base);
+
+/** Format a double with @p decimals digits (for table output). */
+std::string formatFixed(double value, int decimals);
+
+} // namespace bpsim
+
+#endif // BPSIM_SUPPORT_STATS_HH

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the simulator.
+ */
+
+#ifndef BPSIM_SUPPORT_TYPES_HH
+#define BPSIM_SUPPORT_TYPES_HH
+
+#include <cstdint>
+
+namespace bpsim
+{
+
+/** Byte address of an instruction in the simulated text segment. */
+using Addr = std::uint64_t;
+
+/** A count of dynamic events (instructions, branches, collisions...). */
+using Count = std::uint64_t;
+
+/** Width, index, or size expressed in bits. */
+using BitCount = unsigned;
+
+/** Alpha-style fixed instruction size; branch PCs are multiples of it. */
+constexpr Addr instructionBytes = 4;
+
+} // namespace bpsim
+
+#endif // BPSIM_SUPPORT_TYPES_HH

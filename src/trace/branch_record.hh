@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The unit of work every predictor consumes: one dynamic conditional
+ * branch execution.
+ */
+
+#ifndef BPSIM_TRACE_BRANCH_RECORD_HH
+#define BPSIM_TRACE_BRANCH_RECORD_HH
+
+#include <cstdint>
+
+#include "support/types.hh"
+
+namespace bpsim
+{
+
+/**
+ * One executed conditional branch.
+ *
+ * @c instGap is the number of instructions retired since the previous
+ * record, *including* this branch itself; summing the gaps of a trace
+ * therefore yields the program's dynamic instruction count, which the
+ * paper's MISP/KI metric is normalised by.
+ */
+struct BranchRecord
+{
+    /** Address of the branch instruction. */
+    Addr pc = 0;
+
+    /** Actual outcome: true when the branch was taken. */
+    bool taken = false;
+
+    /** Instructions retired since the previous record (>= 1). */
+    std::uint32_t instGap = 1;
+
+    bool
+    operator==(const BranchRecord &other) const
+    {
+        return pc == other.pc && taken == other.taken &&
+               instGap == other.instGap;
+    }
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_TRACE_BRANCH_RECORD_HH

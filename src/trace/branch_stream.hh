@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Abstract source of dynamic branch records.
+ *
+ * Both stored traces and live synthetic workloads implement this
+ * interface, so the simulation engine and the profiling passes are
+ * agnostic about where branches come from (the Atom-instrumented
+ * binaries of the paper are replaced by these streams).
+ */
+
+#ifndef BPSIM_TRACE_BRANCH_STREAM_HH
+#define BPSIM_TRACE_BRANCH_STREAM_HH
+
+#include "trace/branch_record.hh"
+
+namespace bpsim
+{
+
+/** A resettable, forward-only stream of branch records. */
+class BranchStream
+{
+  public:
+    virtual ~BranchStream() = default;
+
+    /**
+     * Produce the next record.
+     *
+     * @param record filled in on success
+     * @retval true a record was produced
+     * @retval false the stream is exhausted
+     */
+    virtual bool next(BranchRecord &record) = 0;
+
+    /** Rewind to the beginning; the same records replay identically. */
+    virtual void reset() = 0;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_TRACE_BRANCH_STREAM_HH

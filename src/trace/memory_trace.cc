@@ -1,0 +1,44 @@
+#include "trace/memory_trace.hh"
+
+namespace bpsim
+{
+
+MemoryTrace
+MemoryTrace::capture(BranchStream &source)
+{
+    MemoryTrace trace;
+    BranchRecord record;
+    while (source.next(record))
+        trace.append(record);
+    return trace;
+}
+
+MemoryTrace
+MemoryTrace::capture(BranchStream &source, Count limit)
+{
+    MemoryTrace trace;
+    BranchRecord record;
+    for (Count i = 0; i < limit && source.next(record); ++i)
+        trace.append(record);
+    return trace;
+}
+
+bool
+MemoryTrace::next(BranchRecord &record)
+{
+    if (cursor >= records.size())
+        return false;
+    record = records[cursor++];
+    return true;
+}
+
+Count
+MemoryTrace::instructionCount() const
+{
+    Count total = 0;
+    for (const auto &record : records)
+        total += record.instGap;
+    return total;
+}
+
+} // namespace bpsim

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * In-memory branch trace: a recordable, replayable BranchStream.
+ */
+
+#ifndef BPSIM_TRACE_MEMORY_TRACE_HH
+#define BPSIM_TRACE_MEMORY_TRACE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "trace/branch_stream.hh"
+
+namespace bpsim
+{
+
+/** A trace held entirely in memory; useful for tests and capture. */
+class MemoryTrace : public BranchStream
+{
+  public:
+    MemoryTrace() = default;
+
+    /** Build from an existing record vector. */
+    explicit MemoryTrace(std::vector<BranchRecord> records)
+        : records(std::move(records))
+    {}
+
+    /** Append one record to the end of the trace. */
+    void
+    append(const BranchRecord &record)
+    {
+        records.push_back(record);
+    }
+
+    /** Capture every record of @p source (which is drained). */
+    static MemoryTrace capture(BranchStream &source);
+
+    /** Capture at most @p limit records of @p source. */
+    static MemoryTrace capture(BranchStream &source, Count limit);
+
+    bool next(BranchRecord &record) override;
+    void reset() override { cursor = 0; }
+
+    /** Number of records stored. */
+    std::size_t size() const { return records.size(); }
+
+    /** Direct access for tests and analysis passes. */
+    const std::vector<BranchRecord> &data() const { return records; }
+
+    /** Total dynamic instruction count (sum of gaps). */
+    Count instructionCount() const;
+
+  private:
+    std::vector<BranchRecord> records;
+    std::size_t cursor = 0;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_TRACE_MEMORY_TRACE_HH

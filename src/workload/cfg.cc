@@ -1,0 +1,21 @@
+#include "workload/cfg.hh"
+
+namespace bpsim
+{
+
+std::size_t
+countSites(const Block &block)
+{
+    std::size_t n = 0;
+    for (const auto &item : block.items) {
+        if (std::holds_alternative<BranchSite>(item)) {
+            ++n;
+        } else {
+            const auto &loop = std::get<Loop>(item);
+            n += 1 + countSites(*loop.body);
+        }
+    }
+    return n;
+}
+
+} // namespace bpsim

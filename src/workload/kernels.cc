@@ -1,0 +1,245 @@
+#include "workload/kernels.hh"
+
+#include "support/logging.hh"
+
+namespace bpsim
+{
+
+namespace
+{
+
+/** Running PC cursor for kernel construction. */
+struct PcCursor
+{
+    Addr next = 0x140000000ULL;
+
+    Addr
+    take(std::uint32_t gap)
+    {
+        next += gap * instructionBytes;
+        return next - instructionBytes;
+    }
+};
+
+BranchSite
+site(PcCursor &pc, std::unique_ptr<BranchBehavior> behavior,
+     std::uint32_t gap = 8, bool semantic = false)
+{
+    BranchSite s;
+    s.gapMean = gap;
+    s.pc = pc.take(gap);
+    s.behavior = std::move(behavior);
+    s.semantic = semantic;
+    return s;
+}
+
+Region
+singleRegion(Block body)
+{
+    Region region;
+    region.body = std::move(body);
+    region.weight[0] = 1.0;
+    region.weight[1] = 1.0;
+    return region;
+}
+
+std::vector<Region>
+buildMatrixSweep(PcCursor &pc)
+{
+    // for (row = 0; row < 6; ++row)
+    //     for (col = 0; col < 8; ++col)
+    //         if (overflow) ...      // effectively never taken
+    //
+    // Trip counts are kept inside a ~13-bit history window so a
+    // history predictor can count both loops exactly; bimodal pays
+    // 1/trip per loop level on the exits.
+    Block inner_body;
+    inner_body.items.emplace_back(site(
+        pc, std::make_unique<BiasedBehavior>(0.002, 0.002), 6));
+
+    Loop inner;
+    inner.control =
+        site(pc, std::make_unique<LoopBehavior>(8, 8, true), 4);
+    inner.body = std::make_unique<Block>(std::move(inner_body));
+
+    Block outer_body;
+    outer_body.items.emplace_back(std::move(inner));
+
+    Loop outer;
+    outer.control =
+        site(pc, std::make_unique<LoopBehavior>(6, 6, true), 6);
+    outer.body = std::make_unique<Block>(std::move(outer_body));
+
+    Block main;
+    main.items.emplace_back(std::move(outer));
+    std::vector<Region> regions;
+    regions.push_back(singleRegion(std::move(main)));
+    return regions;
+}
+
+std::vector<Region>
+buildListTraversal(PcCursor &pc)
+{
+    // while (node) { if (!node->key) rare_path(); node = node->next; }
+    Block body;
+    body.items.emplace_back(site(
+        pc, std::make_unique<BiasedBehavior>(0.001, 0.001), 5));
+
+    Loop walk;
+    walk.control =
+        site(pc, std::make_unique<LoopBehavior>(24, 24, false), 7);
+    walk.body = std::make_unique<Block>(std::move(body));
+
+    Block main;
+    main.items.emplace_back(std::move(walk));
+    std::vector<Region> regions;
+    regions.push_back(singleRegion(std::move(main)));
+    return regions;
+}
+
+std::vector<Region>
+buildInterpreterDispatch(PcCursor &pc)
+{
+    // Eight equiprobable opcodes resolved by a sequential compare
+    // chain: branch i is taken (dispatch found) with probability
+    // 1 / (8 - i) given the previous compares failed.
+    Block chain;
+    for (int i = 0; i < 8; ++i) {
+        const double p = 1.0 / static_cast<double>(8 - i);
+        chain.items.emplace_back(
+            site(pc, std::make_unique<BiasedBehavior>(p, p), 4));
+    }
+    std::vector<Region> regions;
+    regions.push_back(singleRegion(std::move(chain)));
+    return regions;
+}
+
+std::vector<Region>
+buildQuicksortPartition(PcCursor &pc)
+{
+    // for (i = 0; i < 24; ++i) if (a[i] < pivot) swap(...)
+    Block body;
+    body.items.emplace_back(
+        site(pc, std::make_unique<BiasedBehavior>(0.5, 0.5), 6));
+
+    Loop scan;
+    scan.control =
+        site(pc, std::make_unique<LoopBehavior>(24, 24, true), 5);
+    scan.body = std::make_unique<Block>(std::move(body));
+
+    Block main;
+    main.items.emplace_back(std::move(scan));
+    std::vector<Region> regions;
+    regions.push_back(singleRegion(std::move(main)));
+    return regions;
+}
+
+std::vector<Region>
+buildStateMachine(PcCursor &pc)
+{
+    // Four branches whose outcomes are exact functions of the recent
+    // semantic history, tuned so the system settles into a period-two
+    // orbit: three of the branches alternate every round (useless to
+    // bimodal, trivial for any history predictor) and one is
+    // constant. Deterministic, zero noise.
+    //
+    //   b1 = NOT its own previous outcome        -> alternates
+    //   b2 = b1's current outcome                -> alternates
+    //   b3 = NOT (b1 XOR b2) = NOT 0             -> constant taken
+    //   b4 = b2 XOR b3 (current)                 -> alternates
+    Block main;
+    main.items.emplace_back(
+        site(pc,
+             std::make_unique<CorrelatedBehavior>(0b1000, 0, true,
+                                                  true, 0.0),
+             6, true));
+    main.items.emplace_back(
+        site(pc,
+             std::make_unique<CorrelatedBehavior>(0b0001, 0, false,
+                                                  false, 0.0),
+             6, true));
+    main.items.emplace_back(
+        site(pc,
+             std::make_unique<CorrelatedBehavior>(0b0011, 0, true,
+                                                  true, 0.0),
+             6, true));
+    main.items.emplace_back(
+        site(pc,
+             std::make_unique<CorrelatedBehavior>(0b0110, 0, false,
+                                                  false, 0.0),
+             6, true));
+    std::vector<Region> regions;
+    regions.push_back(singleRegion(std::move(main)));
+    return regions;
+}
+
+} // namespace
+
+const std::vector<Kernel> &
+allKernels()
+{
+    static const std::vector<Kernel> kernels = {
+        Kernel::MatrixSweep,        Kernel::ListTraversal,
+        Kernel::InterpreterDispatch, Kernel::QuicksortPartition,
+        Kernel::StateMachine,
+    };
+    return kernels;
+}
+
+std::string
+kernelName(Kernel kernel)
+{
+    switch (kernel) {
+      case Kernel::MatrixSweep:
+        return "matrix_sweep";
+      case Kernel::ListTraversal:
+        return "list_traversal";
+      case Kernel::InterpreterDispatch:
+        return "interpreter_dispatch";
+      case Kernel::QuicksortPartition:
+        return "quicksort_partition";
+      case Kernel::StateMachine:
+        return "state_machine";
+    }
+    bpsim_panic("unknown Kernel");
+}
+
+Kernel
+kernelFromName(const std::string &name)
+{
+    for (const auto kernel : allKernels()) {
+        if (kernelName(kernel) == name)
+            return kernel;
+    }
+    bpsim_fatal("unknown kernel '", name, "'");
+}
+
+SyntheticProgram
+makeKernel(Kernel kernel, std::uint64_t seed)
+{
+    PcCursor pc;
+    std::vector<Region> regions;
+    switch (kernel) {
+      case Kernel::MatrixSweep:
+        regions = buildMatrixSweep(pc);
+        break;
+      case Kernel::ListTraversal:
+        regions = buildListTraversal(pc);
+        break;
+      case Kernel::InterpreterDispatch:
+        regions = buildInterpreterDispatch(pc);
+        break;
+      case Kernel::QuicksortPartition:
+        regions = buildQuicksortPartition(pc);
+        break;
+      case Kernel::StateMachine:
+        regions = buildStateMachine(pc);
+        break;
+    }
+    // A single region repeated forever: schedule structure is
+    // irrelevant, so use a trivial 1-entry schedule.
+    return SyntheticProgram(kernelName(kernel), std::move(regions),
+                            seed, InputSet::Ref, 1, 1024);
+}
+
+} // namespace bpsim

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Hand-built micro-kernel workloads with analytically known branch
+ * behaviour.
+ *
+ * Unlike the statistically calibrated SPECINT95 stand-ins, each
+ * kernel here is a small, exact control-flow structure whose
+ * prediction difficulty is known in closed form — counted nested
+ * loops, pointer-chase loops, interpreter dispatch chains, random
+ * comparison trees. They serve as ground-truth stimuli for validating
+ * predictors, as teaching examples, and as fixed points the test
+ * suite can assert exact expectations against.
+ */
+
+#ifndef BPSIM_WORKLOAD_KERNELS_HH
+#define BPSIM_WORKLOAD_KERNELS_HH
+
+#include <string>
+#include <vector>
+
+#include "workload/synthetic_program.hh"
+
+namespace bpsim
+{
+
+/** The available micro-kernels. */
+enum class Kernel
+{
+    /**
+     * Dense matrix sweep: counted nested loops (32 rows x 16 cols)
+     * with a boundary check in the body. Loop exits are periodic, so
+     * history predictors approach 100% while bimodal pays 1/trip per
+     * loop level.
+     */
+    MatrixSweep,
+
+    /**
+     * Linked-list traversal: a data-dependent loop (geometric trip
+     * count, mean 24) guarded by a null check that almost never
+     * fires. Loop exits are memoryless: no predictor beats
+     * 1 - 1/trip on the control.
+     */
+    ListTraversal,
+
+    /**
+     * Interpreter dispatch: a chain of eight opcode-compare branches
+     * per iteration, where branch i is taken with the conditional
+     * probability that opcode i matches given the earlier ones did
+     * not. Dispatch chains resist every scheme (the hard case the
+     * paper's go program is full of).
+     */
+    InterpreterDispatch,
+
+    /**
+     * Quicksort partition: a counted scan loop whose body contains a
+     * 50/50 random comparison. The comparison is irreducible noise;
+     * everything else is perfectly predictable.
+     */
+    QuicksortPartition,
+
+    /**
+     * Finite state machine: branches whose outcomes are exact
+     * functions of the recent semantic history (zero noise). A
+     * history predictor with enough capacity is perfect; bimodal is
+     * near 50%.
+     */
+    StateMachine,
+};
+
+/** All kernels in declaration order. */
+const std::vector<Kernel> &allKernels();
+
+/** Kernel name ("matrix_sweep", ...). */
+std::string kernelName(Kernel kernel);
+
+/** Parse a kernel name; fatal() on an unknown one. */
+Kernel kernelFromName(const std::string &name);
+
+/** Build the kernel as a runnable program. */
+SyntheticProgram makeKernel(Kernel kernel, std::uint64_t seed = 7);
+
+} // namespace bpsim
+
+#endif // BPSIM_WORKLOAD_KERNELS_HH

@@ -1,0 +1,216 @@
+#include "workload/specint.hh"
+
+#include "support/bits.hh"
+#include "support/logging.hh"
+
+namespace bpsim
+{
+
+const std::vector<SpecProgram> &
+allSpecPrograms()
+{
+    static const std::vector<SpecProgram> programs = {
+        SpecProgram::Go,       SpecProgram::Gcc,
+        SpecProgram::Perl,     SpecProgram::M88ksim,
+        SpecProgram::Compress, SpecProgram::Ijpeg,
+    };
+    return programs;
+}
+
+std::string
+specProgramName(SpecProgram program)
+{
+    switch (program) {
+      case SpecProgram::Go:
+        return "go";
+      case SpecProgram::Gcc:
+        return "gcc";
+      case SpecProgram::Perl:
+        return "perl";
+      case SpecProgram::M88ksim:
+        return "m88ksim";
+      case SpecProgram::Compress:
+        return "compress";
+      case SpecProgram::Ijpeg:
+        return "ijpeg";
+    }
+    bpsim_panic("unknown SpecProgram");
+}
+
+SpecProgram
+specProgramFromName(const std::string &name)
+{
+    for (const auto program : allSpecPrograms()) {
+        if (specProgramName(program) == name)
+            return program;
+    }
+    bpsim_fatal("unknown program '", name,
+                "' (expected go/gcc/perl/m88ksim/compress/ijpeg)");
+}
+
+ProgramConfig
+specProgramConfig(SpecProgram program)
+{
+    ProgramConfig cfg;
+    cfg.name = specProgramName(program);
+
+    switch (program) {
+      case SpecProgram::Go:
+        // Hardest program: few biased branches (Table 2: 15.9% of
+        // dynamic branches above 95% bias), lots of data-dependent and
+        // correlated control flow, 7777 static branches, 117 CBRs/KI.
+        cfg.staticBranches = 7777;
+        cfg.meanScheduleLen = 12;
+        cfg.meanScheduleRepeats = 40;
+        cfg.avgGap = 1000.0 / 117.0;
+        cfg.fracHighBias = 0.30;
+        cfg.fracLowBias = 0.05;
+        cfg.fracCorrelated = 0.32;
+        cfg.fracPattern = 0.10;
+        cfg.fracPhase = 0.02;
+        cfg.loopDensity = 0.06;
+        cfg.meanTripCount = 8;
+        cfg.zipfExponent = 1.3;
+        cfg.trainCoverage = 0.96;
+        cfg.flipFraction = 0.02;
+        cfg.driftFraction = 0.30;
+        cfg.medBiasLo = 0.75;
+        cfg.medBiasHi = 0.95;
+        break;
+
+      case SpecProgram::Gcc:
+        // Largest static branch count in the suite (38852) and the
+        // highest branch density (156 CBRs/KI): the aliasing-dominated
+        // program of the paper. Flat-ish region frequencies keep many
+        // branches simultaneously live in the predictor tables.
+        cfg.staticBranches = 38852;
+        cfg.meanScheduleLen = 48;
+        cfg.meanScheduleRepeats = 40;
+        cfg.avgGap = 1000.0 / 156.0;
+        cfg.fracHighBias = 0.62;
+        cfg.fracLowBias = 0.02;
+        cfg.fracCorrelated = 0.12;
+        cfg.fracPattern = 0.06;
+        cfg.fracPhase = 0.02;
+        cfg.loopDensity = 0.10;
+        cfg.meanTripCount = 10;
+        cfg.zipfExponent = 1.0;
+        cfg.trainCoverage = 0.97;
+        cfg.flipFraction = 0.01;
+        cfg.driftFraction = 0.25;
+        cfg.medBiasLo = 0.85;
+        cfg.medBiasHi = 0.97;
+        break;
+
+      case SpecProgram::Perl:
+        // Highly biased branches dominate (71.4%); poor train-input
+        // coverage and hot direction-flipping branches make it the
+        // worst case for naive cross-training (Figure 13).
+        cfg.staticBranches = 9569;
+        cfg.meanScheduleLen = 16;
+        cfg.meanScheduleRepeats = 48;
+        cfg.avgGap = 1000.0 / 122.0;
+        cfg.fracHighBias = 0.80;
+        cfg.highBiasHardFrac = 0.80;
+        cfg.takenMajorityFrac = 0.20;
+        cfg.fracLowBias = 0.01;
+        cfg.fracCorrelated = 0.08;
+        cfg.fracPattern = 0.04;
+        cfg.fracPhase = 0.01;
+        cfg.loopDensity = 0.10;
+        cfg.meanTripCount = 20;
+        cfg.emptyLoopFrac = 0.4;
+        cfg.zipfExponent = 1.4;
+        cfg.medBiasLo = 0.90;
+        cfg.medBiasHi = 0.98;
+        cfg.trainCoverage = 0.62;
+        cfg.flipFraction = 0.04;
+        cfg.driftFraction = 0.20;
+        cfg.hotFlips = true;
+        break;
+
+      case SpecProgram::M88ksim:
+        // Almost everything is highly biased (85.5%); like perl, some
+        // hot branches reverse direction between inputs.
+        cfg.staticBranches = 5365;
+        cfg.meanScheduleLen = 40;
+        cfg.meanScheduleRepeats = 64;
+        cfg.avgGap = 1000.0 / 115.0;
+        cfg.fracHighBias = 0.90;
+        cfg.highBiasHardFrac = 0.88;
+        cfg.takenMajorityFrac = 0.12;
+        cfg.fracLowBias = 0.01;
+        cfg.fracCorrelated = 0.02;
+        cfg.fracPattern = 0.01;
+        cfg.fracPhase = 0.01;
+        cfg.loopDensity = 0.20;
+        cfg.meanTripCount = 45;
+        cfg.fixedTripFrac = 0.25;
+        cfg.emptyLoopFrac = 0.6;
+        cfg.zipfExponent = 1.1;
+        cfg.medBiasLo = 0.96;
+        cfg.medBiasHi = 0.995;
+        cfg.trainCoverage = 0.97;
+        cfg.flipFraction = 0.03;
+        cfg.driftFraction = 0.15;
+        cfg.hotFlips = true;
+        break;
+
+      case SpecProgram::Compress:
+        // Small static footprint (2238 branches) with a substantial
+        // correlated population: bias fraction mid-pack (49.1%) but
+        // prediction accuracy lower than bias alone would suggest.
+        cfg.staticBranches = 2238;
+        cfg.meanScheduleLen = 6;
+        cfg.meanScheduleRepeats = 64;
+        cfg.avgGap = 1000.0 / 123.0;
+        cfg.fracHighBias = 0.55;
+        cfg.fracLowBias = 0.02;
+        cfg.fracCorrelated = 0.20;
+        cfg.fracPattern = 0.06;
+        cfg.fracPhase = 0.01;
+        cfg.loopDensity = 0.10;
+        cfg.meanTripCount = 15;
+        cfg.zipfExponent = 1.6;
+        cfg.trainCoverage = 0.99;
+        cfg.flipFraction = 0.01;
+        cfg.driftFraction = 0.20;
+        break;
+
+      case SpecProgram::Ijpeg:
+        // Low branch density (61 CBRs/KI) and long-trip loops over a
+        // concentrated hot set: little aliasing pressure, so static
+        // prediction has the least to offer (paper §5).
+        cfg.staticBranches = 5290;
+        cfg.meanScheduleLen = 5;
+        cfg.meanScheduleRepeats = 64;
+        cfg.avgGap = 1000.0 / 61.0;
+        cfg.fracHighBias = 0.48;
+        cfg.fracLowBias = 0.03;
+        cfg.fracCorrelated = 0.08;
+        cfg.fracPattern = 0.08;
+        cfg.fracPhase = 0.02;
+        cfg.loopDensity = 0.30;
+        cfg.meanTripCount = 18;
+        cfg.fixedTripFrac = 0.2;
+        cfg.emptyLoopFrac = 0.35;
+        cfg.zipfExponent = 1.8;
+        cfg.medBiasLo = 0.90;
+        cfg.medBiasHi = 0.98;
+        cfg.trainCoverage = 0.99;
+        cfg.flipFraction = 0.01;
+        cfg.driftFraction = 0.10;
+        break;
+    }
+    return cfg;
+}
+
+SyntheticProgram
+makeSpecProgram(SpecProgram program, InputSet input, std::uint64_t seed)
+{
+    ProgramConfig cfg = specProgramConfig(program);
+    cfg.seed = mix64(seed ^ (static_cast<std::uint64_t>(program) + 1));
+    return buildProgram(cfg, input);
+}
+
+} // namespace bpsim

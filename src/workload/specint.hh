@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Synthetic stand-ins for the six SPECINT95 programs of the paper.
+ *
+ * Each preset parameterises the generic program builder so that the
+ * resulting workload approximates the program characteristics the
+ * paper reports (Table 1: static branch counts and CBRs/KI; Table 2:
+ * fraction of highly biased dynamic branches; Table 5: train-to-ref
+ * behaviour drift). See DESIGN.md for the substitution rationale.
+ */
+
+#ifndef BPSIM_WORKLOAD_SPECINT_HH
+#define BPSIM_WORKLOAD_SPECINT_HH
+
+#include <string>
+#include <vector>
+
+#include "workload/synthetic_program.hh"
+
+namespace bpsim
+{
+
+/** The six SPECINT95 benchmarks used in the paper. */
+enum class SpecProgram
+{
+    Go,
+    Gcc,
+    Perl,
+    M88ksim,
+    Compress,
+    Ijpeg,
+};
+
+/** All six programs in the paper's Table-2 order. */
+const std::vector<SpecProgram> &allSpecPrograms();
+
+/** Lower-case program name ("go", "gcc", ...). */
+std::string specProgramName(SpecProgram program);
+
+/** Parse a program name; fatal() on an unknown one. */
+SpecProgram specProgramFromName(const std::string &name);
+
+/** Builder configuration for @p program (seed folded in later). */
+ProgramConfig specProgramConfig(SpecProgram program);
+
+/**
+ * Build the synthetic stand-in for @p program.
+ *
+ * @param program which benchmark to model
+ * @param input   train or ref input set
+ * @param seed    structure/run seed (default matches the benches)
+ */
+SyntheticProgram makeSpecProgram(SpecProgram program, InputSet input,
+                                 std::uint64_t seed = 2000);
+
+} // namespace bpsim
+
+#endif // BPSIM_WORKLOAD_SPECINT_HH

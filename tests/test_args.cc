@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Unit tests for the command-line option parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/args.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+/** Build an argv-style array from string literals. */
+class Argv
+{
+  public:
+    explicit Argv(std::vector<std::string> args) : storage(std::move(args))
+    {
+        for (auto &arg : storage)
+            pointers.push_back(arg.data());
+    }
+
+    int argc() const { return static_cast<int>(pointers.size()); }
+    char **argv() { return pointers.data(); }
+
+  private:
+    std::vector<std::string> storage;
+    std::vector<char *> pointers;
+};
+
+TEST(ArgParserTest, DefaultsAndOverrides)
+{
+    ArgParser args("test");
+    args.addOption("size", "8192", "predictor size");
+    args.addOption("name", "gshare", "scheme");
+    args.addFlag("csv", "csv output");
+
+    Argv argv({"tool", "--size", "4096", "--csv"});
+    args.parse(argv.argc(), argv.argv());
+
+    EXPECT_EQ(args.get("size"), "4096");
+    EXPECT_EQ(args.getUint("size"), 4096u);
+    EXPECT_EQ(args.get("name"), "gshare"); // default preserved
+    EXPECT_TRUE(args.getFlag("csv"));
+}
+
+TEST(ArgParserTest, EqualsSyntaxAndPositionals)
+{
+    ArgParser args("test");
+    args.addOption("cutoff", "0.95", "bias cutoff");
+    Argv argv({"tool", "run", "--cutoff=0.9", "extra"});
+    args.parse(argv.argc(), argv.argv());
+    EXPECT_DOUBLE_EQ(args.getDouble("cutoff"), 0.9);
+    ASSERT_EQ(args.positional().size(), 2u);
+    EXPECT_EQ(args.positional()[0], "run");
+    EXPECT_EQ(args.positional()[1], "extra");
+}
+
+TEST(ArgParserTest, UnknownOptionIsFatal)
+{
+    ArgParser args("test");
+    args.addOption("size", "1", "x");
+    Argv argv({"tool", "--bogus", "3"});
+    EXPECT_EXIT(args.parse(argv.argc(), argv.argv()),
+                ::testing::ExitedWithCode(1), "unknown option");
+}
+
+TEST(ArgParserTest, MissingValueIsFatal)
+{
+    ArgParser args("test");
+    args.addOption("size", "1", "x");
+    Argv argv({"tool", "--size"});
+    EXPECT_EXIT(args.parse(argv.argc(), argv.argv()),
+                ::testing::ExitedWithCode(1), "needs a value");
+}
+
+TEST(ArgParserTest, BadNumberIsFatal)
+{
+    ArgParser args("test");
+    args.addOption("size", "1", "x");
+    Argv argv({"tool", "--size", "abc"});
+    args.parse(argv.argc(), argv.argv());
+    EXPECT_EXIT(args.getUint("size"), ::testing::ExitedWithCode(1),
+                "expects an integer");
+}
+
+TEST(ArgParserTest, UsageListsOptions)
+{
+    ArgParser args("mytool");
+    args.addOption("alpha", "7", "the alpha knob");
+    args.addFlag("verbose", "say more");
+    const std::string text = args.usage();
+    EXPECT_NE(text.find("mytool"), std::string::npos);
+    EXPECT_NE(text.find("--alpha"), std::string::npos);
+    EXPECT_NE(text.find("default: 7"), std::string::npos);
+    EXPECT_NE(text.find("--verbose"), std::string::npos);
+}
+
+} // namespace
+} // namespace bpsim

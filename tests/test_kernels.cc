@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Analytic expectations for the micro-kernel workloads. Each kernel's
+ * prediction difficulty is known in closed form, so these tests pin
+ * both the kernels and the predictors simultaneously.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/engine.hh"
+#include "predictor/factory.hh"
+#include "workload/kernels.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+double
+accuracyOf(Kernel kernel, PredictorKind kind, std::size_t bytes)
+{
+    SyntheticProgram program = makeKernel(kernel);
+    auto predictor = makePredictor(kind, bytes);
+    SimOptions options;
+    options.maxBranches = 200000;
+    options.warmupBranches = 40000;
+    return simulate(*predictor, program, options).accuracyPercent();
+}
+
+TEST(KernelTest, NamesRoundTrip)
+{
+    for (const auto kernel : allKernels())
+        EXPECT_EQ(kernelFromName(kernelName(kernel)), kernel);
+    EXPECT_EXIT(kernelFromName("bogus"), ::testing::ExitedWithCode(1),
+                "unknown kernel");
+}
+
+TEST(KernelTest, KernelsAreDeterministic)
+{
+    for (const auto kernel : allKernels()) {
+        SyntheticProgram a = makeKernel(kernel);
+        SyntheticProgram b = makeKernel(kernel);
+        BranchRecord ra;
+        BranchRecord rb;
+        for (int i = 0; i < 5000; ++i) {
+            a.next(ra);
+            b.next(rb);
+            ASSERT_EQ(ra, rb) << kernelName(kernel) << " at " << i;
+        }
+    }
+}
+
+TEST(KernelTest, MatrixSweepHistoryCountsLoops)
+{
+    // Counted loops within the history window: gshare nearly perfect,
+    // bimodal pays ~1/trip per loop level on the exits.
+    const double gshare =
+        accuracyOf(Kernel::MatrixSweep, PredictorKind::Gshare, 4096);
+    const double bimodal =
+        accuracyOf(Kernel::MatrixSweep, PredictorKind::Bimodal, 4096);
+    EXPECT_GT(gshare, 97.5);
+    EXPECT_LT(bimodal, 95.0);
+    EXPECT_GT(bimodal, 88.0);
+}
+
+TEST(KernelTest, ListTraversalIsMemoryless)
+{
+    // Geometric trip counts: no predictor can beat the control's
+    // bias; everyone lands near 1 - 1/trip weighted by branch mix.
+    for (const auto kind :
+         {PredictorKind::Bimodal, PredictorKind::TwoBcGskew}) {
+        const double acc =
+            accuracyOf(Kernel::ListTraversal, kind, 4096);
+        EXPECT_GT(acc, 93.0) << predictorKindName(kind);
+        EXPECT_LT(acc, 99.5) << predictorKindName(kind);
+    }
+}
+
+TEST(KernelTest, DispatchChainsResistEveryScheme)
+{
+    for (const auto kind : allPredictorKinds()) {
+        const double acc =
+            accuracyOf(Kernel::InterpreterDispatch, kind, 8192);
+        EXPECT_GT(acc, 65.0) << predictorKindName(kind);
+        EXPECT_LT(acc, 85.0) << predictorKindName(kind);
+    }
+}
+
+TEST(KernelTest, QuicksortComparisonIsIrreducibleNoise)
+{
+    // ~half the stream is a 50/50 comparison; the rest is an easy
+    // counted loop: ceiling ~ 0.5 * 1.0 + 0.5 * 0.5 = 75%.
+    for (const auto kind : allPredictorKinds()) {
+        const double acc =
+            accuracyOf(Kernel::QuicksortPartition, kind, 8192);
+        EXPECT_GT(acc, 68.0) << predictorKindName(kind);
+        EXPECT_LT(acc, 78.0) << predictorKindName(kind);
+    }
+}
+
+TEST(KernelTest, StateMachineSeparatesHistoryFromBias)
+{
+    // Deterministic period-two orbit: any history predictor is
+    // perfect after warmup; bimodal is exactly at chance on the
+    // three alternating branches (62.5% overall ceiling, and its
+    // dithering counters land at 50%).
+    const double bimodal = accuracyOf(Kernel::StateMachine,
+                                      PredictorKind::Bimodal, 4096);
+    EXPECT_LT(bimodal, 70.0);
+    for (const auto kind :
+         {PredictorKind::Ghist, PredictorKind::Gshare,
+          PredictorKind::BiMode, PredictorKind::TwoBcGskew}) {
+        EXPECT_GT(accuracyOf(Kernel::StateMachine, kind, 4096), 99.5)
+            << predictorKindName(kind);
+    }
+}
+
+} // namespace
+} // namespace bpsim

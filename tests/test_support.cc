@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Unit tests for the support library: saturating counters, bit
+ * utilities, RNG distributions, skewing functions, statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "support/bits.hh"
+#include "support/random.hh"
+#include "support/sat_counter.hh"
+#include "support/skew.hh"
+#include "support/stats.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+TEST(SatCounter, SaturatesAtBothEnds)
+{
+    SatCounter counter(2, 0);
+    counter.decrement();
+    EXPECT_EQ(counter.value(), 0u);
+    for (int i = 0; i < 10; ++i)
+        counter.increment();
+    EXPECT_EQ(counter.value(), 3u);
+    counter.increment();
+    EXPECT_EQ(counter.value(), 3u);
+}
+
+TEST(SatCounter, MsbIsPrediction)
+{
+    SatCounter counter(2, 0);
+    EXPECT_FALSE(counter.taken());
+    counter.set(1);
+    EXPECT_FALSE(counter.taken());
+    counter.set(2);
+    EXPECT_TRUE(counter.taken());
+    counter.set(3);
+    EXPECT_TRUE(counter.taken());
+}
+
+TEST(SatCounter, WeakConstruction)
+{
+    EXPECT_EQ(SatCounter::weak(2, true).value(), 2u);
+    EXPECT_EQ(SatCounter::weak(2, false).value(), 1u);
+    EXPECT_TRUE(SatCounter::weak(2, true).taken());
+    EXPECT_FALSE(SatCounter::weak(2, false).taken());
+    EXPECT_EQ(SatCounter::weak(3, true).value(), 4u);
+    EXPECT_EQ(SatCounter::weak(3, false).value(), 3u);
+}
+
+TEST(SatCounter, TrainMovesTowardOutcome)
+{
+    SatCounter counter = SatCounter::weak(2, false);
+    counter.train(true);
+    EXPECT_TRUE(counter.taken());
+    counter.train(false);
+    counter.train(false);
+    EXPECT_FALSE(counter.taken());
+}
+
+TEST(Bits, MaskValues)
+{
+    EXPECT_EQ(mask(0), 0u);
+    EXPECT_EQ(mask(1), 1u);
+    EXPECT_EQ(mask(8), 0xffu);
+    EXPECT_EQ(mask(64), ~std::uint64_t{0});
+}
+
+TEST(Bits, PowerOfTwo)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(1024));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_FALSE(isPowerOfTwo(1023));
+}
+
+TEST(Bits, Log2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+    EXPECT_EQ(floorLog2(1025), 10u);
+    EXPECT_EQ(ceilLog2(1024), 10u);
+    EXPECT_EQ(ceilLog2(1025), 11u);
+}
+
+TEST(Bits, FoldPreservesLowBitsWhenNarrow)
+{
+    EXPECT_EQ(foldBits(0xab, 8), 0xabu);
+    // 0xab ^ 0xcd folded to 8 bits.
+    EXPECT_EQ(foldBits(0xcdab, 8), 0xabu ^ 0xcdu);
+    EXPECT_EQ(foldBits(0x1234, 64), 0x1234u);
+    EXPECT_EQ(foldBits(0xffff, 0), 0u);
+}
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, NextBelowInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.nextBelow(17), 17u);
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng rng(11);
+    int hits = 0;
+    const int trials = 100000;
+    for (int i = 0; i < trials; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.01);
+}
+
+TEST(Rng, GeometricMean)
+{
+    Rng rng(13);
+    double total = 0;
+    const int trials = 100000;
+    for (int i = 0; i < trials; ++i)
+        total += static_cast<double>(rng.geometric(10.0));
+    EXPECT_NEAR(total / trials, 10.0, 0.3);
+}
+
+TEST(Rng, ZipfIsSkewed)
+{
+    Rng rng(17);
+    Rng::Zipf zipf(100, 1.0);
+    std::vector<int> counts(100, 0);
+    for (int i = 0; i < 100000; ++i)
+        ++counts[zipf.sample(rng)];
+    EXPECT_GT(counts[0], counts[10]);
+    EXPECT_GT(counts[10], counts[90]);
+}
+
+TEST(Rng, DiscreteRespectsZeroWeights)
+{
+    Rng rng(19);
+    Rng::Discrete dist({1.0, 0.0, 2.0});
+    std::set<std::size_t> seen;
+    for (int i = 0; i < 10000; ++i)
+        seen.insert(dist.sample(rng));
+    EXPECT_TRUE(seen.count(0));
+    EXPECT_FALSE(seen.count(1));
+    EXPECT_TRUE(seen.count(2));
+}
+
+TEST(Skew, HIsBijective)
+{
+    for (BitCount bits : {1u, 2u, 4u, 8u, 10u}) {
+        std::set<std::uint64_t> images;
+        for (std::uint64_t x = 0; x < (std::uint64_t{1} << bits); ++x) {
+            const std::uint64_t y = skewH(x, bits);
+            EXPECT_LT(y, std::uint64_t{1} << bits);
+            images.insert(y);
+        }
+        EXPECT_EQ(images.size(), std::size_t{1} << bits)
+            << "H not bijective at width " << bits;
+    }
+}
+
+TEST(Skew, HinvInvertsH)
+{
+    for (BitCount bits : {1u, 2u, 5u, 12u}) {
+        for (std::uint64_t x = 0; x < (std::uint64_t{1} << bits); ++x) {
+            EXPECT_EQ(skewHinv(skewH(x, bits), bits), x);
+            EXPECT_EQ(skewH(skewHinv(x, bits), bits), x);
+        }
+    }
+}
+
+TEST(Skew, BanksDisperseCollisions)
+{
+    // Inputs colliding in bank 0 should mostly not collide in bank 1:
+    // the inter-bank dispersion property the gskew vote depends on.
+    const BitCount bits = 10;
+    Rng rng(23);
+    int both = 0;
+    int bank0 = 0;
+    for (int i = 0; i < 20000; ++i) {
+        const std::uint64_t a1 = rng.nextBelow(1 << bits);
+        const std::uint64_t h1 = rng.nextBelow(1 << bits);
+        const std::uint64_t a2 = rng.nextBelow(1 << bits);
+        const std::uint64_t h2 = rng.nextBelow(1 << bits);
+        if (a1 == a2 && h1 == h2)
+            continue;
+        if (skewIndex(0, a1, h1, bits) == skewIndex(0, a2, h2, bits)) {
+            ++bank0;
+            both += skewIndex(1, a1, h1, bits) ==
+                    skewIndex(1, a2, h2, bits);
+        }
+    }
+    ASSERT_GT(bank0, 0);
+    // A colliding pair should re-collide in another bank at roughly
+    // the base rate (1/2^bits), far below 10%.
+    EXPECT_LT(static_cast<double>(both) / bank0, 0.1);
+}
+
+TEST(Stats, RunningStatMoments)
+{
+    RunningStat stat;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        stat.add(x);
+    EXPECT_EQ(stat.count(), 8u);
+    EXPECT_DOUBLE_EQ(stat.mean(), 5.0);
+    EXPECT_NEAR(stat.variance(), 4.571428, 1e-5);
+    EXPECT_DOUBLE_EQ(stat.min(), 2.0);
+    EXPECT_DOUBLE_EQ(stat.max(), 9.0);
+}
+
+TEST(Stats, CorrelationSigns)
+{
+    Correlation pos;
+    Correlation neg;
+    for (int i = 0; i < 50; ++i) {
+        pos.add(i, 2.0 * i + 1);
+        neg.add(i, -3.0 * i);
+    }
+    EXPECT_NEAR(pos.r(), 1.0, 1e-9);
+    EXPECT_NEAR(neg.r(), -1.0, 1e-9);
+}
+
+TEST(Stats, PercentAndPerKilo)
+{
+    EXPECT_DOUBLE_EQ(percent(1, 4), 25.0);
+    EXPECT_DOUBLE_EQ(percent(0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(perKilo(5, 1000), 5.0);
+    EXPECT_DOUBLE_EQ(perKilo(5, 0), 0.0);
+}
+
+TEST(Stats, FormatFixed)
+{
+    EXPECT_EQ(formatFixed(3.14159, 2), "3.14");
+    EXPECT_EQ(formatFixed(-1.0, 1), "-1.0");
+}
+
+} // namespace
+} // namespace bpsim

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Unit tests for the trace module: in-memory traces, the binary trace
+ * file format (round-trips, delta encoding edge cases, error
+ * handling), text traces, and the bounded-stream adapter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "support/random.hh"
+#include "trace/memory_trace.hh"
+#include "trace/trace_io.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+/** Unique-ish temp path per test. */
+std::string
+tempPath(const std::string &tag)
+{
+    return testing::TempDir() + "bpsim_" + tag + "_" +
+           std::to_string(::getpid()) + ".trace";
+}
+
+MemoryTrace
+randomTrace(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    MemoryTrace trace;
+    Addr pc = 0x120000000ULL;
+    for (std::size_t i = 0; i < n; ++i) {
+        // Mix forward and backward jumps to exercise zigzag deltas.
+        if (rng.chance(0.3))
+            pc -= 4 * rng.nextBelow(1000);
+        else
+            pc += 4 * rng.nextBelow(1000);
+        trace.append({pc, rng.chance(0.5),
+                      1 + static_cast<std::uint32_t>(
+                              rng.nextBelow(30))});
+    }
+    return trace;
+}
+
+TEST(MemoryTraceTest, AppendAndReplay)
+{
+    MemoryTrace trace;
+    trace.append({0x100, true, 3});
+    trace.append({0x104, false, 1});
+    EXPECT_EQ(trace.size(), 2u);
+    EXPECT_EQ(trace.instructionCount(), 4u);
+
+    BranchRecord record;
+    ASSERT_TRUE(trace.next(record));
+    EXPECT_EQ(record.pc, 0x100u);
+    EXPECT_TRUE(record.taken);
+    ASSERT_TRUE(trace.next(record));
+    EXPECT_EQ(record.pc, 0x104u);
+    EXPECT_FALSE(trace.next(record));
+
+    trace.reset();
+    ASSERT_TRUE(trace.next(record));
+    EXPECT_EQ(record.pc, 0x100u);
+}
+
+TEST(MemoryTraceTest, CaptureWithLimit)
+{
+    MemoryTrace source = randomTrace(100, 3);
+    MemoryTrace copy = MemoryTrace::capture(source, 40);
+    EXPECT_EQ(copy.size(), 40u);
+    EXPECT_EQ(copy.data()[0], source.data()[0]);
+    EXPECT_EQ(copy.data()[39], source.data()[39]);
+}
+
+TEST(BinaryTraceTest, RoundTrip)
+{
+    MemoryTrace original = randomTrace(5000, 17);
+    const std::string path = tempPath("roundtrip");
+    {
+        TraceWriter writer(path);
+        original.reset();
+        EXPECT_EQ(writer.writeAll(original), 5000u);
+    }
+    TraceReader reader(path);
+    MemoryTrace loaded = MemoryTrace::capture(reader);
+    ASSERT_EQ(loaded.size(), original.size());
+    EXPECT_EQ(loaded.data(), original.data());
+    std::remove(path.c_str());
+}
+
+TEST(BinaryTraceTest, ReaderReset)
+{
+    MemoryTrace original = randomTrace(100, 5);
+    const std::string path = tempPath("reset");
+    {
+        TraceWriter writer(path);
+        original.reset();
+        writer.writeAll(original);
+    }
+    TraceReader reader(path);
+    BranchRecord first;
+    ASSERT_TRUE(reader.next(first));
+    // Drain some, then rewind: must replay from the first record.
+    BranchRecord record;
+    for (int i = 0; i < 50; ++i)
+        ASSERT_TRUE(reader.next(record));
+    reader.reset();
+    ASSERT_TRUE(reader.next(record));
+    EXPECT_EQ(record, first);
+    std::remove(path.c_str());
+}
+
+TEST(BinaryTraceTest, CompressionIsCompact)
+{
+    // Sequential nearby branches should cost ~2-3 bytes per record.
+    MemoryTrace trace;
+    for (int i = 0; i < 1000; ++i)
+        trace.append({0x1000u + 4u * (i % 50), i % 3 == 0, 8});
+    const std::string path = tempPath("compact");
+    {
+        TraceWriter writer(path);
+        trace.reset();
+        writer.writeAll(trace);
+    }
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    const long bytes = std::ftell(f);
+    std::fclose(f);
+    EXPECT_LT(bytes, 3500);
+    std::remove(path.c_str());
+}
+
+TEST(BinaryTraceTest, MissingFileIsFatal)
+{
+    EXPECT_EXIT(TraceReader("/nonexistent/path/x.trace"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(BinaryTraceTest, BadMagicIsFatal)
+{
+    const std::string path = tempPath("badmagic");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    std::fputs("NOTATRACE", f);
+    std::fclose(f);
+    EXPECT_EXIT(TraceReader reader(path),
+                ::testing::ExitedWithCode(1), "not a bpsim trace");
+    std::remove(path.c_str());
+}
+
+TEST(TextTraceTest, RoundTrip)
+{
+    MemoryTrace original = randomTrace(200, 23);
+    const std::string path = tempPath("text");
+    original.reset();
+    writeTextTrace(original, path);
+    MemoryTrace loaded = readTextTrace(path);
+    ASSERT_EQ(loaded.size(), original.size());
+    EXPECT_EQ(loaded.data(), original.data());
+    std::remove(path.c_str());
+}
+
+TEST(BoundedStreamTest, LimitsAndResets)
+{
+    MemoryTrace trace = randomTrace(100, 29);
+    BoundedStream bounded(trace, 10);
+    BranchRecord record;
+    int produced = 0;
+    while (bounded.next(record))
+        ++produced;
+    EXPECT_EQ(produced, 10);
+    bounded.reset();
+    produced = 0;
+    while (bounded.next(record))
+        ++produced;
+    EXPECT_EQ(produced, 10);
+}
+
+} // namespace
+} // namespace bpsim

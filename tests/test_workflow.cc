@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Tests for the workflow-level extensions: Lindsay-style iterative
+ * selection, the profile repository (multi-run Spike database), the
+ * pipeline CPI model, and the gselect predictor.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "core/cpi_model.hh"
+#include "core/engine.hh"
+#include "core/experiment.hh"
+#include "core/iterative.hh"
+#include "predictor/gselect.hh"
+#include "profile/repository.hh"
+#include "workload/specint.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+TEST(IterativeSelectionTest, ConvergesAndAccumulates)
+{
+    SyntheticProgram program =
+        makeSpecProgram(SpecProgram::Gcc, InputSet::Ref);
+    IterativeConfig config;
+    config.kind = PredictorKind::Gshare;
+    config.sizeBytes = 4096;
+    config.profileBranches = 300000;
+    config.maxIterations = 4;
+
+    const IterativeResult result =
+        selectStaticIterative(program, config);
+    EXPECT_GE(result.iterations, 1u);
+    EXPECT_LE(result.iterations, 4u);
+    EXPECT_GT(result.hints.size(), 10u);
+    ASSERT_EQ(result.addedPerRound.size(), result.iterations);
+    // The first round must find the bulk of the hints.
+    EXPECT_GE(result.addedPerRound[0], result.hints.size() / 2);
+}
+
+TEST(IterativeSelectionTest, HintsImproveThePredictor)
+{
+    SyntheticProgram program =
+        makeSpecProgram(SpecProgram::Gcc, InputSet::Ref);
+    IterativeConfig config;
+    config.kind = PredictorKind::Gshare;
+    config.sizeBytes = 4096;
+    config.profileBranches = 400000;
+
+    const IterativeResult selection =
+        selectStaticIterative(program, config);
+
+    SimOptions options;
+    options.maxBranches = 400000;
+    program.setInput(InputSet::Ref);
+
+    auto baseline = makePredictor(config.kind, config.sizeBytes);
+    const SimStats base = simulate(*baseline, program, options);
+
+    CombinedPredictor combined(
+        makePredictor(config.kind, config.sizeBytes),
+        selection.hints);
+    const SimStats with = simulate(combined, program, options);
+    EXPECT_LT(with.mispKi(), base.mispKi());
+}
+
+TEST(CpiModelTest, Arithmetic)
+{
+    SimStats stats;
+    stats.instructions = 1000;
+    stats.mispredictions = 10;
+    const double cpi = estimateCpi(stats);
+    EXPECT_DOUBLE_EQ(cpi, 1.0 + 7.0 * 10.0 / 1000.0);
+
+    SimStats better = stats;
+    better.mispredictions = 0;
+    EXPECT_DOUBLE_EQ(estimateCpi(better), 1.0);
+    EXPECT_NEAR(estimateSpeedup(stats, better), 1.07, 1e-9);
+
+    PipelineParams deep;
+    deep.baseCpi = 0.5;
+    deep.mispredictPenalty = 20.0;
+    EXPECT_DOUBLE_EQ(estimateCpi(stats, deep), 0.5 + 0.2);
+}
+
+class RepositoryTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir = testing::TempDir() + "bpsim_repo_" +
+              std::to_string(::getpid());
+        std::filesystem::remove_all(dir);
+    }
+
+    void TearDown() override { std::filesystem::remove_all(dir); }
+
+    ProfileDb
+    makeRun(Addr pc, Count executed, double taken_rate)
+    {
+        ProfileDb db;
+        for (Count i = 0; i < executed; ++i) {
+            db.recordOutcome(
+                pc, i < static_cast<Count>(taken_rate *
+                                           static_cast<double>(
+                                               executed)));
+        }
+        return db;
+    }
+
+    std::string dir;
+};
+
+TEST_F(RepositoryTest, AddAndCountRuns)
+{
+    ProfileRepository repo(dir);
+    EXPECT_EQ(repo.runCount("gcc"), 0u);
+    EXPECT_EQ(repo.addRun("gcc", makeRun(0x100, 50, 0.9)), 0u);
+    EXPECT_EQ(repo.addRun("gcc", makeRun(0x100, 50, 0.8)), 1u);
+    EXPECT_EQ(repo.runCount("gcc"), 2u);
+    EXPECT_EQ(repo.runCount("perl"), 0u);
+
+    // A fresh handle sees the same persisted state.
+    ProfileRepository reopened(dir);
+    EXPECT_EQ(reopened.runCount("gcc"), 2u);
+}
+
+TEST_F(RepositoryTest, MergedSumsAcrossRuns)
+{
+    ProfileRepository repo(dir);
+    repo.addRun("gcc", makeRun(0x100, 100, 0.9));
+    repo.addRun("gcc", makeRun(0x100, 100, 0.7));
+    const ProfileDb merged = repo.merged("gcc");
+    ASSERT_NE(merged.find(0x100), nullptr);
+    EXPECT_EQ(merged.find(0x100)->executed, 200u);
+    EXPECT_EQ(merged.find(0x100)->taken, 160u);
+}
+
+TEST_F(RepositoryTest, StableMergeDropsUnstableBranches)
+{
+    ProfileRepository repo(dir);
+    // Branch A stable across runs; branch B reverses.
+    ProfileDb run0 = makeRun(0xa0, 100, 0.9);
+    run0.mergeAdd(makeRun(0xb0, 100, 0.9));
+    ProfileDb run1 = makeRun(0xa0, 100, 0.88);
+    run1.mergeAdd(makeRun(0xb0, 100, 0.1));
+    repo.addRun("gcc", run0);
+    repo.addRun("gcc", run1);
+
+    const ProfileDb stable = repo.stableMerged("gcc", 0.05);
+    EXPECT_NE(stable.find(0xa0), nullptr);
+    EXPECT_EQ(stable.find(0xb0), nullptr);
+    // The survivor carries the merged counts.
+    EXPECT_EQ(stable.find(0xa0)->executed, 200u);
+}
+
+TEST_F(RepositoryTest, CoverageHolesAreNotInstability)
+{
+    ProfileRepository repo(dir);
+    ProfileDb run0 = makeRun(0xa0, 100, 0.9);
+    ProfileDb run1 = makeRun(0xc0, 100, 0.5); // 0xa0 absent: fine
+    repo.addRun("gcc", run0);
+    repo.addRun("gcc", run1);
+    const ProfileDb stable = repo.stableMerged("gcc", 0.05);
+    EXPECT_NE(stable.find(0xa0), nullptr);
+    EXPECT_NE(stable.find(0xc0), nullptr);
+}
+
+TEST(GselectTest, SizingAndIndexSplit)
+{
+    Gselect predictor(8192); // 32768 entries: 15 index bits
+    EXPECT_EQ(predictor.sizeBytes(), 8192u);
+    EXPECT_EQ(predictor.historyBits(), 7u); // half of 15, floored
+}
+
+TEST(GselectTest, LearnsAlternationAndSeparatesBranches)
+{
+    Gselect predictor(2048);
+    double correct = 0;
+    const int n = 4000;
+    for (int i = 0; i < n; ++i) {
+        const bool taken = i % 2 == 0;
+        const bool prediction = predictor.predict(0x1000);
+        predictor.update(0x1000, taken);
+        predictor.updateHistory(taken);
+        correct += prediction == taken;
+    }
+    EXPECT_GT(correct / n, 0.95);
+}
+
+TEST(GselectTest, FactoryName)
+{
+    auto predictor = makePredictor("gselect:4096");
+    EXPECT_EQ(predictor->name(), "gselect");
+    EXPECT_EQ(predictor->sizeBytes(), 4096u);
+}
+
+} // namespace
+} // namespace bpsim

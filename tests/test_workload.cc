@@ -1,0 +1,339 @@
+/**
+ * @file
+ * Unit tests for the workload module: behaviour models, CFG helpers,
+ * the synthetic program VM (determinism, reset, input switching) and
+ * the SPECINT95 presets' calibrated properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "profile/profile_db.hh"
+#include "support/stats.hh"
+#include "workload/behavior.hh"
+#include "workload/cfg.hh"
+#include "workload/specint.hh"
+#include "workload/synthetic_program.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+BehaviorContext
+context(Rng &rng, std::uint64_t global = 0, std::uint64_t semantic = 0,
+        InputSet input = InputSet::Ref)
+{
+    return BehaviorContext{rng, global, semantic, input};
+}
+
+TEST(BiasedBehaviorTest, RespectsPerInputProbability)
+{
+    Rng rng(1);
+    BiasedBehavior behavior(0.9, 0.1);
+    int train_taken = 0;
+    int ref_taken = 0;
+    for (int i = 0; i < 10000; ++i) {
+        auto train_ctx = context(rng, 0, 0, InputSet::Train);
+        train_taken += behavior.outcome(train_ctx);
+        auto ref_ctx = context(rng, 0, 0, InputSet::Ref);
+        ref_taken += behavior.outcome(ref_ctx);
+    }
+    EXPECT_NEAR(train_taken / 10000.0, 0.9, 0.02);
+    EXPECT_NEAR(ref_taken / 10000.0, 0.1, 0.02);
+}
+
+TEST(LoopBehaviorTest, FixedTripIsExact)
+{
+    Rng rng(2);
+    LoopBehavior behavior(5.0, 5.0, /*fixed_trip=*/true);
+    // Each activation: 4 taken evaluations then one not-taken.
+    for (int round = 0; round < 3; ++round) {
+        int taken_run = 0;
+        for (;;) {
+            auto ctx = context(rng);
+            if (!behavior.outcome(ctx))
+                break;
+            ++taken_run;
+        }
+        EXPECT_EQ(taken_run, 4) << "round " << round;
+    }
+}
+
+TEST(LoopBehaviorTest, GeometricTripMeanAndBias)
+{
+    Rng rng(3);
+    LoopBehavior behavior(10.0, 10.0, /*fixed_trip=*/false);
+    Count taken = 0;
+    Count total = 0;
+    Count exits = 0;
+    while (exits < 20000) {
+        auto ctx = context(rng);
+        const bool t = behavior.outcome(ctx);
+        ++total;
+        taken += t;
+        exits += !t;
+    }
+    // Mean evaluations per activation ~= 10 => taken bias ~= 0.9.
+    EXPECT_NEAR(static_cast<double>(total) / exits, 10.0, 0.5);
+    EXPECT_NEAR(static_cast<double>(taken) / total, 0.9, 0.02);
+}
+
+TEST(LoopBehaviorTest, ResetAbandonsActivation)
+{
+    Rng rng(4);
+    LoopBehavior behavior(100.0, 100.0, true);
+    auto ctx = context(rng);
+    EXPECT_TRUE(behavior.outcome(ctx)); // mid-loop
+    behavior.reset();
+    // A fresh activation starts counting from scratch (99 takens).
+    for (int i = 0; i < 99; ++i)
+        EXPECT_TRUE(behavior.outcome(ctx));
+    EXPECT_FALSE(behavior.outcome(ctx));
+}
+
+TEST(PatternBehaviorTest, RepeatsExactly)
+{
+    Rng rng(5);
+    PatternBehavior behavior({true, true, false});
+    auto ctx = context(rng);
+    for (int i = 0; i < 30; ++i)
+        EXPECT_EQ(behavior.outcome(ctx), i % 3 != 2) << i;
+    behavior.reset();
+    EXPECT_TRUE(behavior.outcome(ctx));
+}
+
+TEST(CorrelatedBehaviorTest, FollowsSemanticParity)
+{
+    Rng rng(6);
+    CorrelatedBehavior behavior(/*semantic_mask=*/0b101,
+                                /*global_mask=*/0, false, false,
+                                /*noise=*/0.0);
+    for (std::uint64_t semantic : {0b000ull, 0b001ull, 0b100ull,
+                                   0b101ull, 0b111ull}) {
+        auto ctx = context(rng, 0, semantic);
+        const bool expected =
+            (__builtin_popcountll(semantic & 0b101) & 1) != 0;
+        EXPECT_EQ(behavior.outcome(ctx), expected) << semantic;
+    }
+}
+
+TEST(CorrelatedBehaviorTest, GlobalMaskAndInversion)
+{
+    Rng rng(7);
+    CorrelatedBehavior behavior(0, /*global_mask=*/0b10,
+                                /*invert_train=*/false,
+                                /*invert_ref=*/true, 0.0);
+    auto train_ctx = context(rng, 0b10, 0, InputSet::Train);
+    auto ref_ctx = context(rng, 0b10, 0, InputSet::Ref);
+    EXPECT_TRUE(behavior.outcome(train_ctx));
+    EXPECT_FALSE(behavior.outcome(ref_ctx));
+}
+
+TEST(PhaseBehaviorTest, AlternatesBias)
+{
+    Rng rng(8);
+    PhaseBehavior behavior(0.95, 0.05, 1000);
+    int first_phase = 0;
+    int second_phase = 0;
+    for (int i = 0; i < 1000; ++i) {
+        auto ctx = context(rng);
+        first_phase += behavior.outcome(ctx);
+    }
+    for (int i = 0; i < 1000; ++i) {
+        auto ctx = context(rng);
+        second_phase += behavior.outcome(ctx);
+    }
+    EXPECT_GT(first_phase, 900);
+    EXPECT_LT(second_phase, 100);
+}
+
+TEST(CfgTest, CountSitesIncludesLoopControls)
+{
+    Block block;
+    block.items.emplace_back(BranchSite{});
+    Loop loop;
+    loop.body = std::make_unique<Block>();
+    loop.body->items.emplace_back(BranchSite{});
+    loop.body->items.emplace_back(BranchSite{});
+    block.items.emplace_back(std::move(loop));
+    EXPECT_EQ(countSites(block), 4u); // 2 plain + control + 2 body - 1
+}
+
+ProgramConfig
+tinyConfig(std::uint64_t seed)
+{
+    ProgramConfig config;
+    config.name = "tiny";
+    config.staticBranches = 200;
+    config.seed = seed;
+    return config;
+}
+
+TEST(SyntheticProgramTest, DeterministicFromSeed)
+{
+    SyntheticProgram a = buildProgram(tinyConfig(42));
+    SyntheticProgram b = buildProgram(tinyConfig(42));
+    BranchRecord ra;
+    BranchRecord rb;
+    for (int i = 0; i < 20000; ++i) {
+        ASSERT_TRUE(a.next(ra));
+        ASSERT_TRUE(b.next(rb));
+        ASSERT_EQ(ra, rb) << "diverged at " << i;
+    }
+}
+
+TEST(SyntheticProgramTest, DifferentSeedsDiffer)
+{
+    SyntheticProgram a = buildProgram(tinyConfig(1));
+    SyntheticProgram b = buildProgram(tinyConfig(2));
+    BranchRecord ra;
+    BranchRecord rb;
+    int same = 0;
+    for (int i = 0; i < 1000; ++i) {
+        a.next(ra);
+        b.next(rb);
+        same += ra == rb;
+    }
+    EXPECT_LT(same, 100);
+}
+
+TEST(SyntheticProgramTest, ResetReplaysIdentically)
+{
+    SyntheticProgram program = buildProgram(tinyConfig(7));
+    std::vector<BranchRecord> first;
+    BranchRecord record;
+    for (int i = 0; i < 5000; ++i) {
+        program.next(record);
+        first.push_back(record);
+    }
+    program.reset();
+    for (int i = 0; i < 5000; ++i) {
+        program.next(record);
+        ASSERT_EQ(record, first[static_cast<std::size_t>(i)])
+            << "at " << i;
+    }
+}
+
+TEST(SyntheticProgramTest, InputSwitchChangesStreamNotStructure)
+{
+    SyntheticProgram program = buildProgram(tinyConfig(9));
+    const std::size_t static_branches = program.staticBranchCount();
+
+    std::set<Addr> ref_pcs;
+    BranchRecord record;
+    for (int i = 0; i < 300000; ++i) {
+        program.next(record);
+        ref_pcs.insert(record.pc);
+    }
+
+    program.setInput(InputSet::Train);
+    EXPECT_EQ(program.staticBranchCount(), static_branches);
+    std::set<Addr> train_pcs;
+    for (int i = 0; i < 300000; ++i) {
+        program.next(record);
+        train_pcs.insert(record.pc);
+    }
+
+    // Same address space: train PCs are a subset of the program's
+    // sites, and the two inputs overlap heavily.
+    std::size_t common = 0;
+    for (const Addr pc : train_pcs)
+        common += ref_pcs.count(pc);
+    EXPECT_GT(common, train_pcs.size() / 2);
+}
+
+TEST(SyntheticProgramTest, StaticBranchCountNearBudget)
+{
+    for (const auto id : allSpecPrograms()) {
+        const ProgramConfig config = specProgramConfig(id);
+        SyntheticProgram program = makeSpecProgram(id, InputSet::Ref);
+        const double actual =
+            static_cast<double>(program.staticBranchCount());
+        const double target =
+            static_cast<double>(config.staticBranches);
+        EXPECT_GE(actual, target);
+        EXPECT_LT(actual, target * 1.15)
+            << specProgramName(id) << " overshoots its branch budget";
+    }
+}
+
+TEST(SyntheticProgramTest, UniquePcs)
+{
+    SyntheticProgram program = buildProgram(tinyConfig(11));
+    std::set<Addr> pcs;
+    std::size_t sites = 0;
+    for (auto &region : program.regionData()) {
+        forEachSite(region.body, [&](BranchSite &site) {
+            pcs.insert(site.pc);
+            ++sites;
+        });
+    }
+    EXPECT_EQ(pcs.size(), sites);
+}
+
+TEST(SyntheticProgramTest, GapsMatchConfiguredDensity)
+{
+    ProgramConfig config = tinyConfig(13);
+    config.avgGap = 10.0;
+    SyntheticProgram program = buildProgram(config);
+    BranchRecord record;
+    Count instructions = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        program.next(record);
+        instructions += record.instGap;
+    }
+    const double cbrs_ki = 1000.0 * n / static_cast<double>(
+                                            instructions);
+    EXPECT_NEAR(cbrs_ki, 100.0, 15.0);
+}
+
+TEST(SpecPresetTest, NamesRoundTrip)
+{
+    for (const auto id : allSpecPrograms())
+        EXPECT_EQ(specProgramFromName(specProgramName(id)), id);
+    EXPECT_EXIT(specProgramFromName("vortex"),
+                ::testing::ExitedWithCode(1), "unknown program");
+}
+
+TEST(SpecPresetTest, BiasedFractionOrdering)
+{
+    // The calibrated ordering the paper's Table 2 argument needs:
+    // go has by far the fewest highly biased executions; m88ksim and
+    // perl the most.
+    std::map<std::string, double> biased;
+    for (const auto id : allSpecPrograms()) {
+        SyntheticProgram program = makeSpecProgram(id, InputSet::Ref);
+        ProfileDb profile = ProfileDb::collect(program, 400000);
+        biased[program.name()] =
+            percent(profile.executedAboveBias(0.95),
+                    profile.totalExecuted());
+    }
+    EXPECT_LT(biased["go"], biased["gcc"]);
+    EXPECT_LT(biased["gcc"], biased["perl"]);
+    EXPECT_LT(biased["perl"], biased["m88ksim"]);
+    EXPECT_LT(biased["go"], biased["compress"]);
+}
+
+TEST(SpecPresetTest, TrainCoverageGating)
+{
+    // Some perl regions must be train-ineligible (trainCoverage 0.62).
+    SyntheticProgram program =
+        makeSpecProgram(SpecProgram::Perl, InputSet::Ref);
+    std::size_t gated = 0;
+    for (const auto &region : program.regionData()) {
+        if (region.weight[static_cast<unsigned>(InputSet::Train)] ==
+                0.0 &&
+            region.weight[static_cast<unsigned>(InputSet::Ref)] > 0.0) {
+            ++gated;
+        }
+    }
+    EXPECT_GT(gated, program.regionData().size() / 10);
+}
+
+} // namespace
+} // namespace bpsim

@@ -1,0 +1,298 @@
+/**
+ * @file
+ * The bpsim command-line simulator: run any predictor over any
+ * workload or trace, with or without profile-directed static
+ * prediction, and get either a human-readable report or a CSV row.
+ *
+ * Subcommands:
+ *
+ *   bpsim_cli run   [options]   one simulation
+ *   bpsim_cli sweep [options]   size sweep (comma-separated --sizes)
+ *   bpsim_cli list              available programs/predictors/schemes
+ *
+ * Examples:
+ *   bpsim_cli run --program gcc --predictor 2bcgskew:8192 \
+ *       --scheme static_acc --shift shift
+ *   bpsim_cli run --trace gcc.trace --predictor gshare:4096 --csv
+ *   bpsim_cli sweep --program go --predictor gshare \
+ *       --sizes 1024,4096,16384 --scheme static_95
+ */
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cpi_model.hh"
+#include "core/engine.hh"
+#include "core/experiment.hh"
+#include "support/args.hh"
+#include "trace/trace_io.hh"
+#include "workload/specint.hh"
+
+using namespace bpsim;
+
+namespace
+{
+
+ShiftPolicy
+shiftFromName(const std::string &name)
+{
+    if (name == "noshift")
+        return ShiftPolicy::NoShift;
+    if (name == "shift")
+        return ShiftPolicy::ShiftOutcome;
+    if (name == "shiftpred")
+        return ShiftPolicy::ShiftPrediction;
+    bpsim_fatal("unknown shift policy '", name,
+                "' (expected noshift/shift/shiftpred)");
+}
+
+void
+addCommonOptions(ArgParser &args)
+{
+    args.addOption("program", "gcc",
+                   "synthetic workload to run "
+                   "(go/gcc/perl/m88ksim/compress/ijpeg)");
+    args.addOption("trace", "",
+                   "binary trace file to replay instead of a "
+                   "synthetic program (run only)");
+    args.addOption("input", "ref", "input set: train or ref");
+    args.addOption("branches", "2000000",
+                   "branches in the measured window");
+    args.addOption("warmup", "0", "unmeasured warmup branches");
+    args.addOption("seed", "2000", "workload seed");
+    args.addOption("scheme", "none",
+                   "static selection scheme: none/static_95/"
+                   "static_acc/static_fac/static_alias");
+    args.addOption("shift", "noshift",
+                   "history policy for static branches: "
+                   "noshift/shift/shiftpred");
+    args.addOption("profile-input", "",
+                   "input profiled in phase 1 (default: same as "
+                   "--input, i.e. self-trained)");
+    args.addOption("profile-branches", "1000000",
+                   "branches simulated in the profiling phase");
+    args.addOption("cutoff", "0.95", "Static_95 bias cutoff");
+    args.addFlag("filter-unstable",
+                 "apply the cross-training merge filter (5% rule)");
+    args.addFlag("csv", "emit one machine-readable CSV row per run");
+}
+
+SyntheticProgram
+makeProgram(const ArgParser &args)
+{
+    const InputSet input = args.get("input") == "train"
+                               ? InputSet::Train
+                               : InputSet::Ref;
+    return makeSpecProgram(specProgramFromName(args.get("program")),
+                           input, args.getUint("seed"));
+}
+
+void
+printCsvHeaderOnce(bool &done)
+{
+    if (done)
+        return;
+    std::printf("workload,predictor,size_bytes,scheme,shift,hints,"
+                "branches,instructions,mispredictions,misp_ki,"
+                "accuracy_pct,static_share_pct,collisions,"
+                "destructive,cpi\n");
+    done = true;
+}
+
+void
+report(const ArgParser &args, const std::string &workload,
+       const std::string &predictor_name, std::size_t size_bytes,
+       const std::string &scheme, const std::string &shift,
+       std::size_t hints, const SimStats &stats, bool &csv_header)
+{
+    if (args.getFlag("csv")) {
+        printCsvHeaderOnce(csv_header);
+        std::printf("%s,%s,%zu,%s,%s,%zu,%llu,%llu,%llu,%.4f,%.4f,"
+                    "%.4f,%llu,%llu,%.4f\n",
+                    workload.c_str(), predictor_name.c_str(),
+                    size_bytes, scheme.c_str(), shift.c_str(), hints,
+                    static_cast<unsigned long long>(stats.branches),
+                    static_cast<unsigned long long>(
+                        stats.instructions),
+                    static_cast<unsigned long long>(
+                        stats.mispredictions),
+                    stats.mispKi(), stats.accuracyPercent(),
+                    stats.staticShare(),
+                    static_cast<unsigned long long>(
+                        stats.collisions.collisions),
+                    static_cast<unsigned long long>(
+                        stats.collisions.destructive),
+                    estimateCpi(stats));
+        return;
+    }
+    std::printf("%-10s %-16s %8zuB %-12s %-8s hints=%-6zu "
+                "MISP/KI=%7.2f acc=%6.2f%% static=%5.1f%% "
+                "coll=%llu cpi=%.3f\n",
+                workload.c_str(), predictor_name.c_str(), size_bytes,
+                scheme.c_str(), shift.c_str(), hints, stats.mispKi(),
+                stats.accuracyPercent(), stats.staticShare(),
+                static_cast<unsigned long long>(
+                    stats.collisions.collisions),
+                estimateCpi(stats));
+}
+
+int
+cmdRun(int argc, char **argv)
+{
+    ArgParser args("bpsim_cli run");
+    addCommonOptions(args);
+    args.addOption("predictor", "gshare:8192",
+                   "predictor spec name[:bytes]");
+    args.parse(argc, argv, 2);
+
+    const StaticScheme scheme =
+        staticSchemeFromName(args.get("scheme"));
+    bool csv_header = false;
+
+    if (!args.get("trace").empty()) {
+        // Trace replay: static schemes need a workload to re-run for
+        // phase 1, so only plain dynamic prediction is offered here.
+        if (scheme != StaticScheme::None)
+            bpsim_fatal("--trace replay supports --scheme none only");
+        TraceReader reader(args.get("trace"));
+        auto predictor = makePredictor(args.get("predictor"));
+        SimOptions options;
+        options.maxBranches = args.getUint("branches");
+        options.warmupBranches = args.getUint("warmup");
+        const SimStats stats = simulate(*predictor, reader, options);
+        report(args, args.get("trace"), predictor->name(),
+               predictor->sizeBytes(), "none", "noshift", 0, stats,
+               csv_header);
+        return 0;
+    }
+
+    SyntheticProgram program = makeProgram(args);
+    auto probe = makePredictor(args.get("predictor"));
+    const std::string spec = args.get("predictor");
+    const std::string kind_name = spec.substr(0, spec.find(':'));
+
+    if (scheme == StaticScheme::None) {
+        SimOptions options;
+        options.maxBranches = args.getUint("branches");
+        options.warmupBranches = args.getUint("warmup");
+        auto predictor = makePredictor(spec);
+        const SimStats stats = simulate(*predictor, program, options);
+        report(args, program.name(), predictor->name(),
+               predictor->sizeBytes(), "none", "noshift", 0, stats,
+               csv_header);
+        return 0;
+    }
+
+    // Two-phase experiment path (paper methodology); restricted to
+    // the factory kinds the experiment driver knows.
+    ExperimentConfig config;
+    config.kind = predictorKindFromName(kind_name);
+    config.sizeBytes = probe->sizeBytes();
+    config.scheme = scheme;
+    config.shift = shiftFromName(args.get("shift"));
+    config.evalBranches = args.getUint("branches");
+    config.profileBranches = args.getUint("profile-branches");
+    config.selection.cutoffBias = args.getDouble("cutoff");
+    config.evalInput = args.get("input") == "train" ? InputSet::Train
+                                                    : InputSet::Ref;
+    config.profileInput =
+        args.get("profile-input").empty()
+            ? config.evalInput
+            : (args.get("profile-input") == "train" ? InputSet::Train
+                                                    : InputSet::Ref);
+    config.filterUnstable = args.getFlag("filter-unstable");
+
+    const ExperimentResult result = runExperiment(program, config);
+    report(args, program.name(), kind_name, config.sizeBytes,
+           args.get("scheme"), args.get("shift"), result.hintCount,
+           result.stats, csv_header);
+    return 0;
+}
+
+int
+cmdSweep(int argc, char **argv)
+{
+    ArgParser args("bpsim_cli sweep");
+    addCommonOptions(args);
+    args.addOption("predictor", "gshare",
+                   "predictor kind (no size suffix)");
+    args.addOption("sizes", "1024,2048,4096,8192,16384,32768,65536",
+                   "comma-separated byte sizes");
+    args.parse(argc, argv, 2);
+
+    SyntheticProgram program = makeProgram(args);
+    const PredictorKind kind =
+        predictorKindFromName(args.get("predictor"));
+    const StaticScheme scheme =
+        staticSchemeFromName(args.get("scheme"));
+
+    std::vector<std::size_t> sizes;
+    {
+        std::string list = args.get("sizes");
+        std::size_t pos = 0;
+        while (pos < list.size()) {
+            const auto comma = list.find(',', pos);
+            const std::string token =
+                list.substr(pos, comma - pos);
+            sizes.push_back(std::stoul(token));
+            if (comma == std::string::npos)
+                break;
+            pos = comma + 1;
+        }
+    }
+
+    bool csv_header = false;
+    for (const std::size_t bytes : sizes) {
+        ExperimentConfig config;
+        config.kind = kind;
+        config.sizeBytes = bytes;
+        config.scheme = scheme;
+        config.shift = shiftFromName(args.get("shift"));
+        config.evalBranches = args.getUint("branches");
+        config.profileBranches = args.getUint("profile-branches");
+        config.selection.cutoffBias = args.getDouble("cutoff");
+        const ExperimentResult result =
+            runExperiment(program, config);
+        report(args, program.name(), args.get("predictor"), bytes,
+               args.get("scheme"), args.get("shift"),
+               result.hintCount, result.stats, csv_header);
+    }
+    return 0;
+}
+
+int
+cmdList()
+{
+    std::printf("programs:  ");
+    for (const auto id : allSpecPrograms())
+        std::printf("%s ", specProgramName(id).c_str());
+    std::printf("\npredictors (paper): ");
+    for (const auto kind : allPredictorKinds())
+        std::printf("%s ", predictorKindName(kind).c_str());
+    std::printf("\npredictors (extensions): agree tournament gselect "
+                "yags ideal\n");
+    std::printf("schemes:   none static_95 static_acc static_fac "
+                "static_alias\n");
+    std::printf("shifts:    noshift shift shiftpred\n");
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string command = argc > 1 ? argv[1] : "";
+    if (command == "run")
+        return cmdRun(argc, argv);
+    if (command == "sweep")
+        return cmdSweep(argc, argv);
+    if (command == "list")
+        return cmdList();
+    std::fprintf(stderr,
+                 "usage: bpsim_cli <run|sweep|list> [options]\n"
+                 "       bpsim_cli run --help\n");
+    return 2;
+}
