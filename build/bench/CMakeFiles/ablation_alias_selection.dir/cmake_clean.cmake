@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_alias_selection.dir/ablation_alias_selection.cpp.o"
+  "CMakeFiles/ablation_alias_selection.dir/ablation_alias_selection.cpp.o.d"
+  "ablation_alias_selection"
+  "ablation_alias_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_alias_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_history_lengths.dir/ablation_history_lengths.cpp.o"
+  "CMakeFiles/ablation_history_lengths.dir/ablation_history_lengths.cpp.o.d"
+  "ablation_history_lengths"
+  "ablation_history_lengths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_history_lengths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_iterative.dir/ablation_iterative.cpp.o"
+  "CMakeFiles/ablation_iterative.dir/ablation_iterative.cpp.o.d"
+  "ablation_iterative"
+  "ablation_iterative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_iterative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

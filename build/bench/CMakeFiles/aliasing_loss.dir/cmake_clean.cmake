@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aliasing_loss.dir/aliasing_loss.cpp.o"
+  "CMakeFiles/aliasing_loss.dir/aliasing_loss.cpp.o.d"
+  "aliasing_loss"
+  "aliasing_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aliasing_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

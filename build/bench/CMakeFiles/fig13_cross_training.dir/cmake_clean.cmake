@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_cross_training.dir/fig13_cross_training.cpp.o"
+  "CMakeFiles/fig13_cross_training.dir/fig13_cross_training.cpp.o.d"
+  "fig13_cross_training"
+  "fig13_cross_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_cross_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

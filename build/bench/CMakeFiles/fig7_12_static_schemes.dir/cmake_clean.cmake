@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_12_static_schemes.dir/fig7_12_static_schemes.cpp.o"
+  "CMakeFiles/fig7_12_static_schemes.dir/fig7_12_static_schemes.cpp.o.d"
+  "fig7_12_static_schemes"
+  "fig7_12_static_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_12_static_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

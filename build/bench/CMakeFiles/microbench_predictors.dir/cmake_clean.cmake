@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microbench_predictors.dir/microbench_predictors.cpp.o"
+  "CMakeFiles/microbench_predictors.dir/microbench_predictors.cpp.o.d"
+  "microbench_predictors"
+  "microbench_predictors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_predictors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_2bcgskew_small.dir/table3_2bcgskew_small.cpp.o"
+  "CMakeFiles/table3_2bcgskew_small.dir/table3_2bcgskew_small.cpp.o.d"
+  "table3_2bcgskew_small"
+  "table3_2bcgskew_small.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_2bcgskew_small.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

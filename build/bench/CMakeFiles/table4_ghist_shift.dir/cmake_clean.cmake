@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_ghist_shift.dir/table4_ghist_shift.cpp.o"
+  "CMakeFiles/table4_ghist_shift.dir/table4_ghist_shift.cpp.o.d"
+  "table4_ghist_shift"
+  "table4_ghist_shift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_ghist_shift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

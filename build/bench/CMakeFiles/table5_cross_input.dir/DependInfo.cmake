@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table5_cross_input.cpp" "bench/CMakeFiles/table5_cross_input.dir/table5_cross_input.cpp.o" "gcc" "bench/CMakeFiles/table5_cross_input.dir/table5_cross_input.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bpsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/predictor/CMakeFiles/bpsim_predictor.dir/DependInfo.cmake"
+  "/root/repo/build/src/staticsel/CMakeFiles/bpsim_staticsel.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/bpsim_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bpsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bpsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/bpsim_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_cross_input.dir/table5_cross_input.cpp.o"
+  "CMakeFiles/table5_cross_input.dir/table5_cross_input.cpp.o.d"
+  "table5_cross_input"
+  "table5_cross_input.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_cross_input.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/branch_report.dir/branch_report.cpp.o"
+  "CMakeFiles/branch_report.dir/branch_report.cpp.o.d"
+  "branch_report"
+  "branch_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/branch_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpsim_core.dir/combined_predictor.cc.o"
+  "CMakeFiles/bpsim_core.dir/combined_predictor.cc.o.d"
+  "CMakeFiles/bpsim_core.dir/engine.cc.o"
+  "CMakeFiles/bpsim_core.dir/engine.cc.o.d"
+  "CMakeFiles/bpsim_core.dir/experiment.cc.o"
+  "CMakeFiles/bpsim_core.dir/experiment.cc.o.d"
+  "CMakeFiles/bpsim_core.dir/iterative.cc.o"
+  "CMakeFiles/bpsim_core.dir/iterative.cc.o.d"
+  "libbpsim_core.a"
+  "libbpsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

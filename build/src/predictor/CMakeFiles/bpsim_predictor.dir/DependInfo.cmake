@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/predictor/agree.cc" "src/predictor/CMakeFiles/bpsim_predictor.dir/agree.cc.o" "gcc" "src/predictor/CMakeFiles/bpsim_predictor.dir/agree.cc.o.d"
+  "/root/repo/src/predictor/bimodal.cc" "src/predictor/CMakeFiles/bpsim_predictor.dir/bimodal.cc.o" "gcc" "src/predictor/CMakeFiles/bpsim_predictor.dir/bimodal.cc.o.d"
+  "/root/repo/src/predictor/bimode.cc" "src/predictor/CMakeFiles/bpsim_predictor.dir/bimode.cc.o" "gcc" "src/predictor/CMakeFiles/bpsim_predictor.dir/bimode.cc.o.d"
+  "/root/repo/src/predictor/counter_table.cc" "src/predictor/CMakeFiles/bpsim_predictor.dir/counter_table.cc.o" "gcc" "src/predictor/CMakeFiles/bpsim_predictor.dir/counter_table.cc.o.d"
+  "/root/repo/src/predictor/factory.cc" "src/predictor/CMakeFiles/bpsim_predictor.dir/factory.cc.o" "gcc" "src/predictor/CMakeFiles/bpsim_predictor.dir/factory.cc.o.d"
+  "/root/repo/src/predictor/ghist.cc" "src/predictor/CMakeFiles/bpsim_predictor.dir/ghist.cc.o" "gcc" "src/predictor/CMakeFiles/bpsim_predictor.dir/ghist.cc.o.d"
+  "/root/repo/src/predictor/gselect.cc" "src/predictor/CMakeFiles/bpsim_predictor.dir/gselect.cc.o" "gcc" "src/predictor/CMakeFiles/bpsim_predictor.dir/gselect.cc.o.d"
+  "/root/repo/src/predictor/gshare.cc" "src/predictor/CMakeFiles/bpsim_predictor.dir/gshare.cc.o" "gcc" "src/predictor/CMakeFiles/bpsim_predictor.dir/gshare.cc.o.d"
+  "/root/repo/src/predictor/ideal_gshare.cc" "src/predictor/CMakeFiles/bpsim_predictor.dir/ideal_gshare.cc.o" "gcc" "src/predictor/CMakeFiles/bpsim_predictor.dir/ideal_gshare.cc.o.d"
+  "/root/repo/src/predictor/tournament.cc" "src/predictor/CMakeFiles/bpsim_predictor.dir/tournament.cc.o" "gcc" "src/predictor/CMakeFiles/bpsim_predictor.dir/tournament.cc.o.d"
+  "/root/repo/src/predictor/two_bc_gskew.cc" "src/predictor/CMakeFiles/bpsim_predictor.dir/two_bc_gskew.cc.o" "gcc" "src/predictor/CMakeFiles/bpsim_predictor.dir/two_bc_gskew.cc.o.d"
+  "/root/repo/src/predictor/yags.cc" "src/predictor/CMakeFiles/bpsim_predictor.dir/yags.cc.o" "gcc" "src/predictor/CMakeFiles/bpsim_predictor.dir/yags.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/bpsim_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpsim_predictor.dir/agree.cc.o"
+  "CMakeFiles/bpsim_predictor.dir/agree.cc.o.d"
+  "CMakeFiles/bpsim_predictor.dir/bimodal.cc.o"
+  "CMakeFiles/bpsim_predictor.dir/bimodal.cc.o.d"
+  "CMakeFiles/bpsim_predictor.dir/bimode.cc.o"
+  "CMakeFiles/bpsim_predictor.dir/bimode.cc.o.d"
+  "CMakeFiles/bpsim_predictor.dir/counter_table.cc.o"
+  "CMakeFiles/bpsim_predictor.dir/counter_table.cc.o.d"
+  "CMakeFiles/bpsim_predictor.dir/factory.cc.o"
+  "CMakeFiles/bpsim_predictor.dir/factory.cc.o.d"
+  "CMakeFiles/bpsim_predictor.dir/ghist.cc.o"
+  "CMakeFiles/bpsim_predictor.dir/ghist.cc.o.d"
+  "CMakeFiles/bpsim_predictor.dir/gselect.cc.o"
+  "CMakeFiles/bpsim_predictor.dir/gselect.cc.o.d"
+  "CMakeFiles/bpsim_predictor.dir/gshare.cc.o"
+  "CMakeFiles/bpsim_predictor.dir/gshare.cc.o.d"
+  "CMakeFiles/bpsim_predictor.dir/ideal_gshare.cc.o"
+  "CMakeFiles/bpsim_predictor.dir/ideal_gshare.cc.o.d"
+  "CMakeFiles/bpsim_predictor.dir/tournament.cc.o"
+  "CMakeFiles/bpsim_predictor.dir/tournament.cc.o.d"
+  "CMakeFiles/bpsim_predictor.dir/two_bc_gskew.cc.o"
+  "CMakeFiles/bpsim_predictor.dir/two_bc_gskew.cc.o.d"
+  "CMakeFiles/bpsim_predictor.dir/yags.cc.o"
+  "CMakeFiles/bpsim_predictor.dir/yags.cc.o.d"
+  "libbpsim_predictor.a"
+  "libbpsim_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpsim_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profile/profile_db.cc" "src/profile/CMakeFiles/bpsim_profile.dir/profile_db.cc.o" "gcc" "src/profile/CMakeFiles/bpsim_profile.dir/profile_db.cc.o.d"
+  "/root/repo/src/profile/repository.cc" "src/profile/CMakeFiles/bpsim_profile.dir/repository.cc.o" "gcc" "src/profile/CMakeFiles/bpsim_profile.dir/repository.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/bpsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/bpsim_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

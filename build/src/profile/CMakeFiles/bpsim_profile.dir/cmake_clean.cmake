@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpsim_profile.dir/profile_db.cc.o"
+  "CMakeFiles/bpsim_profile.dir/profile_db.cc.o.d"
+  "CMakeFiles/bpsim_profile.dir/repository.cc.o"
+  "CMakeFiles/bpsim_profile.dir/repository.cc.o.d"
+  "libbpsim_profile.a"
+  "libbpsim_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpsim_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpsim_staticsel.dir/selection.cc.o"
+  "CMakeFiles/bpsim_staticsel.dir/selection.cc.o.d"
+  "CMakeFiles/bpsim_staticsel.dir/static_hint.cc.o"
+  "CMakeFiles/bpsim_staticsel.dir/static_hint.cc.o.d"
+  "libbpsim_staticsel.a"
+  "libbpsim_staticsel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpsim_staticsel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

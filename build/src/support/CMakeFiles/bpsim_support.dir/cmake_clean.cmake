@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpsim_support.dir/args.cc.o"
+  "CMakeFiles/bpsim_support.dir/args.cc.o.d"
+  "CMakeFiles/bpsim_support.dir/random.cc.o"
+  "CMakeFiles/bpsim_support.dir/random.cc.o.d"
+  "CMakeFiles/bpsim_support.dir/skew.cc.o"
+  "CMakeFiles/bpsim_support.dir/skew.cc.o.d"
+  "CMakeFiles/bpsim_support.dir/stats.cc.o"
+  "CMakeFiles/bpsim_support.dir/stats.cc.o.d"
+  "libbpsim_support.a"
+  "libbpsim_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpsim_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpsim_trace.dir/memory_trace.cc.o"
+  "CMakeFiles/bpsim_trace.dir/memory_trace.cc.o.d"
+  "CMakeFiles/bpsim_trace.dir/trace_io.cc.o"
+  "CMakeFiles/bpsim_trace.dir/trace_io.cc.o.d"
+  "libbpsim_trace.a"
+  "libbpsim_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpsim_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/behavior.cc" "src/workload/CMakeFiles/bpsim_workload.dir/behavior.cc.o" "gcc" "src/workload/CMakeFiles/bpsim_workload.dir/behavior.cc.o.d"
+  "/root/repo/src/workload/cfg.cc" "src/workload/CMakeFiles/bpsim_workload.dir/cfg.cc.o" "gcc" "src/workload/CMakeFiles/bpsim_workload.dir/cfg.cc.o.d"
+  "/root/repo/src/workload/kernels.cc" "src/workload/CMakeFiles/bpsim_workload.dir/kernels.cc.o" "gcc" "src/workload/CMakeFiles/bpsim_workload.dir/kernels.cc.o.d"
+  "/root/repo/src/workload/specint.cc" "src/workload/CMakeFiles/bpsim_workload.dir/specint.cc.o" "gcc" "src/workload/CMakeFiles/bpsim_workload.dir/specint.cc.o.d"
+  "/root/repo/src/workload/synthetic_program.cc" "src/workload/CMakeFiles/bpsim_workload.dir/synthetic_program.cc.o" "gcc" "src/workload/CMakeFiles/bpsim_workload.dir/synthetic_program.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/bpsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/bpsim_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

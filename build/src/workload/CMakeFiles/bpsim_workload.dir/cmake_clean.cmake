@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpsim_workload.dir/behavior.cc.o"
+  "CMakeFiles/bpsim_workload.dir/behavior.cc.o.d"
+  "CMakeFiles/bpsim_workload.dir/cfg.cc.o"
+  "CMakeFiles/bpsim_workload.dir/cfg.cc.o.d"
+  "CMakeFiles/bpsim_workload.dir/kernels.cc.o"
+  "CMakeFiles/bpsim_workload.dir/kernels.cc.o.d"
+  "CMakeFiles/bpsim_workload.dir/specint.cc.o"
+  "CMakeFiles/bpsim_workload.dir/specint.cc.o.d"
+  "CMakeFiles/bpsim_workload.dir/synthetic_program.cc.o"
+  "CMakeFiles/bpsim_workload.dir/synthetic_program.cc.o.d"
+  "libbpsim_workload.a"
+  "libbpsim_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpsim_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_args.cc" "tests/CMakeFiles/bpsim_tests.dir/test_args.cc.o" "gcc" "tests/CMakeFiles/bpsim_tests.dir/test_args.cc.o.d"
+  "/root/repo/tests/test_core.cc" "tests/CMakeFiles/bpsim_tests.dir/test_core.cc.o" "gcc" "tests/CMakeFiles/bpsim_tests.dir/test_core.cc.o.d"
+  "/root/repo/tests/test_extensions.cc" "tests/CMakeFiles/bpsim_tests.dir/test_extensions.cc.o" "gcc" "tests/CMakeFiles/bpsim_tests.dir/test_extensions.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/bpsim_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/bpsim_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_kernels.cc" "tests/CMakeFiles/bpsim_tests.dir/test_kernels.cc.o" "gcc" "tests/CMakeFiles/bpsim_tests.dir/test_kernels.cc.o.d"
+  "/root/repo/tests/test_policies.cc" "tests/CMakeFiles/bpsim_tests.dir/test_policies.cc.o" "gcc" "tests/CMakeFiles/bpsim_tests.dir/test_policies.cc.o.d"
+  "/root/repo/tests/test_predictor.cc" "tests/CMakeFiles/bpsim_tests.dir/test_predictor.cc.o" "gcc" "tests/CMakeFiles/bpsim_tests.dir/test_predictor.cc.o.d"
+  "/root/repo/tests/test_profile.cc" "tests/CMakeFiles/bpsim_tests.dir/test_profile.cc.o" "gcc" "tests/CMakeFiles/bpsim_tests.dir/test_profile.cc.o.d"
+  "/root/repo/tests/test_property.cc" "tests/CMakeFiles/bpsim_tests.dir/test_property.cc.o" "gcc" "tests/CMakeFiles/bpsim_tests.dir/test_property.cc.o.d"
+  "/root/repo/tests/test_staticsel.cc" "tests/CMakeFiles/bpsim_tests.dir/test_staticsel.cc.o" "gcc" "tests/CMakeFiles/bpsim_tests.dir/test_staticsel.cc.o.d"
+  "/root/repo/tests/test_support.cc" "tests/CMakeFiles/bpsim_tests.dir/test_support.cc.o" "gcc" "tests/CMakeFiles/bpsim_tests.dir/test_support.cc.o.d"
+  "/root/repo/tests/test_trace.cc" "tests/CMakeFiles/bpsim_tests.dir/test_trace.cc.o" "gcc" "tests/CMakeFiles/bpsim_tests.dir/test_trace.cc.o.d"
+  "/root/repo/tests/test_workflow.cc" "tests/CMakeFiles/bpsim_tests.dir/test_workflow.cc.o" "gcc" "tests/CMakeFiles/bpsim_tests.dir/test_workflow.cc.o.d"
+  "/root/repo/tests/test_workload.cc" "tests/CMakeFiles/bpsim_tests.dir/test_workload.cc.o" "gcc" "tests/CMakeFiles/bpsim_tests.dir/test_workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bpsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/predictor/CMakeFiles/bpsim_predictor.dir/DependInfo.cmake"
+  "/root/repo/build/src/staticsel/CMakeFiles/bpsim_staticsel.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/bpsim_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bpsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bpsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/bpsim_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

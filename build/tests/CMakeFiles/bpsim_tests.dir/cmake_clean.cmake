@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpsim_tests.dir/test_args.cc.o"
+  "CMakeFiles/bpsim_tests.dir/test_args.cc.o.d"
+  "CMakeFiles/bpsim_tests.dir/test_core.cc.o"
+  "CMakeFiles/bpsim_tests.dir/test_core.cc.o.d"
+  "CMakeFiles/bpsim_tests.dir/test_extensions.cc.o"
+  "CMakeFiles/bpsim_tests.dir/test_extensions.cc.o.d"
+  "CMakeFiles/bpsim_tests.dir/test_integration.cc.o"
+  "CMakeFiles/bpsim_tests.dir/test_integration.cc.o.d"
+  "CMakeFiles/bpsim_tests.dir/test_kernels.cc.o"
+  "CMakeFiles/bpsim_tests.dir/test_kernels.cc.o.d"
+  "CMakeFiles/bpsim_tests.dir/test_policies.cc.o"
+  "CMakeFiles/bpsim_tests.dir/test_policies.cc.o.d"
+  "CMakeFiles/bpsim_tests.dir/test_predictor.cc.o"
+  "CMakeFiles/bpsim_tests.dir/test_predictor.cc.o.d"
+  "CMakeFiles/bpsim_tests.dir/test_profile.cc.o"
+  "CMakeFiles/bpsim_tests.dir/test_profile.cc.o.d"
+  "CMakeFiles/bpsim_tests.dir/test_property.cc.o"
+  "CMakeFiles/bpsim_tests.dir/test_property.cc.o.d"
+  "CMakeFiles/bpsim_tests.dir/test_staticsel.cc.o"
+  "CMakeFiles/bpsim_tests.dir/test_staticsel.cc.o.d"
+  "CMakeFiles/bpsim_tests.dir/test_support.cc.o"
+  "CMakeFiles/bpsim_tests.dir/test_support.cc.o.d"
+  "CMakeFiles/bpsim_tests.dir/test_trace.cc.o"
+  "CMakeFiles/bpsim_tests.dir/test_trace.cc.o.d"
+  "CMakeFiles/bpsim_tests.dir/test_workflow.cc.o"
+  "CMakeFiles/bpsim_tests.dir/test_workflow.cc.o.d"
+  "CMakeFiles/bpsim_tests.dir/test_workload.cc.o"
+  "CMakeFiles/bpsim_tests.dir/test_workload.cc.o.d"
+  "bpsim_tests"
+  "bpsim_tests.pdb"
+  "bpsim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpsim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

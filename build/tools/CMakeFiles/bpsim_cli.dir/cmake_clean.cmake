@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpsim_cli.dir/bpsim_cli.cpp.o"
+  "CMakeFiles/bpsim_cli.dir/bpsim_cli.cpp.o.d"
+  "bpsim_cli"
+  "bpsim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
