@@ -9,7 +9,8 @@
  *   - Static_Alias (bias > 90% AND collision rate above threshold)
  *
  * plus the hint counts, showing Static_Alias spends far fewer hint
- * bits for a comparable share of the aliasing relief.
+ * bits for a comparable share of the aliasing relief. Runs as a
+ * parallel matrix over shared replay buffers.
  */
 
 #include <cstdio>
@@ -20,9 +21,29 @@ using namespace bpsim;
 using namespace bpsim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions options =
+        parseBenchOptions(argc, argv, "ablation_alias_selection");
     const std::size_t sizes_kb[] = {1, 2, 4, 8};
+    const StaticScheme schemes[] = {StaticScheme::None,
+                                    StaticScheme::Static95,
+                                    StaticScheme::StaticAlias};
+
+    ExperimentRunner runner({options.threads});
+    for (const auto id : {SpecProgram::Go, SpecProgram::Gcc}) {
+        const std::size_t program =
+            runner.addProgram(makeSpecProgram(id, InputSet::Ref));
+        for (const std::size_t kb : sizes_kb) {
+            for (const auto scheme : schemes) {
+                runner.addCell(
+                    program,
+                    baseConfig(PredictorKind::Gshare, kb * 1024,
+                               scheme));
+            }
+        }
+    }
+    const MatrixResult result = runner.run();
 
     std::printf("Ablation: bias-only vs collision-aware static "
                 "selection (gshare)\n\n");
@@ -30,25 +51,19 @@ main()
                 "size", "base", "static95", "hints", "st_alias",
                 "hints");
 
-    for (const auto id : {SpecProgram::Go, SpecProgram::Gcc}) {
-        SyntheticProgram program = makeSpecProgram(id, InputSet::Ref);
+    std::size_t cell = 0;
+    for (std::size_t p = 0; p < runner.programCount(); ++p) {
         for (const std::size_t kb : sizes_kb) {
-            ExperimentConfig config = baseConfig(
-                PredictorKind::Gshare, kb * 1024, StaticScheme::None);
             const double base =
-                runExperiment(program, config).stats.mispKi();
-
-            config.scheme = StaticScheme::Static95;
-            const ExperimentResult s95 =
-                runExperiment(program, config);
-
-            config.scheme = StaticScheme::StaticAlias;
-            const ExperimentResult alias =
-                runExperiment(program, config);
+                result.cells[cell++].result.stats.mispKi();
+            const ExperimentResult &s95 =
+                result.cells[cell++].result;
+            const ExperimentResult &alias =
+                result.cells[cell++].result;
 
             std::printf("%-8s %4zuKB %10.2f | %10.2f %8zu | %10.2f "
                         "%8zu\n",
-                        program.name().c_str(), kb, base,
+                        runner.program(p).name().c_str(), kb, base,
                         s95.stats.mispKi(), s95.hintCount,
                         alias.stats.mispKi(), alias.hintCount);
         }
@@ -57,5 +72,10 @@ main()
     std::printf("\nExpected shape: static_alias selects fewer "
                 "branches (only the contested ones) while capturing "
                 "much of the same MISP/KI relief at small sizes.\n");
+
+    if (!options.jsonPath.empty()) {
+        writeRunnerJson(options.jsonPath, "ablation_alias_selection",
+                        runner, result, options.baselineSeconds);
+    }
     return 0;
 }

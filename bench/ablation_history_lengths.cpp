@@ -5,45 +5,77 @@
  * go and gcc. The paper states it "selected the best history lengths"
  * for its 2bcgskew simulations; this bench shows how sensitive the
  * result is to that choice on our workloads.
+ *
+ * The sweep runs as a parallel matrix: each cell carries a custom
+ * 2bcgskew construction via ExperimentConfig::makeDynamic and replays
+ * the shared per-program buffer.
  */
 
 #include <cstdio>
+#include <memory>
 
 #include "bench_util.hh"
-#include "core/engine.hh"
 #include "predictor/two_bc_gskew.hh"
 
 using namespace bpsim;
 using namespace bpsim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions options =
+        parseBenchOptions(argc, argv, "ablation_history_lengths");
     const std::size_t size_bytes = 8192; // 13 index bits per bank
+
+    const BitCount g0_options[] = {3, 6, 10};
+    const BitCount g1_options[] = {8, 13, 20};
+    const BitCount meta_options[] = {6};
+
+    ExperimentRunner runner({options.threads});
+    std::size_t program_index[2];
+    std::size_t next_program = 0;
+    for (const auto id : {SpecProgram::Go, SpecProgram::Gcc}) {
+        program_index[next_program++] =
+            runner.addProgram(makeSpecProgram(id, InputSet::Ref));
+    }
+
+    for (const BitCount g0 : g0_options) {
+        for (const BitCount g1 : g1_options) {
+            for (const BitCount meta : meta_options) {
+                for (const std::size_t program : program_index) {
+                    ExperimentConfig config;
+                    config.scheme = StaticScheme::None;
+                    config.evalBranches = evalBranches;
+                    config.makeDynamic = [=] {
+                        return std::make_unique<TwoBcGskew>(
+                            size_bytes, g0, g1, meta);
+                    };
+                    runner.addCell(
+                        program, config,
+                        runner.program(program).name() +
+                            "/2bcgskew:" + std::to_string(g0) + ":" +
+                            std::to_string(g1) + ":" +
+                            std::to_string(meta));
+                }
+            }
+        }
+    }
+    const MatrixResult result = runner.run();
 
     std::printf("Ablation: 2bcgskew history lengths (8 KB), MISP/KI\n"
                 "\n");
     std::printf("%6s %6s %6s | %10s %10s\n", "hG0", "hG1", "hMeta",
                 "go", "gcc");
 
-    const BitCount g0_options[] = {3, 6, 10};
-    const BitCount g1_options[] = {8, 13, 20};
-    const BitCount meta_options[] = {6};
-
+    std::size_t cell = 0;
     for (const BitCount g0 : g0_options) {
         for (const BitCount g1 : g1_options) {
             for (const BitCount meta : meta_options) {
                 std::printf("%6u %6u %6u |", g0, g1, meta);
-                for (const auto id :
-                     {SpecProgram::Go, SpecProgram::Gcc}) {
-                    SyntheticProgram program =
-                        makeSpecProgram(id, InputSet::Ref);
-                    TwoBcGskew predictor(size_bytes, g0, g1, meta);
-                    SimOptions options;
-                    options.maxBranches = evalBranches;
-                    SimStats stats =
-                        simulate(predictor, program, options);
-                    std::printf(" %10.2f", stats.mispKi());
+                for (std::size_t p = 0; p < 2; ++p) {
+                    std::printf(
+                        " %10.2f",
+                        result.cells[cell++].result.stats.mispKi());
                 }
                 std::printf("\n");
             }
@@ -51,5 +83,10 @@ main()
     }
 
     std::printf("\nAuto defaults at this size: hG0=6 hG1=13 hMeta=6.\n");
+
+    if (!options.jsonPath.empty()) {
+        writeRunnerJson(options.jsonPath, "ablation_history_lengths",
+                        runner, result, options.baselineSeconds);
+    }
     return 0;
 }

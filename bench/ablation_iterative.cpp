@@ -5,9 +5,15 @@
  * Later rounds profile the combined predictor with earlier rounds'
  * branches already removed, so they see the residual aliasing; the
  * question is how much that second look buys.
+ *
+ * The base and single-shot cells run through the experiment matrix;
+ * the iterative loops (inherently sequential per program) run one per
+ * program across the pool, replaying the same shared buffers.
  */
 
+#include <algorithm>
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.hh"
 #include "core/engine.hh"
@@ -16,51 +22,93 @@
 using namespace bpsim;
 using namespace bpsim::bench;
 
-int
-main()
+namespace
 {
+
+/** Per-program outcome of the iterative selection + evaluation. */
+struct IterativeRow
+{
+    SimStats stats;
+    std::size_t hints = 0;
+    unsigned rounds = 0;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions options =
+        parseBenchOptions(argc, argv, "ablation_iterative");
+    const std::size_t size_bytes = 4096;
+
+    ExperimentRunner runner({options.threads});
+    for (const auto id : allSpecPrograms()) {
+        const std::size_t program =
+            runner.addProgram(makeSpecProgram(id, InputSet::Ref));
+        runner.addCell(program,
+                       baseConfig(PredictorKind::Gshare, size_bytes,
+                                  StaticScheme::None));
+        runner.addCell(program,
+                       baseConfig(PredictorKind::Gshare, size_bytes,
+                                  StaticScheme::StaticFac));
+        // The iterative rounds profile and evaluate over the same
+        // buffer; make it long enough for both passes.
+        runner.requireBuffer(program, InputSet::Ref,
+                             std::max(profileBranches, evalBranches));
+    }
+    const MatrixResult result = runner.run();
+
+    std::vector<IterativeRow> rows(runner.programCount());
+    runner.pool().parallelFor(
+        runner.programCount(), [&](std::size_t p) {
+            IterativeConfig iterative;
+            iterative.kind = PredictorKind::Gshare;
+            iterative.sizeBytes = size_bytes;
+            iterative.profileBranches = profileBranches;
+
+            ReplayBuffer::Cursor profile_stream =
+                runner.buffer(p, InputSet::Ref).cursor();
+            const IterativeResult selection =
+                selectStaticIterative(profile_stream, iterative);
+
+            CombinedPredictor combined(
+                makePredictor(iterative.kind, size_bytes),
+                selection.hints);
+            ReplayBuffer::Cursor eval_stream =
+                runner.buffer(p, InputSet::Ref).cursor();
+            SimOptions sim_options;
+            sim_options.maxBranches = evalBranches;
+            rows[p].stats =
+                simulate(combined, eval_stream, sim_options);
+            rows[p].hints = selection.hints.size();
+            rows[p].rounds = selection.iterations;
+        });
+
     std::printf("Ablation: single-shot Static_Fac vs iterative "
                 "(Lindsay) selection, gshare 4 KB\n\n");
     std::printf("%-10s %8s | %10s %7s | %10s %7s %6s\n", "program",
                 "base", "fac x1", "hints", "iterative", "hints",
                 "rounds");
 
-    for (const auto id : allSpecPrograms()) {
-        SyntheticProgram program = makeSpecProgram(id, InputSet::Ref);
-
-        ExperimentConfig config = baseConfig(
-            PredictorKind::Gshare, 4096, StaticScheme::None);
-        const double base =
-            runExperiment(program, config).stats.mispKi();
-
-        config.scheme = StaticScheme::StaticFac;
-        const ExperimentResult single =
-            runExperiment(program, config);
-
-        IterativeConfig iterative;
-        iterative.kind = PredictorKind::Gshare;
-        iterative.sizeBytes = 4096;
-        iterative.profileBranches = profileBranches;
-        const IterativeResult selection =
-            selectStaticIterative(program, iterative);
-
-        program.setInput(InputSet::Ref);
-        CombinedPredictor combined(makePredictor(iterative.kind, 4096),
-                                   selection.hints);
-        SimOptions options;
-        options.maxBranches = evalBranches;
-        const SimStats iterated =
-            simulate(combined, program, options);
-
+    for (std::size_t p = 0; p < runner.programCount(); ++p) {
+        const ExperimentResult &base = result.cells[2 * p].result;
+        const ExperimentResult &single =
+            result.cells[2 * p + 1].result;
         std::printf("%-10s %8.2f | %10.2f %7zu | %10.2f %7zu %6u\n",
-                    program.name().c_str(), base,
-                    single.stats.mispKi(), single.hintCount,
-                    iterated.mispKi(), selection.hints.size(),
-                    selection.iterations);
+                    runner.program(p).name().c_str(),
+                    base.stats.mispKi(), single.stats.mispKi(),
+                    single.hintCount, rows[p].stats.mispKi(),
+                    rows[p].hints, rows[p].rounds);
     }
 
     std::printf("\nExpected shape: iterating adds a modest second "
                 "tranche of hints and matches or beats the single "
                 "pass everywhere.\n");
+
+    if (!options.jsonPath.empty()) {
+        writeRunnerJson(options.jsonPath, "ablation_iterative",
+                        runner, result, options.baselineSeconds);
+    }
     return 0;
 }

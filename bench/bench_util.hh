@@ -10,6 +10,8 @@
 #include <string>
 
 #include "core/experiment.hh"
+#include "core/runner.hh"
+#include "support/args.hh"
 #include "workload/specint.hh"
 
 namespace bpsim::bench
@@ -33,6 +35,45 @@ baseConfig(PredictorKind kind, std::size_t size_bytes,
     config.profileBranches = profileBranches;
     config.evalBranches = evalBranches;
     return config;
+}
+
+/** Options shared by the runner-based benches. */
+struct BenchOptions
+{
+    /** Worker threads (already resolved; never 0). */
+    unsigned threads = 1;
+
+    /** Per-cell timing JSON output path; empty = disabled. */
+    std::string jsonPath;
+
+    /** Externally measured serial-path wall time (0 = unknown). */
+    double baselineSeconds = 0.0;
+};
+
+/**
+ * Parse the shared bench options (--threads / --json /
+ * --baseline-seconds). @p default_json names the JSON file written
+ * when --json is not given; pass "" to disable by default.
+ */
+inline BenchOptions
+parseBenchOptions(int argc, char **argv, const char *tool,
+                  const char *default_json = "")
+{
+    ArgParser args(tool);
+    addThreadsOption(args);
+    args.addOption("json", default_json,
+                   "write per-cell timing JSON to this path "
+                   "(empty = disabled)");
+    args.addOption("baseline-seconds", "0",
+                   "serial-path wall time measured externally; "
+                   "recorded in the JSON for speedup tracking");
+    args.parse(argc, argv);
+
+    BenchOptions options;
+    options.threads = threadsFromArgs(args);
+    options.jsonPath = args.get("json");
+    options.baselineSeconds = args.getDouble("baseline-seconds");
+    return options;
 }
 
 /** Percentage improvement (positive = better) formatted as "+x.x%". */

@@ -4,6 +4,11 @@
  * predictors under the three static schemes (none / Static_95 /
  * Static_Acc), one block per program. Predictor size 8 KB.
  *
+ * Runs as a parallel experiment matrix: each program's branch stream
+ * is materialized once into a replay buffer and the 90 cells are
+ * sharded across worker threads (--threads / $BPSIM_THREADS).
+ * Per-cell timing lands in BENCH_runner.json.
+ *
  * Paper shapes to verify:
  *  - bimodal gains ~nothing from Static_95 (it already captures
  *    biased branches and has little aliasing);
@@ -22,39 +27,64 @@ using namespace bpsim;
 using namespace bpsim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions options = parseBenchOptions(
+        argc, argv, "fig7_12_static_schemes", "BENCH_runner.json");
     const std::size_t size_bytes = 8192;
+    const StaticScheme schemes[] = {StaticScheme::None,
+                                    StaticScheme::Static95,
+                                    StaticScheme::StaticAcc};
+
+    ExperimentRunner runner({options.threads});
+    for (const auto id : allSpecPrograms()) {
+        const std::size_t program =
+            runner.addProgram(makeSpecProgram(id, InputSet::Ref));
+        for (const auto kind : allPredictorKinds()) {
+            for (const auto scheme : schemes) {
+                runner.addCell(
+                    program,
+                    baseConfig(kind, size_bytes, scheme));
+            }
+        }
+    }
+    const MatrixResult result = runner.run();
 
     std::printf("Figures 7-12: MISP/KI per predictor and static "
                 "scheme (8 KB predictors)\n");
 
-    for (const auto id : allSpecPrograms()) {
-        SyntheticProgram program = makeSpecProgram(id, InputSet::Ref);
-        std::printf("\n[%s]\n", program.name().c_str());
+    std::size_t cell = 0;
+    for (std::size_t p = 0; p < runner.programCount(); ++p) {
+        std::printf("\n[%s]\n", runner.program(p).name().c_str());
         std::printf("%-10s %10s %12s %12s %10s %10s\n", "predictor",
                     "none", "static_95", "static_acc", "impr95",
                     "imprAcc");
-
         for (const auto kind : allPredictorKinds()) {
-            ExperimentConfig config =
-                baseConfig(kind, size_bytes, StaticScheme::None);
             const double none =
-                runExperiment(program, config).stats.mispKi();
-
-            config.scheme = StaticScheme::Static95;
+                result.cells[cell++].result.stats.mispKi();
             const double s95 =
-                runExperiment(program, config).stats.mispKi();
-
-            config.scheme = StaticScheme::StaticAcc;
+                result.cells[cell++].result.stats.mispKi();
             const double acc =
-                runExperiment(program, config).stats.mispKi();
-
+                result.cells[cell++].result.stats.mispKi();
             std::printf("%-10s %10.2f %12.2f %12.2f %10s %10s\n",
                         predictorKindName(kind).c_str(), none, s95,
                         acc, formatImprovement(none, s95).c_str(),
                         formatImprovement(none, acc).c_str());
         }
+    }
+
+    std::printf("\n%zu cells, %u threads: %.2fs wall "
+                "(materialize %.2fs), %.1fM branches/s, "
+                "%.2fx vs one-thread estimate\n",
+                result.cells.size(), result.threads,
+                result.wallSeconds, result.materializeSeconds,
+                static_cast<double>(result.totalBranches) / 1e6 /
+                    result.wallSeconds,
+                result.speedupVsSerialEstimate());
+
+    if (!options.jsonPath.empty()) {
+        writeRunnerJson(options.jsonPath, "fig7_12_static_schemes",
+                        runner, result, options.baselineSeconds);
     }
     return 0;
 }

@@ -5,6 +5,10 @@
  * direction reversals, and the size of bias drifts, each weighted
  * statically (per branch) and dynamically (per execution).
  *
+ * Each program's train and ref streams are materialized once into
+ * replay buffers and the per-program profile comparisons run across
+ * the runner's thread pool.
+ *
  * Paper shapes to verify: train covers almost all ref branches except
  * for perl; a non-trivial fraction of branches flips its majority
  * direction (largest for perl/m88ksim where the flipping branches are
@@ -12,6 +16,7 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.hh"
 #include "profile/profile_db.hh"
@@ -20,27 +25,49 @@ using namespace bpsim;
 using namespace bpsim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions options =
+        parseBenchOptions(argc, argv, "table5_cross_input");
+    const Count profile_len = 4 * evalBranches;
+
+    ExperimentRunner runner({options.threads});
+    for (const auto id : allSpecPrograms()) {
+        const std::size_t program =
+            runner.addProgram(makeSpecProgram(id, InputSet::Train));
+        runner.requireBuffer(program, InputSet::Train, profile_len);
+        runner.requireBuffer(program, InputSet::Ref, profile_len);
+    }
+    runner.materialize();
+
+    std::vector<CrossInputStats> rows(runner.programCount());
+    runner.pool().parallelFor(
+        runner.programCount(), [&](std::size_t p) {
+            ReplayBuffer::Cursor train_stream =
+                runner.buffer(p, InputSet::Train).cursor();
+            const ProfileDb train =
+                ProfileDb::collect(train_stream, profile_len);
+
+            ReplayBuffer::Cursor ref_stream =
+                runner.buffer(p, InputSet::Ref).cursor();
+            const ProfileDb ref =
+                ProfileDb::collect(ref_stream, profile_len);
+
+            rows[p] = compareProfiles(train, ref);
+        });
+
     std::printf("Table 5: branch behaviour, train vs ref input "
                 "(static%% / dynamic%%)\n\n");
     std::printf("%-10s %16s %18s %18s %18s\n", "program",
                 "seen w/ train", "majority flip", "bias chg <5%",
                 "bias chg >50%");
 
-    for (const auto id : allSpecPrograms()) {
-        SyntheticProgram program = makeSpecProgram(id, InputSet::Train);
-        ProfileDb train =
-            ProfileDb::collect(program, 4 * evalBranches);
-
-        program.setInput(InputSet::Ref);
-        ProfileDb ref =
-            ProfileDb::collect(program, 4 * evalBranches);
-
-        const CrossInputStats stats = compareProfiles(train, ref);
+    for (std::size_t p = 0; p < runner.programCount(); ++p) {
+        const CrossInputStats &stats = rows[p];
         std::printf("%-10s %7.1f%% / %5.1f%% %8.1f%% / %5.1f%% "
                     "%8.1f%% / %5.1f%% %8.1f%% / %5.1f%%\n",
-                    program.name().c_str(), stats.seenWithTrainStatic,
+                    runner.program(p).name().c_str(),
+                    stats.seenWithTrainStatic,
                     stats.seenWithTrainDynamic,
                     stats.majorityFlipStatic,
                     stats.majorityFlipDynamic,

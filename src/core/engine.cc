@@ -5,41 +5,32 @@
 namespace bpsim
 {
 
-SimStats
-simulate(BranchPredictor &predictor, BranchStream &stream,
-         const SimOptions &options)
+namespace
 {
-    if (options.resetStream)
-        stream.reset();
-    if (options.resetPredictor)
-        predictor.reset();
-    predictor.clearCollisionStats();
 
-    auto *combined = dynamic_cast<CombinedPredictor *>(&predictor);
-
+/**
+ * The measured loop, stamped out per configuration so the per-branch
+ * path pays neither for profiling when no ProfileDb is attached nor
+ * for static/dynamic attribution when the predictor is not combined.
+ */
+template <bool WithProfile, bool IsCombined>
+SimStats
+runMeasured(BranchPredictor &predictor, CombinedPredictor *combined,
+            BranchStream &stream, const SimOptions &options)
+{
     SimStats stats;
     BranchRecord record;
     const Count limit = options.maxBranches == 0 ? ~Count{0}
                                                  : options.maxBranches;
-
-    // Warmup: train the predictor without recording anything.
-    for (Count i = 0;
-         i < options.warmupBranches && stream.next(record); ++i) {
-        predictor.predict(record.pc);
-        predictor.update(record.pc, record.taken);
-        predictor.updateHistory(record.taken);
-    }
-    predictor.clearCollisionStats();
 
     while (stats.branches < limit && stream.next(record)) {
         const bool prediction = predictor.predict(record.pc);
         const bool correct = prediction == record.taken;
         // Must be sampled between predict() and update(): update()
         // classifies and clears the pending collision state.
-        const Count lookup_collisions =
-            options.profile != nullptr
-                ? predictor.lastPredictCollisions()
-                : 0;
+        Count lookup_collisions = 0;
+        if constexpr (WithProfile)
+            lookup_collisions = predictor.lastPredictCollisions();
 
         predictor.update(record.pc, record.taken);
         predictor.updateHistory(record.taken);
@@ -49,15 +40,17 @@ simulate(BranchPredictor &predictor, BranchStream &stream,
         if (!correct)
             ++stats.mispredictions;
 
-        const bool was_static =
-            combined != nullptr && combined->lastWasStatic();
-        if (was_static) {
-            ++stats.staticPredicted;
-            if (!correct)
-                ++stats.staticMispredictions;
+        bool was_static = false;
+        if constexpr (IsCombined) {
+            was_static = combined->lastWasStatic();
+            if (was_static) {
+                ++stats.staticPredicted;
+                if (!correct)
+                    ++stats.staticMispredictions;
+            }
         }
 
-        if (options.profile != nullptr) {
+        if constexpr (WithProfile) {
             options.profile->recordOutcome(record.pc, record.taken);
             // Accuracy counts describe the *dynamic* predictor, so
             // statically resolved branches do not contribute.
@@ -72,6 +65,45 @@ simulate(BranchPredictor &predictor, BranchStream &stream,
 
     stats.collisions = predictor.collisionStats();
     return stats;
+}
+
+} // namespace
+
+SimStats
+simulate(BranchPredictor &predictor, BranchStream &stream,
+         const SimOptions &options)
+{
+    if (options.resetStream)
+        stream.reset();
+    if (options.resetPredictor)
+        predictor.reset();
+    predictor.clearCollisionStats();
+
+    auto *combined = dynamic_cast<CombinedPredictor *>(&predictor);
+
+    // Warmup: train the predictor without recording anything.
+    BranchRecord record;
+    for (Count i = 0;
+         i < options.warmupBranches && stream.next(record); ++i) {
+        predictor.predict(record.pc);
+        predictor.update(record.pc, record.taken);
+        predictor.updateHistory(record.taken);
+    }
+    predictor.clearCollisionStats();
+
+    const bool with_profile = options.profile != nullptr;
+    if (combined != nullptr) {
+        return with_profile
+                   ? runMeasured<true, true>(predictor, combined,
+                                             stream, options)
+                   : runMeasured<false, true>(predictor, combined,
+                                              stream, options);
+    }
+    return with_profile
+               ? runMeasured<true, false>(predictor, nullptr, stream,
+                                          options)
+               : runMeasured<false, false>(predictor, nullptr, stream,
+                                           options);
 }
 
 } // namespace bpsim

@@ -7,33 +7,77 @@
 namespace bpsim
 {
 
+namespace
+{
+
+/** Build the dynamic component a config describes. */
+std::unique_ptr<BranchPredictor>
+makeDynamicComponent(const ExperimentConfig &config)
+{
+    return config.makeDynamic
+               ? config.makeDynamic()
+               : makePredictor(config.kind, config.sizeBytes);
+}
+
+/**
+ * Adapter pinning a SyntheticProgram to one input set: reset()
+ * re-binds the input (which also rewinds execution), so the
+ * stream-based experiment core can treat the two phases of a live
+ * program exactly like two independent replay cursors.
+ */
+class InputBoundStream : public BranchStream
+{
+  public:
+    InputBoundStream(SyntheticProgram &program, InputSet input)
+        : program(program), input(input)
+    {}
+
+    bool
+    next(BranchRecord &record) override
+    {
+        return program.next(record);
+    }
+
+    void reset() override { program.setInput(input); }
+
+  private:
+    SyntheticProgram &program;
+    InputSet input;
+};
+
+} // namespace
+
 ExperimentResult
-runExperiment(SyntheticProgram &program, const ExperimentConfig &config)
+runExperimentStreams(BranchStream &profile_stream,
+                     BranchStream &eval_stream,
+                     const ExperimentConfig &config)
 {
     HintDb hints;
+    Count simulated = 0;
 
     if (config.scheme != StaticScheme::None) {
         // Phase 1: profile the program, simulating the target dynamic
         // predictor so the profile carries per-branch accuracy (only
         // Static_Acc/Static_Fac read it; Static_95 just uses bias).
-        program.setInput(config.profileInput);
-        auto profiling_predictor =
-            makePredictor(config.kind, config.sizeBytes);
+        auto profiling_predictor = makeDynamicComponent(config);
         ProfileDb profile;
         SimOptions profile_options;
         profile_options.maxBranches = config.profileBranches;
         profile_options.profile = &profile;
-        simulate(*profiling_predictor, program, profile_options);
+        const SimStats profile_stats = simulate(
+            *profiling_predictor, profile_stream, profile_options);
+        simulated += profile_stats.branches;
 
         if (config.filterUnstable &&
             config.profileInput != config.evalInput) {
             // The Spike-style merge filter: gather a bias-only
             // profile under the evaluation input and drop branches
             // whose behaviour is input-dependent.
-            program.setInput(config.evalInput);
-            BoundedStream bounded(program, config.profileBranches);
+            eval_stream.reset();
+            BoundedStream bounded(eval_stream, config.profileBranches);
             ProfileDb eval_profile =
                 ProfileDb::collect(bounded, config.profileBranches);
+            simulated += eval_profile.totalExecuted();
             profile = stableSubset(profile, eval_profile,
                                    config.stabilityThreshold);
         }
@@ -42,18 +86,25 @@ runExperiment(SyntheticProgram &program, const ExperimentConfig &config)
     }
 
     // Phase 2: evaluate the combined predictor from a cold start.
-    program.setInput(config.evalInput);
     const std::size_t hint_count = hints.size();
-    CombinedPredictor combined(
-        makePredictor(config.kind, config.sizeBytes),
-        std::move(hints), config.shift);
+    CombinedPredictor combined(makeDynamicComponent(config),
+                               std::move(hints), config.shift);
 
     SimOptions eval_options;
     eval_options.maxBranches = config.evalBranches;
     ExperimentResult result;
-    result.stats = simulate(combined, program, eval_options);
+    result.stats = simulate(combined, eval_stream, eval_options);
     result.hintCount = hint_count;
+    result.simulatedBranches = simulated + result.stats.branches;
     return result;
+}
+
+ExperimentResult
+runExperiment(SyntheticProgram &program, const ExperimentConfig &config)
+{
+    InputBoundStream profile_stream(program, config.profileInput);
+    InputBoundStream eval_stream(program, config.evalInput);
+    return runExperimentStreams(profile_stream, eval_stream, config);
 }
 
 SimStats

@@ -11,6 +11,8 @@
 #define BPSIM_CORE_EXPERIMENT_HH
 
 #include <cstddef>
+#include <functional>
+#include <memory>
 
 #include "core/combined_predictor.hh"
 #include "core/sim_stats.hh"
@@ -61,6 +63,14 @@ struct ExperimentConfig
 
     /** Bias-change tolerance of the merge filter. */
     double stabilityThreshold = 0.05;
+
+    /**
+     * Optional factory for the dynamic component. When set it
+     * overrides kind/sizeBytes, letting matrix cells carry custom
+     * predictor constructions (e.g. history-length sweeps) that the
+     * kind enum cannot express. Called once per phase.
+     */
+    std::function<std::unique_ptr<BranchPredictor>()> makeDynamic;
 };
 
 /** Outcome of one experiment. */
@@ -71,6 +81,10 @@ struct ExperimentResult
 
     /** Number of branches given static hints. */
     std::size_t hintCount = 0;
+
+    /** Branches simulated across all phases (profiling, stability
+     * filtering, evaluation) — the experiment's total work. */
+    Count simulatedBranches = 0;
 };
 
 /**
@@ -80,6 +94,19 @@ struct ExperimentResult
  */
 ExperimentResult runExperiment(SyntheticProgram &program,
                                const ExperimentConfig &config);
+
+/**
+ * Stream-based experiment core: @p profile_stream must replay
+ * config.profileInput and @p eval_stream config.evalInput; both are
+ * reset before each use, so replay-buffer cursors and live programs
+ * work alike. The streams must hold at least profileBranches /
+ * evalBranches records respectively (and the eval stream at least
+ * profileBranches when filterUnstable applies) for results to be
+ * identical to the regenerating path.
+ */
+ExperimentResult runExperimentStreams(BranchStream &profile_stream,
+                                      BranchStream &eval_stream,
+                                      const ExperimentConfig &config);
 
 /**
  * Convenience: pure dynamic baseline of @p kind / @p size_bytes over

@@ -9,8 +9,16 @@ IterativeResult
 selectStaticIterative(SyntheticProgram &program,
                       const IterativeConfig &config)
 {
-    IterativeResult result;
     program.setInput(config.profileInput);
+    return selectStaticIterative(static_cast<BranchStream &>(program),
+                                 config);
+}
+
+IterativeResult
+selectStaticIterative(BranchStream &profile_stream,
+                      const IterativeConfig &config)
+{
+    IterativeResult result;
 
     for (unsigned round = 0; round < config.maxIterations; ++round) {
         // Profile the combined predictor with the hints accumulated
@@ -25,7 +33,7 @@ selectStaticIterative(SyntheticProgram &program,
         SimOptions options;
         options.maxBranches = config.profileBranches;
         options.profile = &profile;
-        simulate(combined, program, options);
+        simulate(combined, profile_stream, options);
 
         const HintDb additions =
             selectStaticFac(profile, config.selection);

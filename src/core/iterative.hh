@@ -69,6 +69,14 @@ struct IterativeResult
 IterativeResult selectStaticIterative(SyntheticProgram &program,
                                       const IterativeConfig &config);
 
+/**
+ * Stream-based variant: @p profile_stream must replay
+ * config.profileInput and is reset before each round, so replay
+ * cursors work as well as live programs.
+ */
+IterativeResult selectStaticIterative(BranchStream &profile_stream,
+                                      const IterativeConfig &config);
+
 } // namespace bpsim
 
 #endif // BPSIM_CORE_ITERATIVE_HH

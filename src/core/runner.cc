@@ -1,0 +1,395 @@
+#include "core/runner.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "support/logging.hh"
+
+namespace bpsim
+{
+
+namespace
+{
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+unsigned
+resolveThreadCount(unsigned requested)
+{
+    if (requested > 0)
+        return requested;
+    if (const char *env = std::getenv("BPSIM_THREADS")) {
+        char *end = nullptr;
+        const unsigned long value = std::strtoul(env, &end, 10);
+        if (end == env || *end != '\0' || value == 0)
+            bpsim_fatal("BPSIM_THREADS expects a positive integer, "
+                        "got '", env, "'");
+        return static_cast<unsigned>(value);
+    }
+    const unsigned hardware = std::thread::hardware_concurrency();
+    return hardware > 0 ? hardware : 1;
+}
+
+void
+addThreadsOption(ArgParser &args)
+{
+    args.addOption("threads", "0",
+                   "worker threads (0 = $BPSIM_THREADS, else hardware "
+                   "concurrency)");
+}
+
+unsigned
+threadsFromArgs(const ArgParser &args)
+{
+    return resolveThreadCount(
+        static_cast<unsigned>(args.getUint("threads")));
+}
+
+TaskPool::TaskPool(unsigned threads)
+    : workers(resolveThreadCount(threads))
+{
+}
+
+void
+TaskPool::run(std::vector<std::function<void()>> tasks)
+{
+    if (tasks.empty())
+        return;
+    const unsigned n = static_cast<unsigned>(
+        std::min<std::size_t>(workers, tasks.size()));
+    if (n <= 1) {
+        for (auto &task : tasks)
+            task();
+        return;
+    }
+
+    // Round-robin deal onto per-worker deques. Each worker drains its
+    // own deque from the front and, when empty, steals from the back
+    // of the others, so long-running tails redistribute themselves.
+    struct WorkerDeque
+    {
+        std::deque<std::size_t> items;
+        std::mutex lock;
+    };
+    std::vector<WorkerDeque> deques(n);
+    for (std::size_t i = 0; i < tasks.size(); ++i)
+        deques[i % n].items.push_back(i);
+
+    std::atomic<std::size_t> remaining{tasks.size()};
+
+    const auto worker = [&](unsigned self) {
+        for (;;) {
+            std::size_t task_index = 0;
+            bool found = false;
+            {
+                std::lock_guard<std::mutex> guard(deques[self].lock);
+                if (!deques[self].items.empty()) {
+                    task_index = deques[self].items.front();
+                    deques[self].items.pop_front();
+                    found = true;
+                }
+            }
+            for (unsigned v = 1; v < n && !found; ++v) {
+                WorkerDeque &victim = deques[(self + v) % n];
+                std::lock_guard<std::mutex> guard(victim.lock);
+                if (!victim.items.empty()) {
+                    task_index = victim.items.back();
+                    victim.items.pop_back();
+                    found = true;
+                }
+            }
+            if (!found) {
+                // Every queue is empty; wait for in-flight tasks (a
+                // thief could still re-populate nothing — tasks never
+                // spawn tasks) and exit.
+                if (remaining.load(std::memory_order_acquire) == 0)
+                    return;
+                std::this_thread::yield();
+                continue;
+            }
+            tasks[task_index]();
+            remaining.fetch_sub(1, std::memory_order_acq_rel);
+        }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(n - 1);
+    for (unsigned t = 1; t < n; ++t)
+        threads.emplace_back(worker, t);
+    worker(0);
+    for (auto &thread : threads)
+        thread.join();
+}
+
+double
+MatrixResult::serialEstimateSeconds() const
+{
+    double total = materializeSeconds;
+    for (const auto &cell : cells)
+        total += cell.wallSeconds;
+    return total;
+}
+
+double
+MatrixResult::speedupVsSerialEstimate() const
+{
+    return wallSeconds > 0.0 ? serialEstimateSeconds() / wallSeconds
+                             : 0.0;
+}
+
+ExperimentRunner::ExperimentRunner(RunnerOptions options)
+    : options(options), taskPool(options.threads)
+{
+}
+
+std::size_t
+ExperimentRunner::addProgram(SyntheticProgram program)
+{
+    programs.push_back(std::move(program));
+    demand.push_back({});
+    buffers.emplace_back();
+    return programs.size() - 1;
+}
+
+const SyntheticProgram &
+ExperimentRunner::program(std::size_t index) const
+{
+    bpsim_assert(index < programs.size(), "program index out of range");
+    return programs[index];
+}
+
+std::size_t
+ExperimentRunner::addCell(std::size_t program_index,
+                          const ExperimentConfig &config,
+                          std::string label)
+{
+    bpsim_assert(program_index < programs.size(),
+                 "cell references unknown program");
+    MatrixCell cell;
+    cell.programIndex = program_index;
+    cell.config = config;
+    if (label.empty()) {
+        label = programs[program_index].name() + "/" +
+                predictorKindName(config.kind) + ":" +
+                std::to_string(config.sizeBytes) + "/" +
+                staticSchemeName(config.scheme);
+    }
+    cell.label = std::move(label);
+    noteCellDemand(cell);
+    cells.push_back(std::move(cell));
+    return cells.size() - 1;
+}
+
+const MatrixCell &
+ExperimentRunner::cell(std::size_t index) const
+{
+    bpsim_assert(index < cells.size(), "cell index out of range");
+    return cells[index];
+}
+
+void
+ExperimentRunner::requireBuffer(std::size_t program_index,
+                                InputSet input, Count branches)
+{
+    bpsim_assert(program_index < programs.size(),
+                 "buffer demand for unknown program");
+    Count &needed =
+        demand[program_index][static_cast<unsigned>(input)];
+    needed = std::max(needed, branches);
+}
+
+void
+ExperimentRunner::noteCellDemand(const MatrixCell &cell)
+{
+    const ExperimentConfig &config = cell.config;
+    Count eval_needed = config.evalBranches;
+    if (config.scheme != StaticScheme::None) {
+        requireBuffer(cell.programIndex, config.profileInput,
+                      config.profileBranches);
+        if (config.filterUnstable &&
+            config.profileInput != config.evalInput) {
+            eval_needed =
+                std::max(eval_needed, config.profileBranches);
+        }
+    }
+    requireBuffer(cell.programIndex, config.evalInput, eval_needed);
+}
+
+void
+ExperimentRunner::materialize()
+{
+    // Collect programs with outstanding demand. One task per program
+    // (not per buffer): materialization mutates the program's input
+    // state, so a program's buffers must be filled sequentially.
+    std::vector<std::size_t> pending;
+    for (std::size_t p = 0; p < programs.size(); ++p) {
+        for (unsigned input = 0; input < numInputSets; ++input) {
+            const Count needed = demand[p][input];
+            const ReplayBuffer *existing = buffers[p][input].get();
+            if (needed > 0 &&
+                (existing == nullptr || existing->size() < needed)) {
+                pending.push_back(p);
+                break;
+            }
+        }
+    }
+    if (pending.empty())
+        return;
+
+    const auto start = std::chrono::steady_clock::now();
+    taskPool.parallelFor(pending.size(), [&](std::size_t i) {
+        const std::size_t p = pending[i];
+        for (unsigned input = 0; input < numInputSets; ++input) {
+            const Count needed = demand[p][input];
+            const ReplayBuffer *existing = buffers[p][input].get();
+            if (needed == 0 ||
+                (existing != nullptr && existing->size() >= needed))
+                continue;
+            programs[p].setInput(static_cast<InputSet>(input));
+            buffers[p][input] = std::make_unique<ReplayBuffer>(
+                ReplayBuffer::materialize(programs[p], needed));
+        }
+    });
+    materializeSeconds += secondsSince(start);
+}
+
+const ReplayBuffer &
+ExperimentRunner::buffer(std::size_t program_index,
+                         InputSet input) const
+{
+    bpsim_assert(program_index < programs.size(),
+                 "buffer query for unknown program");
+    const auto &held =
+        buffers[program_index][static_cast<unsigned>(input)];
+    bpsim_assert(held != nullptr,
+                 "buffer not materialized (call materialize())");
+    return *held;
+}
+
+MatrixResult
+ExperimentRunner::run()
+{
+    const auto start = std::chrono::steady_clock::now();
+    materialize();
+
+    MatrixResult result;
+    result.cells.resize(cells.size());
+    result.threads = taskPool.threadCount();
+
+    const auto run_start = std::chrono::steady_clock::now();
+    taskPool.parallelFor(cells.size(), [&](std::size_t i) {
+        const MatrixCell &cell = cells[i];
+        const ExperimentConfig &config = cell.config;
+        const auto cell_start = std::chrono::steady_clock::now();
+
+        // Each worker owns its cursors, predictor and profile; the
+        // buffers are shared read-only, so the hot path takes no
+        // locks. Cells without a profiling phase never demanded a
+        // profile-input buffer, so feed the (unused, but reset)
+        // profile stream from the eval buffer.
+        const InputSet profile_input =
+            config.scheme != StaticScheme::None ? config.profileInput
+                                                : config.evalInput;
+        ReplayBuffer::Cursor profile_stream =
+            buffer(cell.programIndex, profile_input).cursor();
+        ReplayBuffer::Cursor eval_stream =
+            buffer(cell.programIndex, config.evalInput).cursor();
+
+        CellResult &out = result.cells[i];
+        out.result =
+            runExperimentStreams(profile_stream, eval_stream, config);
+        out.wallSeconds = secondsSince(cell_start);
+    });
+    result.runSeconds = secondsSince(run_start);
+    result.wallSeconds = secondsSince(start);
+    result.materializeSeconds = materializeSeconds;
+
+    for (const auto &cell : result.cells)
+        result.totalBranches += cell.result.simulatedBranches;
+    for (const auto &per_program : buffers) {
+        for (const auto &held : per_program) {
+            if (held != nullptr)
+                result.replayBytes += held->memoryBytes();
+        }
+    }
+    return result;
+}
+
+void
+writeRunnerJson(const std::string &path, const std::string &bench,
+                const ExperimentRunner &runner,
+                const MatrixResult &result, double baseline_seconds)
+{
+    std::FILE *file = std::fopen(path.c_str(), "w");
+    if (file == nullptr)
+        bpsim_fatal("cannot write '", path, "'");
+
+    std::fprintf(file, "{\n");
+    std::fprintf(file, "  \"bench\": \"%s\",\n", bench.c_str());
+    std::fprintf(file, "  \"threads\": %u,\n", result.threads);
+    std::fprintf(file, "  \"cells\": [\n");
+    for (std::size_t i = 0; i < result.cells.size(); ++i) {
+        const CellResult &cell = result.cells[i];
+        const MatrixCell &meta = runner.cell(i);
+        std::fprintf(
+            file,
+            "    {\"label\": \"%s\", \"program\": \"%s\", "
+            "\"misp_ki\": %.6f, \"hints\": %zu, "
+            "\"branches\": %llu, \"wall_seconds\": %.6f, "
+            "\"branches_per_second\": %.1f}%s\n",
+            meta.label.c_str(),
+            runner.program(meta.programIndex).name().c_str(),
+            cell.result.stats.mispKi(), cell.result.hintCount,
+            static_cast<unsigned long long>(
+                cell.result.simulatedBranches),
+            cell.wallSeconds, cell.branchesPerSecond(),
+            i + 1 < result.cells.size() ? "," : "");
+    }
+    std::fprintf(file, "  ],\n");
+    std::fprintf(file, "  \"materialize_seconds\": %.6f,\n",
+                 result.materializeSeconds);
+    std::fprintf(file, "  \"run_seconds\": %.6f,\n",
+                 result.runSeconds);
+    std::fprintf(file, "  \"wall_seconds\": %.6f,\n",
+                 result.wallSeconds);
+    std::fprintf(file, "  \"total_branches\": %llu,\n",
+                 static_cast<unsigned long long>(result.totalBranches));
+    std::fprintf(
+        file, "  \"branches_per_second\": %.1f,\n",
+        result.wallSeconds > 0.0
+            ? static_cast<double>(result.totalBranches) /
+                  result.wallSeconds
+            : 0.0);
+    std::fprintf(file, "  \"replay_buffer_bytes\": %zu,\n",
+                 result.replayBytes);
+    std::fprintf(file, "  \"serial_estimate_seconds\": %.6f,\n",
+                 result.serialEstimateSeconds());
+    if (baseline_seconds > 0.0) {
+        std::fprintf(file, "  \"baseline_seconds\": %.6f,\n",
+                     baseline_seconds);
+        std::fprintf(file, "  \"speedup_vs_baseline\": %.3f,\n",
+                     result.wallSeconds > 0.0
+                         ? baseline_seconds / result.wallSeconds
+                         : 0.0);
+    }
+    std::fprintf(file, "  \"speedup_vs_serial_estimate\": %.3f\n",
+                 result.speedupVsSerialEstimate());
+    std::fprintf(file, "}\n");
+    std::fclose(file);
+}
+
+} // namespace bpsim

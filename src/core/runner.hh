@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Parallel experiment-matrix runner over materialized replay buffers.
+ *
+ * The benches walk a program × predictor × scheme × size matrix whose
+ * cells are independent: each owns its predictor, profile and replay
+ * cursors, so the matrix is embarrassingly parallel. The runner
+ *
+ *  1. materializes each program's branch stream once per input set
+ *     into a ReplayBuffer (instead of re-running CFG/behaviour
+ *     generation for every cell),
+ *  2. shards the cells across a work-stealing thread pool, and
+ *  3. records per-cell wall time and branches/sec, emitted as JSON so
+ *     the perf trajectory is tracked across PRs.
+ *
+ * Determinism contract: a cell's result is a pure function of its
+ * replay buffers and its config — workers share only immutable
+ * buffers and write to disjoint result slots — so results are
+ * bit-identical to the serial path at any thread count.
+ */
+
+#ifndef BPSIM_CORE_RUNNER_HH
+#define BPSIM_CORE_RUNNER_HH
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "support/args.hh"
+#include "trace/replay_buffer.hh"
+#include "workload/synthetic_program.hh"
+
+namespace bpsim
+{
+
+/**
+ * Resolve a worker-thread count: an explicit @p requested value wins,
+ * then the BPSIM_THREADS environment variable, then the hardware
+ * concurrency (minimum 1).
+ */
+unsigned resolveThreadCount(unsigned requested = 0);
+
+/** Declare the shared --threads option on @p args. */
+void addThreadsOption(ArgParser &args);
+
+/** Read the --threads option declared by addThreadsOption(). */
+unsigned threadsFromArgs(const ArgParser &args);
+
+/**
+ * A work-stealing pool for coarse independent tasks. Tasks are dealt
+ * round-robin onto per-worker deques; a worker drains its own deque
+ * from the front and steals from the back of others when idle, so a
+ * straggler's queue is relieved by whichever workers finish early.
+ */
+class TaskPool
+{
+  public:
+    /** @param threads worker count (0 = resolveThreadCount()). */
+    explicit TaskPool(unsigned threads = 0);
+
+    unsigned threadCount() const { return workers; }
+
+    /** Run every task to completion; tasks must be independent. */
+    void run(std::vector<std::function<void()>> tasks);
+
+    /** Run fn(0) .. fn(n-1) across the pool. */
+    template <typename Fn>
+    void
+    parallelFor(std::size_t n, Fn &&fn)
+    {
+        std::vector<std::function<void()>> tasks;
+        tasks.reserve(n);
+        for (std::size_t i = 0; i < n; ++i)
+            tasks.push_back([i, &fn] { fn(i); });
+        run(std::move(tasks));
+    }
+
+  private:
+    unsigned workers;
+};
+
+/** Runner construction options. */
+struct RunnerOptions
+{
+    /** Worker threads (0 = resolveThreadCount()). */
+    unsigned threads = 0;
+};
+
+/** One cell of the experiment matrix. */
+struct MatrixCell
+{
+    /** Index of the program the cell runs on. */
+    std::size_t programIndex = 0;
+
+    /** Full experiment description. */
+    ExperimentConfig config;
+
+    /** Display label ("program/predictor:bytes/scheme" by default). */
+    std::string label;
+};
+
+/** Result and timing of one cell. */
+struct CellResult
+{
+    /** The cell's experiment outcome. */
+    ExperimentResult result;
+
+    /** Wall time of the cell's own simulation work. */
+    double wallSeconds = 0.0;
+
+    /** Simulated branch throughput of the cell. */
+    double
+    branchesPerSecond() const
+    {
+        return wallSeconds > 0.0
+                   ? static_cast<double>(result.simulatedBranches) /
+                         wallSeconds
+                   : 0.0;
+    }
+};
+
+/** Aggregate outcome of a matrix run. */
+struct MatrixResult
+{
+    /** Per-cell results, in the order cells were added. */
+    std::vector<CellResult> cells;
+
+    /** Worker threads used. */
+    unsigned threads = 1;
+
+    /** Wall time spent materializing replay buffers. */
+    double materializeSeconds = 0.0;
+
+    /** Wall time of the parallel cell section. */
+    double runSeconds = 0.0;
+
+    /** End-to-end wall time (materialize + run). */
+    double wallSeconds = 0.0;
+
+    /** Branches simulated across all cells. */
+    Count totalBranches = 0;
+
+    /** Bytes held by the replay buffers during the run. */
+    std::size_t replayBytes = 0;
+
+    /** Sum of per-cell wall times plus materialization: what the
+     * same work would cost on one thread. */
+    double serialEstimateSeconds() const;
+
+    /** Parallel speedup against the one-thread estimate. */
+    double speedupVsSerialEstimate() const;
+};
+
+/**
+ * The experiment-matrix runner. Add programs, then cells referencing
+ * them, then run(); buffers demanded by the cells (and by explicit
+ * requireBuffer() calls from benches with custom passes) are
+ * materialized once and shared read-only by all workers.
+ */
+class ExperimentRunner
+{
+  public:
+    explicit ExperimentRunner(RunnerOptions options = {});
+
+    /** Register @p program; returns its index. */
+    std::size_t addProgram(SyntheticProgram program);
+
+    /** Registered program (valid between cells/buffer queries). */
+    const SyntheticProgram &program(std::size_t index) const;
+
+    std::size_t programCount() const { return programs.size(); }
+
+    /**
+     * Add one experiment cell; returns its index (results come back
+     * in the same order). An empty label gets the default
+     * "program/predictor:bytes/scheme" form.
+     */
+    std::size_t addCell(std::size_t program_index,
+                        const ExperimentConfig &config,
+                        std::string label = {});
+
+    const MatrixCell &cell(std::size_t index) const;
+
+    /**
+     * Demand a replay buffer of at least @p branches records of
+     * @p program_index under @p input, independent of any cell — for
+     * benches that run custom passes (profile comparisons, iterative
+     * selection) over the shared buffers.
+     */
+    void requireBuffer(std::size_t program_index, InputSet input,
+                       Count branches);
+
+    /**
+     * Materialize every demanded buffer (parallel across programs;
+     * idempotent — only missing lengths are regenerated). Called by
+     * run(); benches using only requireBuffer() call it directly.
+     */
+    void materialize();
+
+    /** The materialized buffer (materialize() must have run). */
+    const ReplayBuffer &buffer(std::size_t program_index,
+                               InputSet input) const;
+
+    /** Run all cells across the pool and collect results + timing. */
+    MatrixResult run();
+
+    /** The pool, for benches adding custom parallel passes. */
+    TaskPool &pool() { return taskPool; }
+
+    unsigned threadCount() const { return taskPool.threadCount(); }
+
+  private:
+    /** Fold one cell's stream demands into the buffer plan. */
+    void noteCellDemand(const MatrixCell &cell);
+
+    RunnerOptions options;
+    TaskPool taskPool;
+    std::vector<SyntheticProgram> programs;
+    std::vector<MatrixCell> cells;
+
+    /** Required and materialized record counts per program × input. */
+    std::vector<std::array<Count, numInputSets>> demand;
+    std::vector<std::array<std::unique_ptr<ReplayBuffer>,
+                           numInputSets>> buffers;
+    double materializeSeconds = 0.0;
+};
+
+/**
+ * Write a matrix result as the BENCH_runner.json format (see
+ * tools/check_bench_json.py for the schema). @p baseline_seconds, when
+ * positive, records an externally measured serial-path wall time and
+ * yields a speedup_vs_baseline field.
+ */
+void writeRunnerJson(const std::string &path, const std::string &bench,
+                     const ExperimentRunner &runner,
+                     const MatrixResult &result,
+                     double baseline_seconds = 0.0);
+
+} // namespace bpsim
+
+#endif // BPSIM_CORE_RUNNER_HH

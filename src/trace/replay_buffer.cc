@@ -1,0 +1,28 @@
+#include "trace/replay_buffer.hh"
+
+#include "support/logging.hh"
+
+namespace bpsim
+{
+
+ReplayBuffer
+ReplayBuffer::materialize(BranchStream &source, Count limit)
+{
+    ReplayBuffer buffer;
+    buffer.pcs.reserve(limit);
+    buffer.gapTaken.reserve(limit);
+
+    source.reset();
+    BranchRecord record;
+    for (Count i = 0; i < limit && source.next(record); ++i) {
+        bpsim_assert((record.instGap & takenBit) == 0,
+                     "instruction gap exceeds 31 bits");
+        buffer.pcs.push_back(record.pc);
+        buffer.gapTaken.push_back(record.instGap |
+                                  (record.taken ? takenBit : 0));
+        buffer.instructions += record.instGap;
+    }
+    return buffer;
+}
+
+} // namespace bpsim

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Materialized branch trace optimised for repeated replay.
+ *
+ * A ReplayBuffer captures a stream's records once into flat,
+ * cache-friendly storage (structure-of-arrays: the PC column plus a
+ * packed gap/outcome column, 12 bytes per branch) and hands out any
+ * number of independent read cursors over it. Experiment matrices
+ * that simulate N predictor configurations over the same program
+ * replay the buffer N times instead of re-running CFG walking and
+ * behaviour evaluation N times, and concurrent cursors make the
+ * buffer shareable across worker threads without locking.
+ */
+
+#ifndef BPSIM_TRACE_REPLAY_BUFFER_HH
+#define BPSIM_TRACE_REPLAY_BUFFER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/branch_stream.hh"
+
+namespace bpsim
+{
+
+/** An immutable, replayable capture of a branch stream's prefix. */
+class ReplayBuffer
+{
+  public:
+    ReplayBuffer() = default;
+
+    /**
+     * Capture at most @p limit records of @p source, resetting it
+     * first so the buffer replays exactly what a fresh run of the
+     * source would produce. Instruction gaps must fit in 31 bits
+     * (the taken flag shares their word).
+     */
+    static ReplayBuffer materialize(BranchStream &source, Count limit);
+
+    /** Records stored. */
+    Count size() const { return pcs.size(); }
+
+    bool empty() const { return pcs.empty(); }
+
+    /** Total dynamic instruction count (sum of gaps). */
+    Count instructionCount() const { return instructions; }
+
+    /** Bytes of record storage held (the replay memory cost). */
+    std::size_t
+    memoryBytes() const
+    {
+        return pcs.size() * sizeof(Addr) +
+               gapTaken.size() * sizeof(std::uint32_t);
+    }
+
+    /** Storage cost per branch in bytes (PC column + gap/taken word). */
+    static constexpr std::size_t bytesPerBranch =
+        sizeof(Addr) + sizeof(std::uint32_t);
+
+    /** Fill @p record with record @p index (no bounds check). */
+    void
+    get(Count index, BranchRecord &record) const
+    {
+        record.pc = pcs[index];
+        const std::uint32_t packed = gapTaken[index];
+        record.taken = (packed & takenBit) != 0;
+        record.instGap = packed & ~takenBit;
+    }
+
+    /**
+     * A forward cursor over the buffer; implements BranchStream so
+     * the engine replays it like any other trace. Cursors are cheap
+     * value types: every simulation (and every worker thread) takes
+     * its own, so the shared buffer is read concurrently with no
+     * synchronisation.
+     */
+    class Cursor : public BranchStream
+    {
+      public:
+        explicit Cursor(const ReplayBuffer &buffer) : buf(&buffer) {}
+
+        bool
+        next(BranchRecord &record) override
+        {
+            if (pos >= buf->size())
+                return false;
+            buf->get(pos, record);
+            ++pos;
+            return true;
+        }
+
+        void reset() override { pos = 0; }
+
+      private:
+        const ReplayBuffer *buf;
+        Count pos = 0;
+    };
+
+    /** A fresh cursor positioned at the first record. */
+    Cursor cursor() const { return Cursor(*this); }
+
+  private:
+    static constexpr std::uint32_t takenBit = 0x8000'0000u;
+
+    std::vector<Addr> pcs;
+    std::vector<std::uint32_t> gapTaken;
+    Count instructions = 0;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_TRACE_REPLAY_BUFFER_HH

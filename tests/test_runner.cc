@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Tests for the replay buffer and the parallel experiment-matrix
+ * runner: replayed streams must be byte-identical to regenerated
+ * ones, and matrix results must not depend on the thread count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <vector>
+
+#include "core/runner.hh"
+#include "trace/memory_trace.hh"
+#include "trace/replay_buffer.hh"
+#include "workload/specint.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+/** Small phase budgets keep the whole file fast. */
+constexpr Count testProfileBranches = 60'000;
+constexpr Count testEvalBranches = 120'000;
+
+ExperimentConfig
+testConfig(PredictorKind kind, StaticScheme scheme)
+{
+    ExperimentConfig config;
+    config.kind = kind;
+    config.sizeBytes = 2048;
+    config.scheme = scheme;
+    config.profileBranches = testProfileBranches;
+    config.evalBranches = testEvalBranches;
+    return config;
+}
+
+void
+expectSameStats(const SimStats &a, const SimStats &b)
+{
+    EXPECT_EQ(a.branches, b.branches);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.mispredictions, b.mispredictions);
+    EXPECT_EQ(a.staticPredicted, b.staticPredicted);
+    EXPECT_EQ(a.staticMispredictions, b.staticMispredictions);
+    EXPECT_EQ(a.collisions.lookups, b.collisions.lookups);
+    EXPECT_EQ(a.collisions.collisions, b.collisions.collisions);
+    EXPECT_EQ(a.collisions.constructive, b.collisions.constructive);
+    EXPECT_EQ(a.collisions.destructive, b.collisions.destructive);
+}
+
+TEST(ReplayBufferTest, RoundTripsRecords)
+{
+    MemoryTrace trace;
+    trace.append({0x100, true, 7});
+    trace.append({0x200, false, 1});
+    trace.append({0x300, true, 0x7fffffff});
+    // Drain the trace first so materialize()'s reset is exercised.
+    BranchRecord sink;
+    while (trace.next(sink)) {
+    }
+
+    const ReplayBuffer buffer = ReplayBuffer::materialize(trace, 100);
+    EXPECT_EQ(buffer.size(), 3u);
+    EXPECT_EQ(buffer.instructionCount(),
+              Count{7} + 1 + 0x7fffffff);
+    EXPECT_EQ(buffer.memoryBytes(),
+              3 * ReplayBuffer::bytesPerBranch);
+
+    ReplayBuffer::Cursor cursor = buffer.cursor();
+    BranchRecord record;
+    ASSERT_TRUE(cursor.next(record));
+    EXPECT_EQ(record, (BranchRecord{0x100, true, 7}));
+    ASSERT_TRUE(cursor.next(record));
+    EXPECT_EQ(record, (BranchRecord{0x200, false, 1}));
+    ASSERT_TRUE(cursor.next(record));
+    EXPECT_EQ(record, (BranchRecord{0x300, true, 0x7fffffff}));
+    EXPECT_FALSE(cursor.next(record));
+
+    cursor.reset();
+    ASSERT_TRUE(cursor.next(record));
+    EXPECT_EQ(record.pc, 0x100u);
+}
+
+TEST(ReplayBufferTest, LimitBoundsCapture)
+{
+    MemoryTrace trace;
+    for (int i = 0; i < 50; ++i)
+        trace.append({0x100, true, 1});
+    const ReplayBuffer buffer = ReplayBuffer::materialize(trace, 20);
+    EXPECT_EQ(buffer.size(), 20u);
+}
+
+TEST(ReplayBufferTest, MatchesRegeneratedProgramStream)
+{
+    for (const auto id : allSpecPrograms()) {
+        SyntheticProgram program = makeSpecProgram(id, InputSet::Ref);
+        const ReplayBuffer buffer =
+            ReplayBuffer::materialize(program, 50'000);
+        ASSERT_EQ(buffer.size(), 50'000u);
+
+        program.reset();
+        ReplayBuffer::Cursor cursor = buffer.cursor();
+        BranchRecord live;
+        BranchRecord replayed;
+        for (Count i = 0; i < buffer.size(); ++i) {
+            ASSERT_TRUE(program.next(live));
+            ASSERT_TRUE(cursor.next(replayed));
+            ASSERT_EQ(live, replayed)
+                << specProgramName(id) << " record " << i;
+        }
+    }
+}
+
+TEST(RunnerTest, ReplayedExperimentIdenticalToRegenerated)
+{
+    // The replay path must produce byte-identical SimStats for every
+    // SPEC program, including a profiling phase (Static95 exercises
+    // selection) and the dynamic baseline.
+    for (const auto id : allSpecPrograms()) {
+        for (const auto scheme :
+             {StaticScheme::None, StaticScheme::Static95}) {
+            const ExperimentConfig config =
+                testConfig(PredictorKind::Gshare, scheme);
+
+            SyntheticProgram serial =
+                makeSpecProgram(id, InputSet::Ref);
+            const ExperimentResult regenerated =
+                runExperiment(serial, config);
+
+            SyntheticProgram source =
+                makeSpecProgram(id, InputSet::Ref);
+            const ReplayBuffer buffer = ReplayBuffer::materialize(
+                source, std::max(config.profileBranches,
+                                 config.evalBranches));
+            ReplayBuffer::Cursor profile_stream = buffer.cursor();
+            ReplayBuffer::Cursor eval_stream = buffer.cursor();
+            const ExperimentResult replayed = runExperimentStreams(
+                profile_stream, eval_stream, config);
+
+            expectSameStats(regenerated.stats, replayed.stats);
+            EXPECT_EQ(regenerated.hintCount, replayed.hintCount);
+        }
+    }
+}
+
+TEST(RunnerTest, CrossInputFilterIdenticalToRegenerated)
+{
+    // The stability-filter path reads the eval-input buffer twice
+    // (bias profile + evaluation); it must match the serial path too.
+    ExperimentConfig config =
+        testConfig(PredictorKind::Gshare, StaticScheme::Static95);
+    config.profileInput = InputSet::Train;
+    config.filterUnstable = true;
+
+    SyntheticProgram serial =
+        makeSpecProgram(SpecProgram::Perl, InputSet::Ref);
+    const ExperimentResult regenerated =
+        runExperiment(serial, config);
+
+    ExperimentRunner runner({1});
+    const std::size_t program = runner.addProgram(
+        makeSpecProgram(SpecProgram::Perl, InputSet::Ref));
+    runner.addCell(program, config);
+    const MatrixResult result = runner.run();
+
+    expectSameStats(regenerated.stats,
+                    result.cells[0].result.stats);
+    EXPECT_EQ(regenerated.hintCount, result.cells[0].result.hintCount);
+}
+
+TEST(RunnerTest, ResultsIdenticalAtAnyThreadCount)
+{
+    const auto run_matrix = [](unsigned threads) {
+        ExperimentRunner runner({threads});
+        for (const auto id :
+             {SpecProgram::Go, SpecProgram::Compress}) {
+            const std::size_t program =
+                runner.addProgram(makeSpecProgram(id, InputSet::Ref));
+            for (const auto kind :
+                 {PredictorKind::Gshare, PredictorKind::Bimodal}) {
+                for (const auto scheme :
+                     {StaticScheme::None, StaticScheme::Static95}) {
+                    runner.addCell(program,
+                                   testConfig(kind, scheme));
+                }
+            }
+        }
+        return runner.run();
+    };
+
+    const MatrixResult one = run_matrix(1);
+    const MatrixResult two = run_matrix(2);
+    const MatrixResult eight = run_matrix(8);
+    EXPECT_EQ(one.threads, 1u);
+    EXPECT_EQ(two.threads, 2u);
+    EXPECT_EQ(eight.threads, 8u);
+    ASSERT_EQ(one.cells.size(), 8u);
+    ASSERT_EQ(two.cells.size(), one.cells.size());
+    ASSERT_EQ(eight.cells.size(), one.cells.size());
+
+    for (std::size_t i = 0; i < one.cells.size(); ++i) {
+        expectSameStats(one.cells[i].result.stats,
+                        two.cells[i].result.stats);
+        expectSameStats(one.cells[i].result.stats,
+                        eight.cells[i].result.stats);
+        EXPECT_EQ(one.cells[i].result.hintCount,
+                  two.cells[i].result.hintCount);
+        EXPECT_EQ(one.cells[i].result.hintCount,
+                  eight.cells[i].result.hintCount);
+    }
+}
+
+TEST(RunnerTest, CellMetadataAndTiming)
+{
+    ExperimentRunner runner({2});
+    const std::size_t program = runner.addProgram(
+        makeSpecProgram(SpecProgram::Compress, InputSet::Ref));
+    runner.addCell(program, testConfig(PredictorKind::Gshare,
+                                       StaticScheme::Static95));
+    const MatrixResult result = runner.run();
+
+    EXPECT_EQ(runner.cell(0).label,
+              "compress/gshare:2048/static_95");
+    EXPECT_GT(result.cells[0].result.simulatedBranches,
+              testEvalBranches);
+    EXPECT_GT(result.cells[0].wallSeconds, 0.0);
+    EXPECT_GT(result.totalBranches, 0u);
+    EXPECT_GT(result.replayBytes, 0u);
+    EXPECT_GE(result.wallSeconds, result.runSeconds);
+}
+
+TEST(TaskPoolTest, RunsEveryTaskExactlyOnce)
+{
+    TaskPool pool(4);
+    EXPECT_EQ(pool.threadCount(), 4u);
+
+    constexpr std::size_t n = 100;
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallelFor(n, [&](std::size_t i) {
+        hits[i].fetch_add(1);
+    });
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "task " << i;
+}
+
+TEST(ThreadCountTest, ResolutionOrder)
+{
+    EXPECT_EQ(resolveThreadCount(3), 3u);
+
+    ASSERT_EQ(setenv("BPSIM_THREADS", "5", 1), 0);
+    EXPECT_EQ(resolveThreadCount(0), 5u);
+    EXPECT_EQ(resolveThreadCount(2), 2u);
+    ASSERT_EQ(unsetenv("BPSIM_THREADS"), 0);
+
+    EXPECT_GE(resolveThreadCount(0), 1u);
+}
+
+TEST(ThreadCountTest, ArgsIntegration)
+{
+    ArgParser args("test");
+    addThreadsOption(args);
+    const char *argv[] = {"test", "--threads", "7"};
+    args.parse(3, const_cast<char **>(argv));
+    EXPECT_EQ(threadsFromArgs(args), 7u);
+}
+
+} // namespace
+} // namespace bpsim

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_runner.json timing file.
+
+The experiment-matrix runner (src/core/runner.cc, writeRunnerJson)
+emits per-cell and aggregate timing so the perf trajectory is tracked
+across PRs; this validator is wired into ctest so a malformed emitter
+fails tier-1 instead of silently corrupting the record.
+
+Usage: check_bench_json.py FILE [FILE...]
+Exits non-zero with a message on the first problem found.
+"""
+
+import json
+import math
+import sys
+
+TOP_LEVEL_REQUIRED = {
+    "bench": str,
+    "threads": int,
+    "cells": list,
+    "materialize_seconds": (int, float),
+    "run_seconds": (int, float),
+    "wall_seconds": (int, float),
+    "total_branches": int,
+    "branches_per_second": (int, float),
+    "replay_buffer_bytes": int,
+    "serial_estimate_seconds": (int, float),
+    "speedup_vs_serial_estimate": (int, float),
+}
+
+CELL_REQUIRED = {
+    "label": str,
+    "program": str,
+    "misp_ki": (int, float),
+    "hints": int,
+    "branches": int,
+    "wall_seconds": (int, float),
+    "branches_per_second": (int, float),
+}
+
+
+def fail(path, message):
+    print(f"{path}: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_fields(path, obj, spec, where):
+    for key, expected in spec.items():
+        if key not in obj:
+            fail(path, f"{where}: missing key '{key}'")
+        value = obj[key]
+        if isinstance(value, bool) or not isinstance(value, expected):
+            fail(path, f"{where}: key '{key}' has type "
+                       f"{type(value).__name__}, expected "
+                       f"{expected}")
+        if isinstance(value, (int, float)):
+            if isinstance(value, float) and not math.isfinite(value):
+                fail(path, f"{where}: key '{key}' is not finite")
+            if value < 0:
+                fail(path, f"{where}: key '{key}' is negative")
+
+
+def check_file(path):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+    except OSError as error:
+        fail(path, f"cannot read: {error}")
+    except json.JSONDecodeError as error:
+        fail(path, f"not valid JSON: {error}")
+
+    if not isinstance(data, dict):
+        fail(path, "top level must be an object")
+    check_fields(path, data, TOP_LEVEL_REQUIRED, "top level")
+
+    if not data["cells"]:
+        fail(path, "cells array is empty")
+    for index, cell in enumerate(data["cells"]):
+        where = f"cells[{index}]"
+        if not isinstance(cell, dict):
+            fail(path, f"{where}: must be an object")
+        check_fields(path, cell, CELL_REQUIRED, where)
+
+    if "baseline_seconds" in data and "speedup_vs_baseline" not in data:
+        fail(path, "baseline_seconds without speedup_vs_baseline")
+
+    total = sum(cell["branches"] for cell in data["cells"])
+    if total != data["total_branches"]:
+        fail(path, f"total_branches {data['total_branches']} != "
+                   f"sum of cell branches {total}")
+
+    print(f"{path}: ok ({len(data['cells'])} cells, "
+          f"{data['threads']} threads, "
+          f"{data['wall_seconds']:.2f}s wall)")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        check_file(path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
