@@ -23,6 +23,15 @@ constexpr Count evalBranches = 2'000'000;
 /** Branches simulated per profiling (selection-phase) run. */
 constexpr Count profileBranches = 1'000'000;
 
+/**
+ * Wall time of the fig7_12 matrix on the seed's serial, regenerating
+ * path (one thread, no replay buffers), measured on the reference
+ * container. The default --baseline-seconds, so speedup_vs_baseline
+ * tracks the same denominator across PRs unless a run overrides it
+ * with a freshly measured value.
+ */
+constexpr double seedBaselineSeconds = 14.1;
+
 /** Shared experiment defaults. */
 inline ExperimentConfig
 baseConfig(PredictorKind kind, std::size_t size_bytes,
@@ -54,17 +63,25 @@ struct BenchOptions
  * Parse the shared bench options (--threads / --json /
  * --baseline-seconds). @p default_json names the JSON file written
  * when --json is not given; pass "" to disable by default.
+ * @p default_baseline seeds --baseline-seconds (benches tracking the
+ * committed baseline pass seedBaselineSeconds; 0 leaves the JSON's
+ * speedup_vs_baseline off unless the flag is given).
  */
 inline BenchOptions
 parseBenchOptions(int argc, char **argv, const char *tool,
-                  const char *default_json = "")
+                  const char *default_json = "",
+                  double default_baseline = 0.0)
 {
+    char default_baseline_str[32];
+    std::snprintf(default_baseline_str, sizeof(default_baseline_str),
+                  "%g", default_baseline);
+
     ArgParser args(tool);
     addThreadsOption(args);
     args.addOption("json", default_json,
                    "write per-cell timing JSON to this path "
                    "(empty = disabled)");
-    args.addOption("baseline-seconds", "0",
+    args.addOption("baseline-seconds", default_baseline_str,
                    "serial-path wall time measured externally; "
                    "recorded in the JSON for speedup tracking");
     args.parse(argc, argv);

@@ -30,7 +30,8 @@ int
 main(int argc, char **argv)
 {
     const BenchOptions options = parseBenchOptions(
-        argc, argv, "fig7_12_static_schemes", "BENCH_runner.json");
+        argc, argv, "fig7_12_static_schemes", "BENCH_runner.json",
+        seedBaselineSeconds);
     const std::size_t size_bytes = 8192;
     const StaticScheme schemes[] = {StaticScheme::None,
                                     StaticScheme::Static95,
@@ -81,6 +82,18 @@ main(int argc, char **argv)
                 static_cast<double>(result.totalBranches) / 1e6 /
                     result.wallSeconds,
                 result.speedupVsSerialEstimate());
+    std::printf("profile cache: %llu hits / %llu misses "
+                "(%.1fM branches skipped); kernels in %llu/%zu "
+                "cells, %.1fM simulated branches/s\n",
+                static_cast<unsigned long long>(
+                    result.profileCacheHits),
+                static_cast<unsigned long long>(
+                    result.profileCacheMisses),
+                static_cast<double>(result.totalBranches -
+                                    result.actualBranches) / 1e6,
+                static_cast<unsigned long long>(result.kernelCells),
+                result.cells.size(),
+                result.kernelBranchesPerSecond() / 1e6);
 
     if (!options.jsonPath.empty()) {
         writeRunnerJson(options.jsonPath, "fig7_12_static_schemes",

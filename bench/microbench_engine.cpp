@@ -1,0 +1,92 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the simulation engine itself:
+ * virtual-dispatch replay vs the devirtualized block kernels, per
+ * predictor kind, over one materialized trace. Items processed are
+ * simulated branches, so the reported rate is branches/second.
+ *
+ * Three variants per kind:
+ *  - virtual:   simulate() over a replay cursor (fastPath off)
+ *  - kernel:    simulateReplay() with collision tracking (what the
+ *               experiment runner executes)
+ *  - kernel_nt: simulateReplay() with trackCollisions off — the
+ *               tag bookkeeping compiled out, an upper bound for
+ *               runs that don't need collision numbers
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/engine.hh"
+#include "predictor/factory.hh"
+#include "trace/replay_buffer.hh"
+#include "workload/specint.hh"
+
+namespace
+{
+
+using namespace bpsim;
+
+constexpr Count traceBranches = 1 << 18;
+constexpr std::size_t sizeBytes = 8192;
+
+/** One materialized gcc/ref trace shared by every benchmark. */
+const ReplayBuffer &
+trace()
+{
+    static const ReplayBuffer buffer = [] {
+        SyntheticProgram program =
+            makeSpecProgram(SpecProgram::Gcc, InputSet::Ref);
+        return ReplayBuffer::materialize(program, traceBranches);
+    }();
+    return buffer;
+}
+
+enum class Mode
+{
+    Virtual,
+    Kernel,
+    KernelNoTrack,
+};
+
+void
+engineThroughput(benchmark::State &state, PredictorKind kind, Mode mode)
+{
+    auto predictor = makePredictor(kind, sizeBytes);
+    const ReplayBuffer &buffer = trace();
+
+    SimOptions options;
+    options.fastPath = mode != Mode::Virtual;
+    options.trackCollisions = mode != Mode::KernelNoTrack;
+
+    for (auto _ : state) {
+        bool used_fast = false;
+        const SimStats stats =
+            simulateReplay(*predictor, buffer, options, &used_fast);
+        if (used_fast != (mode != Mode::Virtual))
+            state.SkipWithError("unexpected dispatch path");
+        benchmark::DoNotOptimize(stats.mispredictions);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * buffer.size()));
+}
+
+} // namespace
+
+#define BPSIM_ENGINE_BENCH(name, kind)                                 \
+    BENCHMARK_CAPTURE(engineThroughput, name##_virtual,                \
+                      PredictorKind::kind, Mode::Virtual)              \
+        ->Unit(benchmark::kMillisecond);                               \
+    BENCHMARK_CAPTURE(engineThroughput, name##_kernel,                 \
+                      PredictorKind::kind, Mode::Kernel)               \
+        ->Unit(benchmark::kMillisecond);                               \
+    BENCHMARK_CAPTURE(engineThroughput, name##_kernel_nt,              \
+                      PredictorKind::kind, Mode::KernelNoTrack)        \
+        ->Unit(benchmark::kMillisecond)
+
+BPSIM_ENGINE_BENCH(bimodal, Bimodal);
+BPSIM_ENGINE_BENCH(ghist, Ghist);
+BPSIM_ENGINE_BENCH(gshare, Gshare);
+BPSIM_ENGINE_BENCH(bimode, BiMode);
+BPSIM_ENGINE_BENCH(gskew2bc, TwoBcGskew);
+
+BENCHMARK_MAIN();

@@ -1,6 +1,11 @@
 #include "core/engine.hh"
 
+#include <algorithm>
+#include <type_traits>
+
 #include "core/combined_predictor.hh"
+#include "predictor/factory.hh"
+#include "trace/replay_buffer.hh"
 
 namespace bpsim
 {
@@ -67,6 +72,203 @@ runMeasured(BranchPredictor &predictor, CombinedPredictor *combined,
     return stats;
 }
 
+/**
+ * Branches per inner kernel loop. The bounded trip count lets the
+ * compiler keep the loop body register-resident; the value itself is
+ * not semantically significant.
+ */
+constexpr Count kernelBlock = 4096;
+
+/**
+ * Devirtualized replay kernel for a bare dynamic predictor of
+ * concrete type @p P. Replays records [start, end) of the buffer's
+ * raw columns through the predictor's inline *Step protocol —
+ * the loop body contains no indirect calls.
+ */
+template <bool WithProfile, bool Track, typename P>
+void
+runReplayDynamic(P &predictor, const ReplayBuffer &buffer, Count start,
+                 Count end, SimStats &stats, ProfileDb *profile)
+{
+    const Addr *pcs = buffer.pcData();
+    const std::uint32_t *packed = buffer.packedData();
+
+    for (Count base = start; base < end; base += kernelBlock) {
+        const Count stop = std::min(base + kernelBlock, end);
+        for (Count i = base; i < stop; ++i) {
+            const Addr pc = pcs[i];
+            const std::uint32_t word = packed[i];
+            const bool taken =
+                (word & ReplayBuffer::packedTakenBit) != 0;
+
+            const bool prediction =
+                predictor.template predictStep<Track>(pc);
+            const bool correct = prediction == taken;
+            // Must be sampled between the predict and update steps:
+            // updateStep() classifies and clears the pending state.
+            Count lookup_collisions = 0;
+            if constexpr (WithProfile)
+                lookup_collisions = predictor.pendingStep();
+
+            predictor.template updateStep<Track>(pc, taken);
+            predictor.historyStep(taken);
+
+            ++stats.branches;
+            stats.instructions += word & ~ReplayBuffer::packedTakenBit;
+            if (!correct)
+                ++stats.mispredictions;
+
+            if constexpr (WithProfile) {
+                profile->recordOutcome(pc, taken);
+                profile->recordPrediction(pc, correct);
+                if (lookup_collisions > 0)
+                    profile->recordCollisions(pc, lookup_collisions);
+            }
+        }
+    }
+}
+
+/**
+ * Devirtualized replay kernel for a CombinedPredictor whose dynamic
+ * component has concrete type @p P. Replicates the combined
+ * predict/update/updateHistory semantics inline: hinted branches are
+ * resolved statically, never touch the dynamic tables, and feed the
+ * history register per the shift policy.
+ */
+template <bool WithProfile, bool Track, typename P>
+void
+runReplayCombined(P &predictor, const HintDb &hints,
+                  ShiftPolicy policy, const ReplayBuffer &buffer,
+                  Count start, Count end, SimStats &stats,
+                  ProfileDb *profile)
+{
+    const Addr *pcs = buffer.pcData();
+    const std::uint32_t *packed = buffer.packedData();
+
+    for (Count base = start; base < end; base += kernelBlock) {
+        const Count stop = std::min(base + kernelBlock, end);
+        for (Count i = base; i < stop; ++i) {
+            const Addr pc = pcs[i];
+            const std::uint32_t word = packed[i];
+            const bool taken =
+                (word & ReplayBuffer::packedTakenBit) != 0;
+
+            bool hint_direction = false;
+            const bool was_static = hints.lookup(pc, hint_direction);
+            bool correct;
+            Count lookup_collisions = 0;
+            if (was_static) {
+                correct = hint_direction == taken;
+                switch (policy) {
+                  case ShiftPolicy::NoShift:
+                    break;
+                  case ShiftPolicy::ShiftOutcome:
+                    predictor.historyStep(taken);
+                    break;
+                  case ShiftPolicy::ShiftPrediction:
+                    predictor.historyStep(hint_direction);
+                    break;
+                }
+                ++stats.staticPredicted;
+                if (!correct)
+                    ++stats.staticMispredictions;
+            } else {
+                const bool prediction =
+                    predictor.template predictStep<Track>(pc);
+                correct = prediction == taken;
+                if constexpr (WithProfile)
+                    lookup_collisions = predictor.pendingStep();
+                predictor.template updateStep<Track>(pc, taken);
+                predictor.historyStep(taken);
+            }
+
+            ++stats.branches;
+            stats.instructions += word & ~ReplayBuffer::packedTakenBit;
+            if (!correct)
+                ++stats.mispredictions;
+
+            if constexpr (WithProfile) {
+                profile->recordOutcome(pc, taken);
+                // Accuracy counts describe the *dynamic* predictor,
+                // so statically resolved branches do not contribute.
+                if (!was_static) {
+                    profile->recordPrediction(pc, correct);
+                    if (lookup_collisions > 0)
+                        profile->recordCollisions(pc,
+                                                  lookup_collisions);
+                }
+            }
+        }
+    }
+}
+
+/**
+ * Run the full warmup + measurement schedule over the buffer through
+ * the devirtualized kernels, mirroring simulate()'s structure.
+ */
+template <typename P>
+SimStats
+runReplay(P &concrete, BranchPredictor &outer, const HintDb *hints,
+          ShiftPolicy policy, const ReplayBuffer &buffer,
+          const SimOptions &options)
+{
+    const Count total = buffer.size();
+    const Count warmup_end = std::min(options.warmupBranches, total);
+    const Count limit = options.maxBranches == 0 ? ~Count{0}
+                                                 : options.maxBranches;
+    const Count end =
+        warmup_end + std::min(limit, total - warmup_end);
+
+    const bool with_profile = options.profile != nullptr;
+    const bool track = options.trackCollisions;
+
+    const auto run = [&](auto with_profile_tag, auto track_tag,
+                         Count from, Count to, SimStats &stats,
+                         ProfileDb *profile) {
+        constexpr bool kWithProfile = decltype(with_profile_tag)::value;
+        constexpr bool kTrack = decltype(track_tag)::value;
+        if (hints != nullptr) {
+            runReplayCombined<kWithProfile, kTrack>(
+                concrete, *hints, policy, buffer, from, to, stats,
+                profile);
+        } else {
+            runReplayDynamic<kWithProfile, kTrack>(
+                concrete, buffer, from, to, stats, profile);
+        }
+    };
+
+    // Warmup: train the predictor without recording anything.
+    if (warmup_end > 0) {
+        SimStats discarded;
+        if (track) {
+            run(std::false_type{}, std::true_type{}, 0, warmup_end,
+                discarded, nullptr);
+        } else {
+            run(std::false_type{}, std::false_type{}, 0, warmup_end,
+                discarded, nullptr);
+        }
+        outer.clearCollisionStats();
+    }
+
+    SimStats stats;
+    if (with_profile && track) {
+        run(std::true_type{}, std::true_type{}, warmup_end, end, stats,
+            options.profile);
+    } else if (with_profile) {
+        run(std::true_type{}, std::false_type{}, warmup_end, end,
+            stats, options.profile);
+    } else if (track) {
+        run(std::false_type{}, std::true_type{}, warmup_end, end,
+            stats, nullptr);
+    } else {
+        run(std::false_type{}, std::false_type{}, warmup_end, end,
+            stats, nullptr);
+    }
+
+    stats.collisions = outer.collisionStats();
+    return stats;
+}
+
 } // namespace
 
 SimStats
@@ -104,6 +306,45 @@ simulate(BranchPredictor &predictor, BranchStream &stream,
                                           options)
                : runMeasured<false, false>(predictor, nullptr, stream,
                                            options);
+}
+
+SimStats
+simulateReplay(BranchPredictor &predictor, const ReplayBuffer &buffer,
+               const SimOptions &options, bool *used_fast_path)
+{
+    SimStats stats;
+    bool used = false;
+
+    if (options.fastPath) {
+        auto *combined = dynamic_cast<CombinedPredictor *>(&predictor);
+        // An empty hint database makes the combined wrapper a pure
+        // pass-through, so such cells run the cheaper dynamic kernel;
+        // the results are identical.
+        const bool hinted =
+            combined != nullptr && combined->hintDb().size() > 0;
+        const HintDb *hints = hinted ? &combined->hintDb() : nullptr;
+        const ShiftPolicy policy =
+            hinted ? combined->policy() : ShiftPolicy::NoShift;
+        BranchPredictor &dyn = combined != nullptr
+                                   ? combined->dynamicComponent()
+                                   : predictor;
+
+        used = visitPredictor(dyn, [&](auto &concrete) {
+            if (options.resetPredictor)
+                predictor.reset();
+            predictor.clearCollisionStats();
+            stats = runReplay(concrete, predictor, hints, policy,
+                              buffer, options);
+        });
+    }
+
+    if (!used) {
+        auto cursor = buffer.cursor();
+        stats = simulate(predictor, cursor, options);
+    }
+    if (used_fast_path != nullptr)
+        *used_fast_path = used;
+    return stats;
 }
 
 } // namespace bpsim

@@ -20,6 +20,8 @@
 namespace bpsim
 {
 
+class ReplayBuffer;
+
 /** Options for one simulation run. */
 struct SimOptions
 {
@@ -47,6 +49,24 @@ struct SimOptions
 
     /** Reset the stream before starting. */
     bool resetStream = true;
+
+    /**
+     * Let simulateReplay() use the devirtualized block kernels when
+     * the predictor's concrete type supports them. When clear (or
+     * when the type is not one of the five paper schemes) the run
+     * falls back to the virtual-dispatch loop; results are
+     * bit-identical either way.
+     */
+    bool fastPath = true;
+
+    /**
+     * Collect collision statistics. Honoured by the fast path only:
+     * with it clear the kernels compile the tag bookkeeping out, so
+     * SimStats::collisions and per-branch profile collision counts
+     * read zero. The virtual path always tracks. Leave set whenever
+     * collision numbers are part of the result.
+     */
+    bool trackCollisions = true;
 };
 
 /**
@@ -58,6 +78,26 @@ struct SimOptions
  */
 SimStats simulate(BranchPredictor &predictor, BranchStream &stream,
                   const SimOptions &options = {});
+
+/**
+ * Run @p predictor over a materialized trace.
+ *
+ * Semantically identical to simulate() over @p buffer.cursor() —
+ * same stats, same profile contents, same final predictor state —
+ * but when @p predictor (or, for a CombinedPredictor, its dynamic
+ * component) is one of the five paper schemes, the run dispatches
+ * once on the concrete type and executes a templated block kernel
+ * over the buffer's raw columns: no virtual calls in the per-branch
+ * loop. options.resetStream is meaningless here (the buffer is
+ * immutable) and ignored.
+ *
+ * @param used_fast_path optionally receives whether a devirtualized
+ *                       kernel ran (false = virtual fallback)
+ */
+SimStats simulateReplay(BranchPredictor &predictor,
+                        const ReplayBuffer &buffer,
+                        const SimOptions &options = {},
+                        bool *used_fast_path = nullptr);
 
 } // namespace bpsim
 

@@ -1,7 +1,8 @@
 #include "core/experiment.hh"
 
 #include "core/engine.hh"
-#include "profile/profile_db.hh"
+#include "support/logging.hh"
+#include "trace/replay_buffer.hh"
 #include "trace/trace_io.hh"
 
 namespace bpsim
@@ -17,6 +18,16 @@ makeDynamicComponent(const ExperimentConfig &config)
     return config.makeDynamic
                ? config.makeDynamic()
                : makePredictor(config.kind, config.sizeBytes);
+}
+
+/** Options of the selection phase's profiling simulation. */
+SimOptions
+profileOptions(const ExperimentConfig &config, ProfileDb &profile)
+{
+    SimOptions options;
+    options.maxBranches = config.profileBranches;
+    options.profile = &profile;
+    return options;
 }
 
 /**
@@ -45,44 +56,43 @@ class InputBoundStream : public BranchStream
     InputSet input;
 };
 
-} // namespace
-
+/**
+ * Selection + evaluation downstream of the profiling phase, shared
+ * by the stream and replay paths. @p collect_eval_profile gathers
+ * the merge filter's bias-only profile of the evaluation input;
+ * @p evaluate runs the combined predictor over it.
+ */
+template <typename CollectEvalProfile, typename Evaluate>
 ExperimentResult
-runExperimentStreams(BranchStream &profile_stream,
-                     BranchStream &eval_stream,
-                     const ExperimentConfig &config)
+finishExperiment(const ExperimentConfig &config,
+                 const ProfilePhase *profile_phase,
+                 CollectEvalProfile &&collect_eval_profile,
+                 Evaluate &&evaluate)
 {
     HintDb hints;
     Count simulated = 0;
 
     if (config.scheme != StaticScheme::None) {
-        // Phase 1: profile the program, simulating the target dynamic
-        // predictor so the profile carries per-branch accuracy (only
-        // Static_Acc/Static_Fac read it; Static_95 just uses bias).
-        auto profiling_predictor = makeDynamicComponent(config);
-        ProfileDb profile;
-        SimOptions profile_options;
-        profile_options.maxBranches = config.profileBranches;
-        profile_options.profile = &profile;
-        const SimStats profile_stats = simulate(
-            *profiling_predictor, profile_stream, profile_options);
-        simulated += profile_stats.branches;
+        bpsim_assert(profile_phase != nullptr,
+                     "selection scheme needs a profiling phase");
+        simulated += profile_phase->simulatedBranches;
 
+        const ProfileDb *selection_profile = &profile_phase->profile;
+        ProfileDb filtered;
         if (config.filterUnstable &&
             config.profileInput != config.evalInput) {
             // The Spike-style merge filter: gather a bias-only
             // profile under the evaluation input and drop branches
             // whose behaviour is input-dependent.
-            eval_stream.reset();
-            BoundedStream bounded(eval_stream, config.profileBranches);
-            ProfileDb eval_profile =
-                ProfileDb::collect(bounded, config.profileBranches);
+            ProfileDb eval_profile = collect_eval_profile();
             simulated += eval_profile.totalExecuted();
-            profile = stableSubset(profile, eval_profile,
-                                   config.stabilityThreshold);
+            filtered = stableSubset(*selection_profile, eval_profile,
+                                    config.stabilityThreshold);
+            selection_profile = &filtered;
         }
 
-        hints = selectStatic(config.scheme, profile, config.selection);
+        hints = selectStatic(config.scheme, *selection_profile,
+                             config.selection);
     }
 
     // Phase 2: evaluate the combined predictor from a cold start.
@@ -90,12 +100,123 @@ runExperimentStreams(BranchStream &profile_stream,
     CombinedPredictor combined(makeDynamicComponent(config),
                                std::move(hints), config.shift);
 
-    SimOptions eval_options;
-    eval_options.maxBranches = config.evalBranches;
     ExperimentResult result;
-    result.stats = simulate(combined, eval_stream, eval_options);
+    result.stats = evaluate(combined);
     result.hintCount = hint_count;
     result.simulatedBranches = simulated + result.stats.branches;
+    return result;
+}
+
+} // namespace
+
+ProfilePhase
+runProfilePhase(BranchStream &profile_stream,
+                const ExperimentConfig &config)
+{
+    // Profile the program, simulating the target dynamic predictor
+    // so the profile carries per-branch accuracy (only
+    // Static_Acc/Static_Fac read it; Static_95 just uses bias).
+    auto profiling_predictor = makeDynamicComponent(config);
+    ProfilePhase phase;
+    const SimStats stats =
+        simulate(*profiling_predictor, profile_stream,
+                 profileOptions(config, phase.profile));
+    phase.simulatedBranches = stats.branches;
+    return phase;
+}
+
+ProfilePhase
+runProfilePhaseReplay(const ReplayBuffer &profile_buffer,
+                      const ExperimentConfig &config,
+                      bool *used_fast_path)
+{
+    auto profiling_predictor = makeDynamicComponent(config);
+    ProfilePhase phase;
+    const SimStats stats =
+        simulateReplay(*profiling_predictor, profile_buffer,
+                       profileOptions(config, phase.profile),
+                       used_fast_path);
+    phase.simulatedBranches = stats.branches;
+    return phase;
+}
+
+ExperimentResult
+runEvaluationStreams(BranchStream &eval_stream,
+                     const ExperimentConfig &config,
+                     const ProfilePhase *profile_phase)
+{
+    return finishExperiment(
+        config, profile_phase,
+        [&] {
+            eval_stream.reset();
+            BoundedStream bounded(eval_stream, config.profileBranches);
+            return ProfileDb::collect(bounded, config.profileBranches);
+        },
+        [&](CombinedPredictor &combined) {
+            SimOptions eval_options;
+            eval_options.maxBranches = config.evalBranches;
+            return simulate(combined, eval_stream, eval_options);
+        });
+}
+
+ExperimentResult
+runEvaluationReplay(const ReplayBuffer &eval_buffer,
+                    const ExperimentConfig &config,
+                    const ProfilePhase *profile_phase,
+                    bool *used_fast_path)
+{
+    return finishExperiment(
+        config, profile_phase,
+        [&] {
+            auto cursor = eval_buffer.cursor();
+            BoundedStream bounded(cursor, config.profileBranches);
+            return ProfileDb::collect(bounded, config.profileBranches);
+        },
+        [&](CombinedPredictor &combined) {
+            SimOptions eval_options;
+            eval_options.maxBranches = config.evalBranches;
+            return simulateReplay(combined, eval_buffer, eval_options,
+                                  used_fast_path);
+        });
+}
+
+ExperimentResult
+runExperimentStreams(BranchStream &profile_stream,
+                     BranchStream &eval_stream,
+                     const ExperimentConfig &config)
+{
+    ProfilePhase phase;
+    const ProfilePhase *phase_ptr = nullptr;
+    if (config.scheme != StaticScheme::None) {
+        phase = runProfilePhase(profile_stream, config);
+        phase_ptr = &phase;
+    }
+    return runEvaluationStreams(eval_stream, config, phase_ptr);
+}
+
+ExperimentResult
+runExperimentReplay(const ReplayBuffer *profile_buffer,
+                    const ReplayBuffer &eval_buffer,
+                    const ExperimentConfig &config,
+                    const ProfilePhase *cached_profile,
+                    bool *used_fast_path)
+{
+    ProfilePhase local;
+    const ProfilePhase *phase = cached_profile;
+    bool profile_fast = true;
+    if (config.scheme != StaticScheme::None && phase == nullptr) {
+        bpsim_assert(profile_buffer != nullptr,
+                     "selection scheme needs a profile trace");
+        local = runProfilePhaseReplay(*profile_buffer, config,
+                                      &profile_fast);
+        phase = &local;
+    }
+
+    bool eval_fast = false;
+    ExperimentResult result =
+        runEvaluationReplay(eval_buffer, config, phase, &eval_fast);
+    if (used_fast_path != nullptr)
+        *used_fast_path = profile_fast && eval_fast;
     return result;
 }
 

@@ -13,15 +13,19 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <string>
 
 #include "core/combined_predictor.hh"
 #include "core/sim_stats.hh"
 #include "predictor/factory.hh"
+#include "profile/profile_db.hh"
 #include "staticsel/selection.hh"
 #include "workload/synthetic_program.hh"
 
 namespace bpsim
 {
+
+class ReplayBuffer;
 
 /** Full description of one experiment. */
 struct ExperimentConfig
@@ -71,7 +75,46 @@ struct ExperimentConfig
      * kind enum cannot express. Called once per phase.
      */
     std::function<std::unique_ptr<BranchPredictor>()> makeDynamic;
+
+    /**
+     * Cache identity of a makeDynamic factory. The runner's
+     * profile-phase cache cannot see through a std::function, so
+     * cells carrying one are uncacheable unless they also set a key
+     * that uniquely names the constructed predictor (e.g.
+     * "gshare:h12:8192"). Cells with equal keys must construct
+     * behaviourally identical predictors. Ignored when makeDynamic
+     * is empty; kind/sizeBytes identify the predictor then.
+     */
+    std::string dynamicKey;
 };
+
+/**
+ * Result of the selection phase's profiling run: the pre-filter
+ * profile of config.profileInput under the config's dynamic
+ * predictor, and the branches simulated to get it. Immutable once
+ * built, so one phase can be shared by every cell whose profiling
+ * work is identical (the runner's profile cache); the §5.1 merge
+ * filter is applied per cell downstream of this.
+ */
+struct ProfilePhase
+{
+    ProfileDb profile;
+    Count simulatedBranches = 0;
+};
+
+/**
+ * Run the selection phase's profiling simulation: the config's
+ * dynamic predictor over config.profileBranches records of
+ * @p profile_stream (reset first), recording per-branch outcome and
+ * accuracy counts.
+ */
+ProfilePhase runProfilePhase(BranchStream &profile_stream,
+                             const ExperimentConfig &config);
+
+/** Profiling phase over a materialized trace (devirtualized path). */
+ProfilePhase runProfilePhaseReplay(const ReplayBuffer &profile_buffer,
+                                   const ExperimentConfig &config,
+                                   bool *used_fast_path = nullptr);
 
 /** Outcome of one experiment. */
 struct ExperimentResult
@@ -107,6 +150,41 @@ ExperimentResult runExperiment(SyntheticProgram &program,
 ExperimentResult runExperimentStreams(BranchStream &profile_stream,
                                       BranchStream &eval_stream,
                                       const ExperimentConfig &config);
+
+/**
+ * Selection + evaluation given an already-run profiling phase.
+ * @p profile_phase may be null only when config.scheme is None (the
+ * baseline needs no profile); it is read, never modified, so a
+ * cached phase can serve any number of concurrent callers. Applies
+ * the §5.1 merge filter (which re-reads @p eval_stream) and the
+ * selection scheme, then evaluates the combined predictor from a
+ * cold start. simulatedBranches includes the phase's count, so the
+ * result is identical to runExperimentStreams() whether the phase
+ * was cached or run fresh.
+ */
+ExperimentResult runEvaluationStreams(BranchStream &eval_stream,
+                                      const ExperimentConfig &config,
+                                      const ProfilePhase *profile_phase);
+
+/** Evaluation over a materialized trace (devirtualized path). */
+ExperimentResult runEvaluationReplay(const ReplayBuffer &eval_buffer,
+                                     const ExperimentConfig &config,
+                                     const ProfilePhase *profile_phase,
+                                     bool *used_fast_path = nullptr);
+
+/**
+ * Full experiment over materialized traces. Uses @p cached_profile
+ * when given; otherwise runs the profiling phase from
+ * @p profile_buffer (which may be null only when the config needs no
+ * profile). @p used_fast_path reports whether every simulation of
+ * the experiment ran through the devirtualized kernels.
+ */
+ExperimentResult runExperimentReplay(const ReplayBuffer *profile_buffer,
+                                     const ReplayBuffer &eval_buffer,
+                                     const ExperimentConfig &config,
+                                     const ProfilePhase *cached_profile
+                                         = nullptr,
+                                     bool *used_fast_path = nullptr);
 
 /**
  * Convenience: pure dynamic baseline of @p kind / @p size_bytes over

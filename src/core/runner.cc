@@ -6,8 +6,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <deque>
+#include <limits>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 
 #include "support/logging.hh"
 
@@ -23,6 +25,35 @@ secondsSince(std::chrono::steady_clock::time_point start)
     return std::chrono::duration<double>(
                std::chrono::steady_clock::now() - start)
         .count();
+}
+
+/** Sentinel for "cell has no shared profiling phase". */
+constexpr std::size_t noPhase = std::numeric_limits<std::size_t>::max();
+
+/**
+ * Cache identity of a cell's profiling run: everything that affects
+ * the ProfilePhase and nothing that doesn't (the selection scheme and
+ * its tunables apply downstream, which is what makes the phase
+ * shareable across scheme cells). Empty when the phase is uncacheable
+ * (a makeDynamic factory with no dynamicKey).
+ */
+std::string
+profileCacheKey(const MatrixCell &cell)
+{
+    const ExperimentConfig &config = cell.config;
+    if (config.makeDynamic && config.dynamicKey.empty())
+        return {};
+    std::string key = std::to_string(cell.programIndex) + "|" +
+                      std::to_string(static_cast<unsigned>(
+                          config.profileInput)) +
+                      "|" + std::to_string(config.profileBranches) +
+                      "|";
+    if (config.makeDynamic)
+        key += "custom:" + config.dynamicKey;
+    else
+        key += predictorKindName(config.kind) + ":" +
+               std::to_string(config.sizeBytes);
+    return key;
 }
 
 } // namespace
@@ -138,10 +169,21 @@ TaskPool::run(std::vector<std::function<void()>> tasks)
 double
 MatrixResult::serialEstimateSeconds() const
 {
-    double total = materializeSeconds;
+    double total = materializeSeconds + profileSeconds;
     for (const auto &cell : cells)
         total += cell.wallSeconds;
     return total;
+}
+
+double
+MatrixResult::kernelBranchesPerSecond() const
+{
+    double sim_seconds = profileSeconds;
+    for (const auto &cell : cells)
+        sim_seconds += cell.wallSeconds;
+    return sim_seconds > 0.0
+               ? static_cast<double>(actualBranches) / sim_seconds
+               : 0.0;
 }
 
 double
@@ -291,35 +333,103 @@ ExperimentRunner::run()
     result.threads = taskPool.threadCount();
 
     const auto run_start = std::chrono::steady_clock::now();
+
+    // Phase A: the unique profiling runs. Distinct cells often need
+    // byte-identical profiling simulations (every scheme cell of one
+    // program × predictor does); run each unique one once, in
+    // first-seen cell order so the task list — and with it every
+    // result — is independent of the thread count.
+    struct ProfileTask
+    {
+        std::size_t programIndex;
+        InputSet input;
+        const ExperimentConfig *config;
+    };
+    std::vector<ProfileTask> profile_tasks;
+    std::vector<std::size_t> cell_phase(cells.size(), noPhase);
+    if (options.profileCache) {
+        std::unordered_map<std::string, std::size_t> phase_of_key;
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            const ExperimentConfig &config = cells[i].config;
+            if (config.scheme == StaticScheme::None)
+                continue;
+            const std::string key = profileCacheKey(cells[i]);
+            if (key.empty())
+                continue;
+            const auto [it, inserted] =
+                phase_of_key.try_emplace(key, profile_tasks.size());
+            if (inserted) {
+                profile_tasks.push_back({cells[i].programIndex,
+                                         config.profileInput,
+                                         &config});
+            } else {
+                ++result.profileCacheHits;
+            }
+            cell_phase[i] = it->second;
+        }
+        result.profileCacheMisses = profile_tasks.size();
+    }
+
+    std::vector<ProfilePhase> phases(profile_tasks.size());
+    std::vector<double> phase_walls(profile_tasks.size(), 0.0);
+    std::vector<char> phase_kernel(profile_tasks.size(), 0);
+    taskPool.parallelFor(profile_tasks.size(), [&](std::size_t j) {
+        const ProfileTask &task = profile_tasks[j];
+        const auto phase_start = std::chrono::steady_clock::now();
+        bool fast = false;
+        phases[j] = runProfilePhaseReplay(
+            buffer(task.programIndex, task.input), *task.config,
+            &fast);
+        phase_walls[j] = secondsSince(phase_start);
+        phase_kernel[j] = fast ? 1 : 0;
+    });
+    for (const double wall : phase_walls)
+        result.profileSeconds += wall;
+
+    // Phase B: the cells. Each worker owns its predictor and profile
+    // state; buffers and cached phases are shared read-only, so the
+    // hot path takes no locks.
     taskPool.parallelFor(cells.size(), [&](std::size_t i) {
         const MatrixCell &cell = cells[i];
         const ExperimentConfig &config = cell.config;
         const auto cell_start = std::chrono::steady_clock::now();
 
-        // Each worker owns its cursors, predictor and profile; the
-        // buffers are shared read-only, so the hot path takes no
-        // locks. Cells without a profiling phase never demanded a
-        // profile-input buffer, so feed the (unused, but reset)
-        // profile stream from the eval buffer.
-        const InputSet profile_input =
-            config.scheme != StaticScheme::None ? config.profileInput
-                                                : config.evalInput;
-        ReplayBuffer::Cursor profile_stream =
-            buffer(cell.programIndex, profile_input).cursor();
-        ReplayBuffer::Cursor eval_stream =
-            buffer(cell.programIndex, config.evalInput).cursor();
+        const ProfilePhase *cached =
+            cell_phase[i] != noPhase ? &phases[cell_phase[i]] : nullptr;
+        const ReplayBuffer *profile_buffer =
+            config.scheme != StaticScheme::None && cached == nullptr
+                ? &buffer(cell.programIndex, config.profileInput)
+                : nullptr;
 
         CellResult &out = result.cells[i];
-        out.result =
-            runExperimentStreams(profile_stream, eval_stream, config);
+        bool fast = false;
+        out.result = runExperimentReplay(
+            profile_buffer, buffer(cell.programIndex, config.evalInput),
+            config, cached, &fast);
+        out.profileCached = cached != nullptr;
+        out.usedKernel =
+            fast && (cached == nullptr || phase_kernel[cell_phase[i]]);
         out.wallSeconds = secondsSince(cell_start);
     });
     result.runSeconds = secondsSince(run_start);
     result.wallSeconds = secondsSince(start);
     result.materializeSeconds = materializeSeconds;
 
-    for (const auto &cell : result.cells)
+    for (std::size_t i = 0; i < result.cells.size(); ++i) {
+        const CellResult &cell = result.cells[i];
         result.totalBranches += cell.result.simulatedBranches;
+        // A cached phase's branches appear in every consumer's
+        // simulatedBranches; count them once (below) for the actual
+        // work done.
+        result.actualBranches += cell.result.simulatedBranches;
+        if (cell.profileCached)
+            result.actualBranches -=
+                phases[cell_phase[i]].simulatedBranches;
+        if (cell.usedKernel)
+            ++result.kernelCells;
+    }
+    for (const ProfilePhase &phase : phases)
+        result.actualBranches += phase.simulatedBranches;
     for (const auto &per_program : buffers) {
         for (const auto &held : per_program) {
             if (held != nullptr)
@@ -350,24 +460,42 @@ writeRunnerJson(const std::string &path, const std::string &bench,
             "    {\"label\": \"%s\", \"program\": \"%s\", "
             "\"misp_ki\": %.6f, \"hints\": %zu, "
             "\"branches\": %llu, \"wall_seconds\": %.6f, "
-            "\"branches_per_second\": %.1f}%s\n",
+            "\"branches_per_second\": %.1f, "
+            "\"kernel\": %s, \"profile_cached\": %s}%s\n",
             meta.label.c_str(),
             runner.program(meta.programIndex).name().c_str(),
             cell.result.stats.mispKi(), cell.result.hintCount,
             static_cast<unsigned long long>(
                 cell.result.simulatedBranches),
             cell.wallSeconds, cell.branchesPerSecond(),
+            cell.usedKernel ? "true" : "false",
+            cell.profileCached ? "true" : "false",
             i + 1 < result.cells.size() ? "," : "");
     }
     std::fprintf(file, "  ],\n");
     std::fprintf(file, "  \"materialize_seconds\": %.6f,\n",
                  result.materializeSeconds);
+    std::fprintf(file, "  \"profile_seconds\": %.6f,\n",
+                 result.profileSeconds);
+    std::fprintf(file, "  \"profile_cache_hits\": %llu,\n",
+                 static_cast<unsigned long long>(
+                     result.profileCacheHits));
+    std::fprintf(file, "  \"profile_cache_misses\": %llu,\n",
+                 static_cast<unsigned long long>(
+                     result.profileCacheMisses));
+    std::fprintf(file, "  \"kernel_cells\": %llu,\n",
+                 static_cast<unsigned long long>(result.kernelCells));
     std::fprintf(file, "  \"run_seconds\": %.6f,\n",
                  result.runSeconds);
     std::fprintf(file, "  \"wall_seconds\": %.6f,\n",
                  result.wallSeconds);
     std::fprintf(file, "  \"total_branches\": %llu,\n",
                  static_cast<unsigned long long>(result.totalBranches));
+    std::fprintf(file, "  \"actual_branches\": %llu,\n",
+                 static_cast<unsigned long long>(
+                     result.actualBranches));
+    std::fprintf(file, "  \"kernel_branches_per_second\": %.1f,\n",
+                 result.kernelBranchesPerSecond());
     std::fprintf(
         file, "  \"branches_per_second\": %.1f,\n",
         result.wallSeconds > 0.0

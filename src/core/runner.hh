@@ -87,6 +87,19 @@ struct RunnerOptions
 {
     /** Worker threads (0 = resolveThreadCount()). */
     unsigned threads = 0;
+
+    /**
+     * Share profiling phases across cells. The selection phase's
+     * profiling run depends only on (program, profile input,
+     * predictor construction, profile length) — not on the selection
+     * scheme or its tunables — so a matrix sweeping schemes over one
+     * predictor re-runs identical simulations once per scheme. With
+     * the cache on, each unique profiling run executes once (phase A)
+     * and its immutable ProfilePhase is shared read-only by every
+     * cell that needs it. Results are bit-identical either way; cells
+     * whose makeDynamic factory has no dynamicKey stay uncached.
+     */
+    bool profileCache = true;
 };
 
 /** One cell of the experiment matrix. */
@@ -108,8 +121,16 @@ struct CellResult
     /** The cell's experiment outcome. */
     ExperimentResult result;
 
-    /** Wall time of the cell's own simulation work. */
+    /** Wall time of the cell's own simulation work (excludes any
+     * shared profiling phase the cell consumed). */
     double wallSeconds = 0.0;
+
+    /** Every simulation of the cell ran the devirtualized kernels. */
+    bool usedKernel = false;
+
+    /** The cell consumed a shared profiling phase instead of running
+     * its own. */
+    bool profileCached = false;
 
     /** Simulated branch throughput of the cell. */
     double
@@ -134,7 +155,28 @@ struct MatrixResult
     /** Wall time spent materializing replay buffers. */
     double materializeSeconds = 0.0;
 
-    /** Wall time of the parallel cell section. */
+    /** Sum of the individual shared profiling runs' wall times (what
+     * they would cost serially). */
+    double profileSeconds = 0.0;
+
+    /** Cells served by an already-run profiling phase. */
+    Count profileCacheHits = 0;
+
+    /** Unique profiling phases executed for the cache. */
+    Count profileCacheMisses = 0;
+
+    /** Cells whose simulations all ran the devirtualized kernels. */
+    Count kernelCells = 0;
+
+    /**
+     * Branches actually simulated, counting each shared profiling
+     * phase once. totalBranches keeps PR-stable per-cell accounting
+     * (a cached phase is counted by every consumer); the difference
+     * between the two is the work the profile cache removed.
+     */
+    Count actualBranches = 0;
+
+    /** Wall time of the parallel section (profiling phases + cells). */
     double runSeconds = 0.0;
 
     /** End-to-end wall time (materialize + run). */
@@ -146,9 +188,13 @@ struct MatrixResult
     /** Bytes held by the replay buffers during the run. */
     std::size_t replayBytes = 0;
 
-    /** Sum of per-cell wall times plus materialization: what the
-     * same work would cost on one thread. */
+    /** Sum of per-cell wall times, the shared profiling runs and
+     * materialization: what the same work would cost on one thread. */
     double serialEstimateSeconds() const;
+
+    /** Actual branch throughput of the simulation work (excludes
+     * materialization). */
+    double kernelBranchesPerSecond() const;
 
     /** Parallel speedup against the one-thread estimate. */
     double speedupVsSerialEstimate() const;

@@ -1,6 +1,5 @@
 #include "predictor/bimodal.hh"
 
-#include "support/bits.hh"
 #include "predictor/table_size.hh"
 
 namespace bpsim
@@ -12,26 +11,16 @@ Bimodal::Bimodal(std::size_t size_bytes, BitCount counter_bits)
 {
 }
 
-std::size_t
-Bimodal::index(Addr pc) const
-{
-    return (pc / instructionBytes) & mask(table.indexBits());
-}
-
 bool
 Bimodal::predict(Addr pc)
 {
-    lastIndex = index(pc);
-    return table.lookup(lastIndex, pc).taken();
+    return predictStep<true>(pc);
 }
 
 void
 Bimodal::update(Addr pc, bool taken)
 {
-    (void)pc;
-    const bool correct = table.at(lastIndex).taken() == taken;
-    table.classify(correct);
-    table.at(lastIndex).train(taken);
+    updateStep<true>(pc, taken);
 }
 
 void
@@ -67,7 +56,7 @@ Bimodal::clearCollisionStats()
 Count
 Bimodal::lastPredictCollisions() const
 {
-    return table.pending();
+    return pendingStep();
 }
 
 } // namespace bpsim

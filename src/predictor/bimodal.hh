@@ -19,6 +19,10 @@ namespace bpsim
  * PC-indexed table of saturating counters. Captures per-branch bias;
  * essentially alias-free beyond ~2 KB on SPEC-sized programs, which
  * is why the paper finds Static_95 useless for it.
+ *
+ * The inline *Step methods are the non-virtual per-branch protocol
+ * used by the devirtualized replay kernels; the virtual interface
+ * forwards to them.
  */
 class Bimodal : public BranchPredictor
 {
@@ -40,9 +44,34 @@ class Bimodal : public BranchPredictor
     void clearCollisionStats() override;
     Count lastPredictCollisions() const override;
 
-  private:
-    std::size_t index(Addr pc) const;
+    /** Non-virtual predict(). */
+    template <bool Track>
+    bool
+    predictStep(Addr pc)
+    {
+        lastIndex = table.indexFor(pc / instructionBytes);
+        return table.lookup<Track>(lastIndex, pc).taken();
+    }
 
+    /** Non-virtual update(). */
+    template <bool Track>
+    void
+    updateStep(Addr pc, bool taken)
+    {
+        (void)pc;
+        SatCounter &counter = table.entry(lastIndex);
+        if constexpr (Track)
+            table.classify(counter.taken() == taken);
+        counter.train(taken);
+    }
+
+    /** Non-virtual updateHistory(): bimodal keeps no history. */
+    void historyStep(bool) {}
+
+    /** Non-virtual lastPredictCollisions(). */
+    Count pendingStep() const { return table.pending(); }
+
+  private:
     CounterTable table;
     std::size_t lastIndex = 0;
 };

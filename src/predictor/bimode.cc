@@ -1,6 +1,5 @@
 #include "predictor/bimode.hh"
 
-#include "support/bits.hh"
 #include "predictor/table_size.hh"
 
 namespace bpsim
@@ -20,58 +19,22 @@ BiMode::BiMode(std::size_t size_bytes, BitCount counter_bits)
     bpsim_assert(size_bytes >= 4, "bi-mode budget too small");
 }
 
-std::size_t
-BiMode::directionIndex(Addr pc) const
-{
-    const BitCount bits = takenTable.indexBits();
-    const std::uint64_t addr_bits =
-        foldBits(pc / instructionBytes, bits);
-    return static_cast<std::size_t>((addr_bits ^ history.value()) &
-                                    mask(bits));
-}
-
 bool
 BiMode::predict(Addr pc)
 {
-    lastChoiceIndex = static_cast<std::size_t>(
-        (pc / instructionBytes) & mask(choice.indexBits()));
-    lastDirectionIndex = directionIndex(pc);
-
-    lastChoseTaken = choice.lookup(lastChoiceIndex, pc).taken();
-    CounterTable &direction =
-        lastChoseTaken ? takenTable : notTakenTable;
-    lastPrediction = direction.lookup(lastDirectionIndex, pc).taken();
-    return lastPrediction;
+    return predictStep<true>(pc);
 }
 
 void
 BiMode::update(Addr pc, bool taken)
 {
-    (void)pc;
-    const bool correct = lastPrediction == taken;
-
-    CounterTable &selected = lastChoseTaken ? takenTable : notTakenTable;
-    CounterTable &unselected =
-        lastChoseTaken ? notTakenTable : takenTable;
-
-    selected.classify(correct);
-    unselected.classify(correct);
-    choice.classify(correct);
-
-    // Partial update: only the selected direction table trains.
-    selected.at(lastDirectionIndex).train(taken);
-
-    // Choice trains toward the outcome except when it opposed the
-    // outcome but the selected direction table still got it right.
-    const bool choice_opposes = lastChoseTaken != taken;
-    if (!(choice_opposes && correct))
-        choice.at(lastChoiceIndex).train(taken);
+    updateStep<true>(pc, taken);
 }
 
 void
 BiMode::updateHistory(bool taken)
 {
-    history.push(taken);
+    historyStep(taken);
 }
 
 void
@@ -111,7 +74,7 @@ BiMode::clearCollisionStats()
 Count
 BiMode::lastPredictCollisions() const
 {
-    return choice.pending() + takenTable.pending() + notTakenTable.pending();
+    return pendingStep();
 }
 
 } // namespace bpsim

@@ -1,15 +1,9 @@
 #include "predictor/counter_table.hh"
 
+#include <algorithm>
+
 namespace bpsim
 {
-
-namespace
-{
-
-/** Tag value meaning "no branch has used this entry yet". */
-constexpr Addr invalidTag = ~Addr{0};
-
-} // namespace
 
 CounterTable::CounterTable(std::size_t entries, BitCount counter_bits,
                            std::uint8_t initial)
@@ -22,29 +16,7 @@ CounterTable::CounterTable(std::size_t entries, BitCount counter_bits,
     counters.assign(entries, SatCounter(counter_bits, initial));
     tags.assign(entries, invalidTag);
     idxBits = floorLog2(entries);
-}
-
-SatCounter &
-CounterTable::lookup(std::size_t index, Addr pc)
-{
-    bpsim_assert(index < counters.size(), "index out of range");
-    ++collisionStats.lookups;
-    if (tags[index] != invalidTag && tags[index] != pc) {
-        ++collisionStats.collisions;
-        ++pendingCollisions;
-    }
-    tags[index] = pc;
-    return counters[index];
-}
-
-void
-CounterTable::classify(bool correct)
-{
-    if (correct)
-        collisionStats.constructive += pendingCollisions;
-    else
-        collisionStats.destructive += pendingCollisions;
-    pendingCollisions = 0;
+    idxMask = entries - 1;
 }
 
 void

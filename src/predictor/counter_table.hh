@@ -27,6 +27,14 @@ namespace bpsim
  * classify() once it knows whether its overall prediction was
  * correct, which buckets the pending collisions of the current
  * prediction round into constructive/destructive.
+ *
+ * Indexing is by power-of-two mask: accessors take an arbitrary hash
+ * and reduce it with `hash & (entries - 1)`, so the per-branch path
+ * carries neither a modulo nor a bounds assertion. The collision
+ * bookkeeping is a template parameter of the accessors: the
+ * devirtualized simulation kernels instantiate `Track = false`
+ * variants that compile the tag reads/writes out entirely when a
+ * caller opts out of collision measurement.
  */
 class CounterTable
 {
@@ -45,6 +53,16 @@ class CounterTable
     /** log2(entries): the index width. */
     BitCount indexBits() const { return idxBits; }
 
+    /** The power-of-two index mask (entries - 1). */
+    std::size_t indexMask() const { return idxMask; }
+
+    /** Reduce an arbitrary hash to a valid index. */
+    std::size_t
+    indexFor(std::uint64_t hash) const
+    {
+        return static_cast<std::size_t>(hash) & idxMask;
+    }
+
     /** Storage budget in bytes, excluding measurement tags. */
     std::size_t
     sizeBytes() const
@@ -53,10 +71,28 @@ class CounterTable
     }
 
     /**
-     * Access the counter at @p index for branch @p pc, recording
-     * collision statistics and updating the tag.
+     * Access the counter at @p index (reduced by the index mask) for
+     * branch @p pc. With @p Track set, records collision statistics
+     * and updates the tag; with it clear, the tag bookkeeping is
+     * compiled out and the access is a bare masked load.
      */
-    SatCounter &lookup(std::size_t index, Addr pc);
+    template <bool Track = true>
+    SatCounter &
+    lookup(std::size_t index, Addr pc)
+    {
+        index &= idxMask;
+        if constexpr (Track) {
+            ++collisionStats.lookups;
+            const Addr tag = tags[index];
+            const bool collided = tag != invalidTag && tag != pc;
+            collisionStats.collisions += collided;
+            pendingCollisions += collided;
+            tags[index] = pc;
+        } else {
+            (void)pc;
+        }
+        return counters[index];
+    }
 
     /** Direct access without instrumentation (for update paths). */
     SatCounter &
@@ -73,11 +109,24 @@ class CounterTable
         return counters[index];
     }
 
+    /** Uninstrumented masked access for the hot update path. */
+    SatCounter &
+    entry(std::size_t index)
+    {
+        return counters[index & idxMask];
+    }
+
     /**
      * Attribute the collisions recorded since the last classify()
      * call as constructive (@p correct) or destructive.
      */
-    void classify(bool correct);
+    void
+    classify(bool correct)
+    {
+        collisionStats.constructive += correct ? pendingCollisions : 0;
+        collisionStats.destructive += correct ? 0 : pendingCollisions;
+        pendingCollisions = 0;
+    }
 
     /** Reset every counter (and tag) to the power-on state. */
     void reset();
@@ -92,10 +141,14 @@ class CounterTable
     void clearStats() { collisionStats = CollisionStats{}; }
 
   private:
+    /** Tag value meaning "no branch has used this entry yet". */
+    static constexpr Addr invalidTag = ~Addr{0};
+
     std::vector<SatCounter> counters;
     std::vector<Addr> tags;
     CollisionStats collisionStats;
     Count pendingCollisions = 0;
+    std::size_t idxMask = 0;
     BitCount counterBits;
     BitCount idxBits;
     std::uint8_t initialValue;

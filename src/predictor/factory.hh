@@ -8,9 +8,15 @@
 
 #include <memory>
 #include <string>
+#include <typeinfo>
 #include <vector>
 
+#include "predictor/bimodal.hh"
+#include "predictor/bimode.hh"
+#include "predictor/ghist.hh"
+#include "predictor/gshare.hh"
 #include "predictor/predictor.hh"
+#include "predictor/two_bc_gskew.hh"
 
 namespace bpsim
 {
@@ -43,6 +49,44 @@ std::unique_ptr<BranchPredictor> makePredictor(PredictorKind kind,
  * A bare name defaults to 8 KB.
  */
 std::unique_ptr<BranchPredictor> makePredictor(const std::string &spec);
+
+/**
+ * Dispatch on the concrete type of @p predictor: invoke @p visitor
+ * with a reference to the predictor as its exact concrete class, for
+ * each of the paper's five simulated schemes. This is the single
+ * type-resolution point of the devirtualized replay kernels (see
+ * core/engine simulateReplay): one typeid comparison per simulation
+ * run instead of three virtual calls per branch.
+ *
+ * Matching is on the exact dynamic type, not an is-a relationship,
+ * because a subclass could override the virtual protocol in ways the
+ * base class's inline *Step methods would silently bypass.
+ *
+ * @return true if the concrete type was one of the five kinds and the
+ *         visitor ran; false (visitor untouched) for anything else,
+ *         e.g. the extension predictors or a custom makeDynamic
+ *         factory, which then take the virtual fallback path.
+ */
+template <typename Visitor>
+bool
+visitPredictor(BranchPredictor &predictor, Visitor &&visitor)
+{
+    const std::type_info &type = typeid(predictor);
+    if (type == typeid(Bimodal)) {
+        visitor(static_cast<Bimodal &>(predictor));
+    } else if (type == typeid(Ghist)) {
+        visitor(static_cast<Ghist &>(predictor));
+    } else if (type == typeid(Gshare)) {
+        visitor(static_cast<Gshare &>(predictor));
+    } else if (type == typeid(BiMode)) {
+        visitor(static_cast<BiMode &>(predictor));
+    } else if (type == typeid(TwoBcGskew)) {
+        visitor(static_cast<TwoBcGskew &>(predictor));
+    } else {
+        return false;
+    }
+    return true;
+}
 
 } // namespace bpsim
 

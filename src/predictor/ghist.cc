@@ -15,23 +15,19 @@ Ghist::Ghist(std::size_t size_bytes, BitCount counter_bits)
 bool
 Ghist::predict(Addr pc)
 {
-    lastIndex = static_cast<std::size_t>(history.value());
-    return table.lookup(lastIndex, pc).taken();
+    return predictStep<true>(pc);
 }
 
 void
 Ghist::update(Addr pc, bool taken)
 {
-    (void)pc;
-    const bool correct = table.at(lastIndex).taken() == taken;
-    table.classify(correct);
-    table.at(lastIndex).train(taken);
+    updateStep<true>(pc, taken);
 }
 
 void
 Ghist::updateHistory(bool taken)
 {
-    history.push(taken);
+    historyStep(taken);
 }
 
 void
@@ -62,7 +58,7 @@ Ghist::clearCollisionStats()
 Count
 Ghist::lastPredictCollisions() const
 {
-    return table.pending();
+    return pendingStep();
 }
 
 } // namespace bpsim

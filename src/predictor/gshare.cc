@@ -1,6 +1,5 @@
 #include "predictor/gshare.hh"
 
-#include "support/bits.hh"
 #include "predictor/table_size.hh"
 
 namespace bpsim
@@ -16,35 +15,22 @@ Gshare::Gshare(std::size_t size_bytes, BitCount history_bits,
                  "gshare history longer than index");
 }
 
-std::size_t
-Gshare::index(Addr pc) const
-{
-    const std::uint64_t addr_bits =
-        foldBits(pc / instructionBytes, table.indexBits());
-    return static_cast<std::size_t>(
-        (addr_bits ^ history.value()) & mask(table.indexBits()));
-}
-
 bool
 Gshare::predict(Addr pc)
 {
-    lastIndex = index(pc);
-    return table.lookup(lastIndex, pc).taken();
+    return predictStep<true>(pc);
 }
 
 void
 Gshare::update(Addr pc, bool taken)
 {
-    (void)pc;
-    const bool correct = table.at(lastIndex).taken() == taken;
-    table.classify(correct);
-    table.at(lastIndex).train(taken);
+    updateStep<true>(pc, taken);
 }
 
 void
 Gshare::updateHistory(bool taken)
 {
-    history.push(taken);
+    historyStep(taken);
 }
 
 void
@@ -75,7 +61,7 @@ Gshare::clearCollisionStats()
 Count
 Gshare::lastPredictCollisions() const
 {
-    return table.pending();
+    return pendingStep();
 }
 
 } // namespace bpsim

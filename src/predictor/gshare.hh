@@ -12,6 +12,7 @@
 #include "predictor/counter_table.hh"
 #include "predictor/global_history.hh"
 #include "predictor/predictor.hh"
+#include "support/bits.hh"
 
 namespace bpsim
 {
@@ -19,6 +20,11 @@ namespace bpsim
 /**
  * Address-xor-history indexed predictor. The base dynamic predictor
  * of the paper's Figures 1-6 sweep.
+ *
+ * The per-branch protocol is implemented by the inline *Step methods
+ * below; the virtual BranchPredictor interface forwards to them, and
+ * the devirtualized replay kernels (core/engine simulateReplay) call
+ * them directly so the measured loop contains no indirect calls.
  */
 class Gshare : public BranchPredictor
 {
@@ -45,8 +51,41 @@ class Gshare : public BranchPredictor
     /** History length in use. */
     BitCount historyBits() const { return history.width(); }
 
+    /** Non-virtual predict(); see class comment. */
+    template <bool Track>
+    bool
+    predictStep(Addr pc)
+    {
+        lastIndex = index(pc);
+        return table.lookup<Track>(lastIndex, pc).taken();
+    }
+
+    /** Non-virtual update(); see class comment. */
+    template <bool Track>
+    void
+    updateStep(Addr pc, bool taken)
+    {
+        (void)pc;
+        SatCounter &counter = table.entry(lastIndex);
+        if constexpr (Track)
+            table.classify(counter.taken() == taken);
+        counter.train(taken);
+    }
+
+    /** Non-virtual updateHistory(). */
+    void historyStep(bool taken) { history.push(taken); }
+
+    /** Non-virtual lastPredictCollisions(). */
+    Count pendingStep() const { return table.pending(); }
+
   private:
-    std::size_t index(Addr pc) const;
+    std::size_t
+    index(Addr pc) const
+    {
+        const std::uint64_t addr_bits =
+            foldBits(pc / instructionBytes, table.indexBits());
+        return table.indexFor(addr_bits ^ history.value());
+    }
 
     CounterTable table;
     GlobalHistory history;

@@ -1,7 +1,7 @@
 #include "predictor/two_bc_gskew.hh"
 
-#include "support/bits.hh"
-#include "support/skew.hh"
+#include <algorithm>
+
 #include "predictor/table_size.hh"
 
 namespace bpsim
@@ -40,92 +40,22 @@ TwoBcGskew::TwoBcGskew(std::size_t size_bytes, BitCount hist_g0,
                  "history too long");
 }
 
-std::size_t
-TwoBcGskew::bimIndex(Addr pc) const
-{
-    return static_cast<std::size_t>((pc / instructionBytes) &
-                                    mask(bim.indexBits()));
-}
-
-std::size_t
-TwoBcGskew::skewedIndex(unsigned bank, Addr pc, BitCount hist_bits) const
-{
-    const BitCount bits = g0.indexBits();
-    const std::uint64_t v1 = foldBits(pc / instructionBytes, bits);
-    const std::uint64_t v2 = foldBits(history.recent(hist_bits), bits);
-    return static_cast<std::size_t>(skewIndex(bank, v1, v2, bits));
-}
-
-std::size_t
-TwoBcGskew::metaIndex(Addr pc) const
-{
-    const BitCount bits = meta.indexBits();
-    const std::uint64_t v1 = foldBits(pc / instructionBytes, bits);
-    const std::uint64_t v2 = foldBits(history.recent(histMeta), bits);
-    return static_cast<std::size_t>((v1 ^ v2) & mask(bits));
-}
-
 bool
 TwoBcGskew::predict(Addr pc)
 {
-    last.bimIdx = bimIndex(pc);
-    last.g0Idx = skewedIndex(0, pc, histG0);
-    last.g1Idx = skewedIndex(1, pc, histG1);
-    last.metaIdx = metaIndex(pc);
-
-    last.bimPred = bim.lookup(last.bimIdx, pc).taken();
-    last.g0Pred = g0.lookup(last.g0Idx, pc).taken();
-    last.g1Pred = g1.lookup(last.g1Idx, pc).taken();
-
-    const int votes = (last.bimPred ? 1 : 0) + (last.g0Pred ? 1 : 0) +
-                      (last.g1Pred ? 1 : 0);
-    last.majority = votes >= 2;
-
-    last.useMajority = meta.lookup(last.metaIdx, pc).taken();
-    last.finalPred = last.useMajority ? last.majority : last.bimPred;
-    return last.finalPred;
+    return predictStep<true>(pc);
 }
 
 void
 TwoBcGskew::update(Addr pc, bool taken)
 {
-    (void)pc;
-    const bool correct = last.finalPred == taken;
-
-    bim.classify(correct);
-    g0.classify(correct);
-    g1.classify(correct);
-    meta.classify(correct);
-
-    if (!correct) {
-        // Bad overall prediction: retrain all three voting banks.
-        bim.at(last.bimIdx).train(taken);
-        g0.at(last.g0Idx).train(taken);
-        g1.at(last.g1Idx).train(taken);
-    } else if (last.useMajority) {
-        // Correct via the majority vote: strengthen only the banks
-        // that voted with the (correct) majority.
-        if (last.bimPred == taken)
-            bim.at(last.bimIdx).train(taken);
-        if (last.g0Pred == taken)
-            g0.at(last.g0Idx).train(taken);
-        if (last.g1Pred == taken)
-            g1.at(last.g1Idx).train(taken);
-    } else {
-        // Correct via the bimodal component alone.
-        bim.at(last.bimIdx).train(taken);
-    }
-
-    // Meta trains only when the components disagree, toward whichever
-    // was correct.
-    if (last.majority != last.bimPred)
-        meta.at(last.metaIdx).train(last.majority == taken);
+    updateStep<true>(pc, taken);
 }
 
 void
 TwoBcGskew::updateHistory(bool taken)
 {
-    history.push(taken);
+    historyStep(taken);
 }
 
 void
@@ -168,7 +98,7 @@ TwoBcGskew::clearCollisionStats()
 Count
 TwoBcGskew::lastPredictCollisions() const
 {
-    return bim.pending() + g0.pending() + g1.pending() + meta.pending();
+    return pendingStep();
 }
 
 } // namespace bpsim

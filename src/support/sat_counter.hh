@@ -70,26 +70,33 @@ class SatCounter
     void
     increment()
     {
-        if (counter < maxValue())
-            ++counter;
+        counter = static_cast<std::uint8_t>(
+            counter + (counter != maxValue() ? 1 : 0));
     }
 
     /** Decrement with saturation. */
     void
     decrement()
     {
-        if (counter > 0)
-            --counter;
+        counter = static_cast<std::uint8_t>(
+            counter - (counter != 0 ? 1 : 0));
     }
 
-    /** Train toward the actual outcome of a branch. */
+    /**
+     * Train toward the actual outcome of a branch. Branchless: the
+     * step is computed from comparison results so the hot simulation
+     * kernels carry no data-dependent branch here.
+     */
     void
     train(bool taken_outcome)
     {
-        if (taken_outcome)
-            increment();
-        else
-            decrement();
+        const unsigned up =
+            static_cast<unsigned>(taken_outcome) &
+            static_cast<unsigned>(counter != maxValue());
+        const unsigned down =
+            static_cast<unsigned>(!taken_outcome) &
+            static_cast<unsigned>(counter != 0);
+        counter = static_cast<std::uint8_t>(counter + up - down);
     }
 
     /** Reset to an explicit value (used by tests and table clears). */

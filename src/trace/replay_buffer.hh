@@ -99,8 +99,21 @@ class ReplayBuffer
     /** A fresh cursor positioned at the first record. */
     Cursor cursor() const { return Cursor(*this); }
 
+    /** Bit of a packed gap/taken word holding the outcome flag. */
+    static constexpr std::uint32_t packedTakenBit = 0x8000'0000u;
+
+    /**
+     * Raw column access for block-iterating consumers (the engine's
+     * devirtualized replay kernels). pcData()[i] pairs with
+     * packedData()[i]: taken = packed & packedTakenBit, instruction
+     * gap = packed & ~packedTakenBit — the same decode get() applies.
+     */
+    const Addr *pcData() const { return pcs.data(); }
+
+    const std::uint32_t *packedData() const { return gapTaken.data(); }
+
   private:
-    static constexpr std::uint32_t takenBit = 0x8000'0000u;
+    static constexpr std::uint32_t takenBit = packedTakenBit;
 
     std::vector<Addr> pcs;
     std::vector<std::uint32_t> gapTaken;

@@ -1,0 +1,334 @@
+/**
+ * @file
+ * Bit-identity contract of the devirtualized replay kernels
+ * (core/engine simulateReplay): for every predictor kind, scheme and
+ * shift policy the kernels must produce exactly the SimStats, profile
+ * contents and hint counts of the virtual-dispatch path, and
+ * predictors outside the visitor must fall back to it transparently.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "core/engine.hh"
+#include "core/experiment.hh"
+#include "predictor/factory.hh"
+#include "trace/replay_buffer.hh"
+#include "workload/specint.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+constexpr Count testProfileBranches = 60'000;
+constexpr Count testEvalBranches = 120'000;
+
+ExperimentConfig
+fastConfig(PredictorKind kind, StaticScheme scheme)
+{
+    ExperimentConfig config;
+    config.kind = kind;
+    config.sizeBytes = 2048;
+    config.scheme = scheme;
+    config.profileBranches = testProfileBranches;
+    config.evalBranches = testEvalBranches;
+    return config;
+}
+
+void
+expectSameStats(const SimStats &a, const SimStats &b)
+{
+    EXPECT_EQ(a.branches, b.branches);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.mispredictions, b.mispredictions);
+    EXPECT_EQ(a.staticPredicted, b.staticPredicted);
+    EXPECT_EQ(a.staticMispredictions, b.staticMispredictions);
+    EXPECT_EQ(a.collisions.lookups, b.collisions.lookups);
+    EXPECT_EQ(a.collisions.collisions, b.collisions.collisions);
+    EXPECT_EQ(a.collisions.constructive, b.collisions.constructive);
+    EXPECT_EQ(a.collisions.destructive, b.collisions.destructive);
+}
+
+void
+expectSameProfile(const ProfileDb &a, const ProfileDb &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (const auto &[pc, profile] : a.entries()) {
+        const BranchProfile *other = b.find(pc);
+        ASSERT_NE(other, nullptr) << "pc " << std::hex << pc;
+        EXPECT_EQ(profile.executed, other->executed);
+        EXPECT_EQ(profile.taken, other->taken);
+        EXPECT_EQ(profile.predicted, other->predicted);
+        EXPECT_EQ(profile.correct, other->correct);
+        EXPECT_EQ(profile.collisions, other->collisions);
+    }
+}
+
+const ReplayBuffer &
+testBuffer()
+{
+    static const ReplayBuffer buffer = [] {
+        SyntheticProgram program =
+            makeSpecProgram(SpecProgram::Go, InputSet::Ref);
+        return ReplayBuffer::materialize(
+            program,
+            std::max(testProfileBranches, testEvalBranches));
+    }();
+    return buffer;
+}
+
+using KindScheme = std::tuple<PredictorKind, StaticScheme>;
+
+class FastPathExperiment
+    : public ::testing::TestWithParam<KindScheme>
+{};
+
+TEST_P(FastPathExperiment, KernelIdenticalToVirtualPath)
+{
+    const auto [kind, scheme] = GetParam();
+    const ExperimentConfig config = fastConfig(kind, scheme);
+    const ReplayBuffer &buffer = testBuffer();
+
+    // Virtual path: the stream-based core only ever uses simulate().
+    ReplayBuffer::Cursor profile_stream = buffer.cursor();
+    ReplayBuffer::Cursor eval_stream = buffer.cursor();
+    const ExperimentResult virtual_result =
+        runExperimentStreams(profile_stream, eval_stream, config);
+
+    bool used_fast = false;
+    const ExperimentResult kernel_result = runExperimentReplay(
+        &buffer, buffer, config, nullptr, &used_fast);
+
+    EXPECT_TRUE(used_fast);
+    expectSameStats(virtual_result.stats, kernel_result.stats);
+    EXPECT_EQ(virtual_result.hintCount, kernel_result.hintCount);
+    EXPECT_EQ(virtual_result.simulatedBranches,
+              kernel_result.simulatedBranches);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKindsAndSchemes, FastPathExperiment,
+    ::testing::Combine(
+        ::testing::ValuesIn(allPredictorKinds()),
+        ::testing::Values(StaticScheme::None, StaticScheme::Static95,
+                          StaticScheme::StaticAcc)),
+    [](const auto &info) {
+        return predictorKindName(std::get<0>(info.param)) + "_" +
+               staticSchemeName(std::get<1>(info.param));
+    });
+
+class FastPathProfile
+    : public ::testing::TestWithParam<PredictorKind>
+{};
+
+TEST_P(FastPathProfile, ProfilePhaseIdenticalToVirtualPath)
+{
+    const ExperimentConfig config =
+        fastConfig(GetParam(), StaticScheme::StaticAcc);
+    const ReplayBuffer &buffer = testBuffer();
+
+    ReplayBuffer::Cursor stream = buffer.cursor();
+    const ProfilePhase virtual_phase =
+        runProfilePhase(stream, config);
+
+    bool used_fast = false;
+    const ProfilePhase kernel_phase =
+        runProfilePhaseReplay(buffer, config, &used_fast);
+
+    EXPECT_TRUE(used_fast);
+    EXPECT_EQ(virtual_phase.simulatedBranches,
+              kernel_phase.simulatedBranches);
+    expectSameProfile(virtual_phase.profile, kernel_phase.profile);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, FastPathProfile,
+                         ::testing::ValuesIn(allPredictorKinds()),
+                         [](const auto &info) {
+                             return predictorKindName(info.param);
+                         });
+
+TEST(FastPathTest, ShiftPoliciesIdenticalToVirtualPath)
+{
+    // The combined kernel owns the history treatment of statically
+    // predicted branches; every policy must match the wrapper.
+    for (const auto shift :
+         {ShiftPolicy::NoShift, ShiftPolicy::ShiftOutcome,
+          ShiftPolicy::ShiftPrediction}) {
+        ExperimentConfig config =
+            fastConfig(PredictorKind::Ghist, StaticScheme::Static95);
+        config.shift = shift;
+        const ReplayBuffer &buffer = testBuffer();
+
+        ReplayBuffer::Cursor profile_stream = buffer.cursor();
+        ReplayBuffer::Cursor eval_stream = buffer.cursor();
+        const ExperimentResult virtual_result =
+            runExperimentStreams(profile_stream, eval_stream, config);
+
+        bool used_fast = false;
+        const ExperimentResult kernel_result = runExperimentReplay(
+            &buffer, buffer, config, nullptr, &used_fast);
+
+        EXPECT_TRUE(used_fast)
+            << shiftPolicyName(shift);
+        expectSameStats(virtual_result.stats, kernel_result.stats);
+        EXPECT_EQ(virtual_result.hintCount, kernel_result.hintCount);
+    }
+}
+
+TEST(FastPathTest, WarmupIdenticalToVirtualPath)
+{
+    // Warmup trains tables *and* collision tags before measurement;
+    // the kernel schedule must leave the predictor in the same state.
+    const ReplayBuffer &buffer = testBuffer();
+    SimOptions options;
+    options.warmupBranches = 20'000;
+    options.maxBranches = 50'000;
+
+    for (const auto kind : allPredictorKinds()) {
+        auto virtual_predictor = makePredictor(kind, 2048);
+        ReplayBuffer::Cursor cursor = buffer.cursor();
+        const SimStats virtual_stats =
+            simulate(*virtual_predictor, cursor, options);
+
+        auto kernel_predictor = makePredictor(kind, 2048);
+        bool used_fast = false;
+        const SimStats kernel_stats = simulateReplay(
+            *kernel_predictor, buffer, options, &used_fast);
+
+        EXPECT_TRUE(used_fast) << predictorKindName(kind);
+        expectSameStats(virtual_stats, kernel_stats);
+    }
+}
+
+TEST(FastPathTest, EmptyHintCombinedStillUsesKernel)
+{
+    // The evaluation phase always wraps the dynamic predictor in a
+    // CombinedPredictor even without hints; the dispatcher must see
+    // through the empty wrapper rather than fall back.
+    const ReplayBuffer &buffer = testBuffer();
+    SimOptions options;
+    options.maxBranches = testEvalBranches;
+
+    CombinedPredictor virtual_combined(
+        makePredictor(PredictorKind::Gshare, 2048), HintDb{});
+    ReplayBuffer::Cursor cursor = buffer.cursor();
+    const SimStats virtual_stats =
+        simulate(virtual_combined, cursor, options);
+
+    CombinedPredictor kernel_combined(
+        makePredictor(PredictorKind::Gshare, 2048), HintDb{});
+    bool used_fast = false;
+    const SimStats kernel_stats = simulateReplay(
+        kernel_combined, buffer, options, &used_fast);
+
+    EXPECT_TRUE(used_fast);
+    expectSameStats(virtual_stats, kernel_stats);
+}
+
+TEST(FastPathTest, UnknownPredictorFallsBackToVirtual)
+{
+    // Extension predictors are outside the visitor; simulateReplay
+    // must transparently take the virtual path and still be correct.
+    const ReplayBuffer &buffer = testBuffer();
+    SimOptions options;
+    options.maxBranches = testEvalBranches;
+
+    auto virtual_predictor = makePredictor("yags:2048");
+    ReplayBuffer::Cursor cursor = buffer.cursor();
+    const SimStats virtual_stats =
+        simulate(*virtual_predictor, cursor, options);
+
+    auto replay_predictor = makePredictor("yags:2048");
+    bool used_fast = true;
+    const SimStats replay_stats = simulateReplay(
+        *replay_predictor, buffer, options, &used_fast);
+
+    EXPECT_FALSE(used_fast);
+    expectSameStats(virtual_stats, replay_stats);
+}
+
+TEST(FastPathTest, CustomFactoryExperimentFallsBack)
+{
+    // A makeDynamic factory constructing a non-visitable type runs
+    // the whole experiment on the virtual path, bit-identically.
+    ExperimentConfig config =
+        fastConfig(PredictorKind::Gshare, StaticScheme::Static95);
+    config.makeDynamic = [] { return makePredictor("yags:2048"); };
+    const ReplayBuffer &buffer = testBuffer();
+
+    ReplayBuffer::Cursor profile_stream = buffer.cursor();
+    ReplayBuffer::Cursor eval_stream = buffer.cursor();
+    const ExperimentResult virtual_result =
+        runExperimentStreams(profile_stream, eval_stream, config);
+
+    bool used_fast = true;
+    const ExperimentResult replay_result = runExperimentReplay(
+        &buffer, buffer, config, nullptr, &used_fast);
+
+    EXPECT_FALSE(used_fast);
+    expectSameStats(virtual_result.stats, replay_result.stats);
+    EXPECT_EQ(virtual_result.hintCount, replay_result.hintCount);
+}
+
+TEST(FastPathTest, FastPathOffMatchesKernelResults)
+{
+    const ReplayBuffer &buffer = testBuffer();
+    SimOptions kernel_options;
+    kernel_options.maxBranches = testEvalBranches;
+    SimOptions virtual_options = kernel_options;
+    virtual_options.fastPath = false;
+
+    auto kernel_predictor = makePredictor(PredictorKind::BiMode, 2048);
+    bool kernel_fast = false;
+    const SimStats kernel_stats = simulateReplay(
+        *kernel_predictor, buffer, kernel_options, &kernel_fast);
+    EXPECT_TRUE(kernel_fast);
+
+    auto virtual_predictor = makePredictor(PredictorKind::BiMode, 2048);
+    bool virtual_fast = true;
+    const SimStats virtual_stats = simulateReplay(
+        *virtual_predictor, buffer, virtual_options, &virtual_fast);
+    EXPECT_FALSE(virtual_fast);
+
+    expectSameStats(kernel_stats, virtual_stats);
+}
+
+TEST(FastPathTest, UntrackedKernelSkipsCollisionBookkeeping)
+{
+    // trackCollisions=false compiles the tag bookkeeping out of the
+    // kernels: predictions are unchanged, collision stats read zero.
+    const ReplayBuffer &buffer = testBuffer();
+    SimOptions tracked;
+    tracked.maxBranches = testEvalBranches;
+    SimOptions untracked = tracked;
+    untracked.trackCollisions = false;
+
+    for (const auto kind : allPredictorKinds()) {
+        auto tracked_predictor = makePredictor(kind, 2048);
+        const SimStats tracked_stats =
+            simulateReplay(*tracked_predictor, buffer, tracked);
+
+        auto untracked_predictor = makePredictor(kind, 2048);
+        bool used_fast = false;
+        const SimStats untracked_stats = simulateReplay(
+            *untracked_predictor, buffer, untracked, &used_fast);
+
+        EXPECT_TRUE(used_fast) << predictorKindName(kind);
+        EXPECT_EQ(tracked_stats.branches, untracked_stats.branches);
+        EXPECT_EQ(tracked_stats.instructions,
+                  untracked_stats.instructions);
+        EXPECT_EQ(tracked_stats.mispredictions,
+                  untracked_stats.mispredictions);
+        EXPECT_GT(tracked_stats.collisions.lookups, 0u);
+        EXPECT_EQ(untracked_stats.collisions.lookups, 0u);
+        EXPECT_EQ(untracked_stats.collisions.collisions, 0u);
+        EXPECT_EQ(untracked_stats.collisions.constructive, 0u);
+        EXPECT_EQ(untracked_stats.collisions.destructive, 0u);
+    }
+}
+
+} // namespace
+} // namespace bpsim

@@ -172,33 +172,40 @@ TEST(RunnerTest, CrossInputFilterIdenticalToRegenerated)
     EXPECT_EQ(regenerated.hintCount, result.cells[0].result.hintCount);
 }
 
-TEST(RunnerTest, ResultsIdenticalAtAnyThreadCount)
+/** The thread-count/cache test matrix: 2 programs x 2 kinds x
+ * {none, static_95, static_acc} = 12 cells, 8 with a profiling
+ * phase sharing 4 unique profile runs. */
+MatrixResult
+runTestMatrix(unsigned threads, bool profile_cache)
 {
-    const auto run_matrix = [](unsigned threads) {
-        ExperimentRunner runner({threads});
-        for (const auto id :
-             {SpecProgram::Go, SpecProgram::Compress}) {
-            const std::size_t program =
-                runner.addProgram(makeSpecProgram(id, InputSet::Ref));
-            for (const auto kind :
-                 {PredictorKind::Gshare, PredictorKind::Bimodal}) {
-                for (const auto scheme :
-                     {StaticScheme::None, StaticScheme::Static95}) {
-                    runner.addCell(program,
-                                   testConfig(kind, scheme));
-                }
+    RunnerOptions options;
+    options.threads = threads;
+    options.profileCache = profile_cache;
+    ExperimentRunner runner(options);
+    for (const auto id : {SpecProgram::Go, SpecProgram::Compress}) {
+        const std::size_t program =
+            runner.addProgram(makeSpecProgram(id, InputSet::Ref));
+        for (const auto kind :
+             {PredictorKind::Gshare, PredictorKind::Bimodal}) {
+            for (const auto scheme :
+                 {StaticScheme::None, StaticScheme::Static95,
+                  StaticScheme::StaticAcc}) {
+                runner.addCell(program, testConfig(kind, scheme));
             }
         }
-        return runner.run();
-    };
+    }
+    return runner.run();
+}
 
-    const MatrixResult one = run_matrix(1);
-    const MatrixResult two = run_matrix(2);
-    const MatrixResult eight = run_matrix(8);
+TEST(RunnerTest, ResultsIdenticalAtAnyThreadCount)
+{
+    const MatrixResult one = runTestMatrix(1, true);
+    const MatrixResult two = runTestMatrix(2, true);
+    const MatrixResult eight = runTestMatrix(8, true);
     EXPECT_EQ(one.threads, 1u);
     EXPECT_EQ(two.threads, 2u);
     EXPECT_EQ(eight.threads, 8u);
-    ASSERT_EQ(one.cells.size(), 8u);
+    ASSERT_EQ(one.cells.size(), 12u);
     ASSERT_EQ(two.cells.size(), one.cells.size());
     ASSERT_EQ(eight.cells.size(), one.cells.size());
 
@@ -211,6 +218,43 @@ TEST(RunnerTest, ResultsIdenticalAtAnyThreadCount)
                   two.cells[i].result.hintCount);
         EXPECT_EQ(one.cells[i].result.hintCount,
                   eight.cells[i].result.hintCount);
+        EXPECT_EQ(one.cells[i].profileCached,
+                  two.cells[i].profileCached);
+        EXPECT_EQ(one.cells[i].usedKernel, eight.cells[i].usedKernel);
+    }
+
+    // Cache accounting is a function of the matrix, not the pool: 4
+    // unique (program, kind) profile runs serve the 8 scheme cells.
+    for (const MatrixResult *result : {&one, &two, &eight}) {
+        EXPECT_EQ(result->profileCacheMisses, 4u);
+        EXPECT_EQ(result->profileCacheHits, 4u);
+        EXPECT_EQ(result->kernelCells, result->cells.size());
+        EXPECT_EQ(result->totalBranches, one.totalBranches);
+        EXPECT_EQ(result->actualBranches, one.actualBranches);
+        EXPECT_LT(result->actualBranches, result->totalBranches);
+    }
+}
+
+TEST(RunnerTest, ProfileCacheOffIsBitIdentical)
+{
+    const MatrixResult cached = runTestMatrix(2, true);
+    const MatrixResult uncached = runTestMatrix(2, false);
+    ASSERT_EQ(cached.cells.size(), uncached.cells.size());
+
+    EXPECT_EQ(uncached.profileCacheHits, 0u);
+    EXPECT_EQ(uncached.profileCacheMisses, 0u);
+    EXPECT_EQ(uncached.totalBranches, cached.totalBranches);
+    // Without sharing, every scheme cell re-runs its own profile.
+    EXPECT_EQ(uncached.actualBranches, uncached.totalBranches);
+
+    for (std::size_t i = 0; i < cached.cells.size(); ++i) {
+        expectSameStats(cached.cells[i].result.stats,
+                        uncached.cells[i].result.stats);
+        EXPECT_EQ(cached.cells[i].result.hintCount,
+                  uncached.cells[i].result.hintCount);
+        EXPECT_EQ(cached.cells[i].result.simulatedBranches,
+                  uncached.cells[i].result.simulatedBranches);
+        EXPECT_FALSE(uncached.cells[i].profileCached);
     }
 }
 

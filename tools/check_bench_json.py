@@ -19,9 +19,15 @@ TOP_LEVEL_REQUIRED = {
     "threads": int,
     "cells": list,
     "materialize_seconds": (int, float),
+    "profile_seconds": (int, float),
+    "profile_cache_hits": int,
+    "profile_cache_misses": int,
+    "kernel_cells": int,
     "run_seconds": (int, float),
     "wall_seconds": (int, float),
     "total_branches": int,
+    "actual_branches": int,
+    "kernel_branches_per_second": (int, float),
     "branches_per_second": (int, float),
     "replay_buffer_bytes": int,
     "serial_estimate_seconds": (int, float),
@@ -36,6 +42,8 @@ CELL_REQUIRED = {
     "branches": int,
     "wall_seconds": (int, float),
     "branches_per_second": (int, float),
+    "kernel": bool,
+    "profile_cached": bool,
 }
 
 
@@ -49,6 +57,11 @@ def check_fields(path, obj, spec, where):
         if key not in obj:
             fail(path, f"{where}: missing key '{key}'")
         value = obj[key]
+        if expected is bool:
+            if not isinstance(value, bool):
+                fail(path, f"{where}: key '{key}' has type "
+                           f"{type(value).__name__}, expected bool")
+            continue
         if isinstance(value, bool) or not isinstance(value, expected):
             fail(path, f"{where}: key '{key}' has type "
                        f"{type(value).__name__}, expected "
@@ -89,9 +102,36 @@ def check_file(path):
         fail(path, f"total_branches {data['total_branches']} != "
                    f"sum of cell branches {total}")
 
+    # The profile cache removes work, never adds it: actual_branches
+    # counts each shared profiling phase once, total_branches once per
+    # consuming cell.
+    if data["actual_branches"] > data["total_branches"]:
+        fail(path, f"actual_branches {data['actual_branches']} > "
+                   f"total_branches {data['total_branches']}")
+    if data["profile_cache_hits"] > 0 and \
+            data["actual_branches"] == data["total_branches"]:
+        fail(path, "profile cache hits reported but actual_branches "
+                   "== total_branches (no work was shared)")
+
+    kernel_cells = sum(1 for cell in data["cells"] if cell["kernel"])
+    if kernel_cells != data["kernel_cells"]:
+        fail(path, f"kernel_cells {data['kernel_cells']} != "
+                   f"count of kernel cells {kernel_cells}")
+
+    cached_cells = sum(
+        1 for cell in data["cells"] if cell["profile_cached"])
+    cache_accesses = data["profile_cache_hits"] + \
+        data["profile_cache_misses"]
+    if cached_cells != cache_accesses:
+        fail(path, f"profile_cache_hits + profile_cache_misses "
+                   f"{cache_accesses} != count of profile_cached "
+                   f"cells {cached_cells}")
+
     print(f"{path}: ok ({len(data['cells'])} cells, "
           f"{data['threads']} threads, "
-          f"{data['wall_seconds']:.2f}s wall)")
+          f"{data['wall_seconds']:.2f}s wall, "
+          f"{data['profile_cache_hits']} profile-cache hits, "
+          f"{data['kernel_cells']} kernel cells)")
 
 
 def main(argv):
