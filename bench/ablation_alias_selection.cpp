@@ -30,16 +30,18 @@ main(int argc, char **argv)
                                     StaticScheme::Static95,
                                     StaticScheme::StaticAlias};
 
-    ExperimentRunner runner({options.threads});
+    const auto journal =
+        makeJournal(options, "ablation_alias_selection");
+    ExperimentRunner runner(runnerOptions(options, journal.get()));
     for (const auto id : {SpecProgram::Go, SpecProgram::Gcc}) {
         const std::size_t program =
             runner.addProgram(makeSpecProgram(id, InputSet::Ref));
         for (const std::size_t kb : sizes_kb) {
             for (const auto scheme : schemes) {
-                runner.addCell(
-                    program,
-                    baseConfig(PredictorKind::Gshare, kb * 1024,
-                               scheme));
+                ExperimentConfig config = baseConfig(
+                    PredictorKind::Gshare, kb * 1024, scheme);
+                config.evalWarmupBranches = options.warmupBranches;
+                runner.addCell(program, config);
             }
         }
     }
@@ -77,5 +79,6 @@ main(int argc, char **argv)
         writeRunnerJson(options.jsonPath, "ablation_alias_selection",
                         runner, result, options.baselineSeconds);
     }
+    writeJournal(options, journal.get());
     return 0;
 }

@@ -31,7 +31,9 @@ main(int argc, char **argv)
     const BitCount g1_options[] = {8, 13, 20};
     const BitCount meta_options[] = {6};
 
-    ExperimentRunner runner({options.threads});
+    const auto journal =
+        makeJournal(options, "ablation_history_lengths");
+    ExperimentRunner runner(runnerOptions(options, journal.get()));
     std::size_t program_index[2];
     std::size_t next_program = 0;
     for (const auto id : {SpecProgram::Go, SpecProgram::Gcc}) {
@@ -46,6 +48,7 @@ main(int argc, char **argv)
                     ExperimentConfig config;
                     config.scheme = StaticScheme::None;
                     config.evalBranches = evalBranches;
+                    config.evalWarmupBranches = options.warmupBranches;
                     config.makeDynamic = [=] {
                         return std::make_unique<TwoBcGskew>(
                             size_bytes, g0, g1, meta);
@@ -88,5 +91,6 @@ main(int argc, char **argv)
         writeRunnerJson(options.jsonPath, "ablation_history_lengths",
                         runner, result, options.baselineSeconds);
     }
+    writeJournal(options, journal.get());
     return 0;
 }

@@ -42,16 +42,19 @@ main(int argc, char **argv)
         parseBenchOptions(argc, argv, "ablation_iterative");
     const std::size_t size_bytes = 4096;
 
-    ExperimentRunner runner({options.threads});
+    const auto journal = makeJournal(options, "ablation_iterative");
+    ExperimentRunner runner(runnerOptions(options, journal.get()));
     for (const auto id : allSpecPrograms()) {
         const std::size_t program =
             runner.addProgram(makeSpecProgram(id, InputSet::Ref));
-        runner.addCell(program,
-                       baseConfig(PredictorKind::Gshare, size_bytes,
-                                  StaticScheme::None));
-        runner.addCell(program,
-                       baseConfig(PredictorKind::Gshare, size_bytes,
-                                  StaticScheme::StaticFac));
+        ExperimentConfig base = baseConfig(
+            PredictorKind::Gshare, size_bytes, StaticScheme::None);
+        base.evalWarmupBranches = options.warmupBranches;
+        runner.addCell(program, base);
+        ExperimentConfig fac = baseConfig(
+            PredictorKind::Gshare, size_bytes, StaticScheme::StaticFac);
+        fac.evalWarmupBranches = options.warmupBranches;
+        runner.addCell(program, fac);
         // The iterative rounds profile and evaluate over the same
         // buffer; make it long enough for both passes.
         runner.requireBuffer(program, InputSet::Ref,
@@ -59,9 +62,15 @@ main(int argc, char **argv)
     }
     const MatrixResult result = runner.run();
 
+    // The iterative pass runs after run() (so after run_end); it
+    // feeds the journal's timers and counters, which carry no event
+    // ordering, rather than emitting phase events of its own.
+    TimerRegistry *timers =
+        journal ? &journal->timers() : nullptr;
     std::vector<IterativeRow> rows(runner.programCount());
     runner.pool().parallelFor(
         runner.programCount(), [&](std::size_t p) {
+            ScopedTimer timer(timers, "bench.iterative");
             IterativeConfig iterative;
             iterative.kind = PredictorKind::Gshare;
             iterative.sizeBytes = size_bytes;
@@ -79,6 +88,8 @@ main(int argc, char **argv)
                 runner.buffer(p, InputSet::Ref).cursor();
             SimOptions sim_options;
             sim_options.maxBranches = evalBranches;
+            sim_options.counters =
+                journal ? &journal->counters() : nullptr;
             rows[p].stats =
                 simulate(combined, eval_stream, sim_options);
             rows[p].hints = selection.hints.size();
@@ -110,5 +121,6 @@ main(int argc, char **argv)
         writeRunnerJson(options.jsonPath, "ablation_iterative",
                         runner, result, options.baselineSeconds);
     }
+    writeJournal(options, journal.get());
     return 0;
 }

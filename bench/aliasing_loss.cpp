@@ -21,8 +21,11 @@ using namespace bpsim;
 using namespace bpsim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions bench_options =
+        parseBenchOptions(argc, argv, "aliasing_loss");
+    BenchJournal journal(bench_options, "aliasing_loss");
     const std::size_t size_bytes = 4096; // 13-bit index and history
 
     std::printf("Aliasing loss at gshare 4 KB (vs interference-free "
@@ -32,9 +35,11 @@ main()
 
     for (const auto id : allSpecPrograms()) {
         SyntheticProgram program = makeSpecProgram(id, InputSet::Ref);
+        auto section = journal.section(program.name());
 
         SimOptions options;
         options.maxBranches = evalBranches;
+        options.counters = journal.counters();
 
         Gshare real(size_bytes);
         const double real_misp =
@@ -49,6 +54,7 @@ main()
         auto recovered = [&](StaticScheme scheme) {
             ExperimentConfig config = baseConfig(
                 PredictorKind::Gshare, size_bytes, scheme);
+            config.counters = journal.counters();
             const double with =
                 runExperiment(program, config).stats.mispKi();
             return loss > 0.0
@@ -69,5 +75,6 @@ main()
                 "back (Static_Acc can exceed 100%% because it also "
                 "statically fixes branches the ideal predictor "
                 "mispredicts).\n");
+    journal.finish();
     return 0;
 }

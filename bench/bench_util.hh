@@ -7,10 +7,13 @@
 #define BPSIM_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <utility>
 
 #include "core/experiment.hh"
 #include "core/runner.hh"
+#include "obs/run_journal.hh"
 #include "support/args.hh"
 #include "workload/specint.hh"
 
@@ -57,6 +60,20 @@ struct BenchOptions
 
     /** Externally measured serial-path wall time (0 = unknown). */
     double baselineSeconds = 0.0;
+
+    /** Run-journal JSONL output path; empty = journaling disabled.
+     * The metrics summary lands next to it (see
+     * obs::RunJournal::metricsPathFor()). */
+    std::string journalPath;
+
+    /**
+     * Evaluation warmup branches simulated ahead of the measured
+     * window. Counted exactly once in each cell's simulatedBranches
+     * (the experiment core owns that accounting), so the wall-time
+     * and throughput reporting never double-counts warmup — and like
+     * every option, a repeated --warmup keeps only the last value.
+     */
+    Count warmupBranches = 0;
 };
 
 /**
@@ -84,14 +101,154 @@ parseBenchOptions(int argc, char **argv, const char *tool,
     args.addOption("baseline-seconds", default_baseline_str,
                    "serial-path wall time measured externally; "
                    "recorded in the JSON for speedup tracking");
+    args.addOption("journal", "",
+                   "write the structured run journal (JSONL) to this "
+                   "path; its metrics summary lands next to it "
+                   "(empty = disabled)");
+    args.addOption("warmup", "0",
+                   "evaluation warmup branches before the measured "
+                   "window (repeating the option keeps the last "
+                   "value)");
     args.parse(argc, argv);
 
     BenchOptions options;
     options.threads = threadsFromArgs(args);
     options.jsonPath = args.get("json");
     options.baselineSeconds = args.getDouble("baseline-seconds");
+    options.journalPath = args.get("journal");
+    options.warmupBranches = args.getUint("warmup");
     return options;
 }
+
+/**
+ * Journal for a bench run: constructed only when --journal was given
+ * (the runner and the write helpers all accept null). The runner
+ * records run_begin/run_end itself; manual benches use BenchJournal
+ * below instead.
+ */
+inline std::unique_ptr<obs::RunJournal>
+makeJournal(const BenchOptions &options, std::string label)
+{
+    if (options.journalPath.empty())
+        return nullptr;
+    return std::make_unique<obs::RunJournal>(std::move(label));
+}
+
+/** RunnerOptions carrying the bench's thread count and journal. */
+inline RunnerOptions
+runnerOptions(const BenchOptions &options,
+              obs::RunJournal *journal = nullptr)
+{
+    RunnerOptions runner;
+    runner.threads = options.threads;
+    runner.journal = journal;
+    return runner;
+}
+
+/** Write the journal JSONL + metrics files (no-op when off). */
+inline void
+writeJournal(const BenchOptions &options,
+             const obs::RunJournal *journal)
+{
+    if (journal == nullptr || options.journalPath.empty())
+        return;
+    journal->writeJsonl(options.journalPath);
+    const std::string metrics =
+        obs::RunJournal::metricsPathFor(options.journalPath);
+    journal->writeMetrics(metrics);
+    std::printf("journal: %s\nmetrics: %s\n",
+                options.journalPath.c_str(), metrics.c_str());
+}
+
+/**
+ * Journal wiring for the manual (non-runner) benches: opens the
+ * journal when --journal was given, records run_begin immediately and
+ * run_end from finish(), and brackets named sections of the bench
+ * body as phase events so the table passes show up in the timeline.
+ */
+class BenchJournal
+{
+  public:
+    BenchJournal(const BenchOptions &options, std::string label)
+        : journalPath(options.journalPath)
+    {
+        if (journalPath.empty())
+            return;
+        journal =
+            std::make_unique<obs::RunJournal>(std::move(label));
+        journal->record(
+            obs::EventKind::RunBegin, 0, journal->runLabel(),
+            {obs::Field::u64("threads", options.threads)});
+    }
+
+    /** The journal, null when --journal was not given. */
+    obs::RunJournal *get() { return journal.get(); }
+
+    /** Counter registry for SimOptions/ExperimentConfig wiring
+     * (null when journaling is off). */
+    CounterRegistry *
+    counters()
+    {
+        return journal ? &journal->counters() : nullptr;
+    }
+
+    /** RAII phase bracket: phase_begin now, phase_end (with the
+     * elapsed seconds) when the section leaves scope. */
+    class Section
+    {
+      public:
+        Section(BenchJournal &parent, std::string name)
+            : journal(parent.journal.get()), name(std::move(name)),
+              timer(journal ? &journal->timers() : nullptr,
+                    "bench." + this->name)
+        {
+            if (journal != nullptr)
+                journal->record(obs::EventKind::PhaseBegin, 0,
+                                this->name);
+        }
+
+        Section(const Section &) = delete;
+        Section &operator=(const Section &) = delete;
+
+        ~Section()
+        {
+            if (journal != nullptr) {
+                journal->record(
+                    obs::EventKind::PhaseEnd, 0, name,
+                    {obs::Field::f64("seconds", timer.stop())});
+            }
+        }
+
+      private:
+        obs::RunJournal *journal;
+        std::string name;
+        ScopedTimer timer;
+    };
+
+    Section section(std::string name) { return {*this, std::move(name)}; }
+
+    /** Record run_end and write the JSONL + metrics files. */
+    void
+    finish()
+    {
+        if (journal == nullptr)
+            return;
+        journal->record(
+            obs::EventKind::RunEnd, 0, journal->runLabel(),
+            {obs::Field::f64("seconds",
+                             journal->secondsSinceStart())});
+        journal->writeJsonl(journalPath);
+        const std::string metrics =
+            obs::RunJournal::metricsPathFor(journalPath);
+        journal->writeMetrics(metrics);
+        std::printf("journal: %s\nmetrics: %s\n", journalPath.c_str(),
+                    metrics.c_str());
+    }
+
+  private:
+    std::string journalPath;
+    std::unique_ptr<obs::RunJournal> journal;
+};
 
 /** Percentage improvement (positive = better) formatted as "+x.x%". */
 inline std::string

@@ -23,8 +23,11 @@ using namespace bpsim;
 using namespace bpsim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions options =
+        parseBenchOptions(argc, argv, "fig13_cross_training");
+    BenchJournal journal(options, "fig13_cross_training");
     const std::size_t size_bytes = 16384;
 
     std::printf("Figure 13: cross-training, gshare 16 KB + Static_95 "
@@ -34,9 +37,11 @@ main()
 
     for (const auto id : allSpecPrograms()) {
         SyntheticProgram program = makeSpecProgram(id, InputSet::Ref);
+        auto section = journal.section(program.name());
 
         ExperimentConfig config = baseConfig(
             PredictorKind::Gshare, size_bytes, StaticScheme::None);
+        config.counters = journal.counters();
         const double none =
             runExperiment(program, config).stats.mispKi();
 
@@ -61,5 +66,6 @@ main()
     std::printf("\nPaper shape: naive cross-training degrades perl "
                 "and m88ksim sharply; the >5%% bias-change filter "
                 "recovers them.\n");
+    journal.finish();
     return 0;
 }

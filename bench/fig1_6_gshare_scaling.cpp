@@ -20,8 +20,11 @@ using namespace bpsim;
 using namespace bpsim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions options =
+        parseBenchOptions(argc, argv, "fig1_6_gshare_scaling");
+    BenchJournal journal(options, "fig1_6_gshare_scaling");
     const std::size_t sizes_kb[] = {1, 2, 4, 8, 16, 32, 64};
 
     std::printf("Figures 1-6: gshare size sweep, no-static vs "
@@ -29,6 +32,7 @@ main()
 
     for (const auto id : allSpecPrograms()) {
         SyntheticProgram program = makeSpecProgram(id, InputSet::Ref);
+        auto section = journal.section(program.name());
         std::printf("\n[%s]\n", program.name().c_str());
         std::printf("%6s %12s %12s %8s %14s %14s\n", "size", "MISP/KI",
                     "MISP/KI+st", "improv", "collisions",
@@ -37,6 +41,7 @@ main()
         for (const std::size_t kb : sizes_kb) {
             ExperimentConfig config = baseConfig(
                 PredictorKind::Gshare, kb * 1024, StaticScheme::None);
+            config.counters = journal.counters();
             ExperimentResult base = runExperiment(program, config);
 
             config.scheme = StaticScheme::StaticAcc;
@@ -53,5 +58,6 @@ main()
                             with.stats.collisions.collisions));
         }
     }
+    journal.finish();
     return 0;
 }

@@ -37,15 +37,18 @@ main(int argc, char **argv)
                                     StaticScheme::Static95,
                                     StaticScheme::StaticAcc};
 
-    ExperimentRunner runner({options.threads});
+    const auto journal =
+        makeJournal(options, "fig7_12_static_schemes");
+    ExperimentRunner runner(runnerOptions(options, journal.get()));
     for (const auto id : allSpecPrograms()) {
         const std::size_t program =
             runner.addProgram(makeSpecProgram(id, InputSet::Ref));
         for (const auto kind : allPredictorKinds()) {
             for (const auto scheme : schemes) {
-                runner.addCell(
-                    program,
-                    baseConfig(kind, size_bytes, scheme));
+                ExperimentConfig config =
+                    baseConfig(kind, size_bytes, scheme);
+                config.evalWarmupBranches = options.warmupBranches;
+                runner.addCell(program, config);
             }
         }
     }
@@ -99,5 +102,6 @@ main(int argc, char **argv)
         writeRunnerJson(options.jsonPath, "fig7_12_static_schemes",
                         runner, result, options.baselineSeconds);
     }
+    writeJournal(options, journal.get());
     return 0;
 }

@@ -20,8 +20,12 @@ using namespace bpsim;
 using namespace bpsim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions options =
+        parseBenchOptions(argc, argv, "table1_characteristics");
+    BenchJournal journal(options, "table1_characteristics");
+
     std::printf("Table 1: program characteristics (synthetic stand-ins"
                 ")\n\n");
     std::printf("%-10s %12s %12s | %14s %10s | %14s %10s\n", "program",
@@ -30,16 +34,18 @@ main()
 
     for (const auto id : allSpecPrograms()) {
         SyntheticProgram program = makeSpecProgram(id, InputSet::Train);
+        auto section = journal.section(program.name());
 
         // A throwaway predictor: Table 1 only needs stream statistics.
         Bimodal counter_only(2048);
 
-        SimOptions options;
-        options.maxBranches = evalBranches;
-        SimStats train = simulate(counter_only, program, options);
+        SimOptions sim_options;
+        sim_options.maxBranches = evalBranches;
+        sim_options.counters = journal.counters();
+        SimStats train = simulate(counter_only, program, sim_options);
 
         program.setInput(InputSet::Ref);
-        SimStats ref = simulate(counter_only, program, options);
+        SimStats ref = simulate(counter_only, program, sim_options);
 
         std::printf("%-10s %12llu %12zu | %14llu %10.0f | %14llu "
                     "%10.0f\n",
@@ -56,5 +62,6 @@ main()
     std::printf("\nPaper shape: every 7th-8th instruction is a "
                 "conditional branch (CBRs/KI 108-156), except ijpeg "
                 "(~61); gcc has by far the most static branches.\n");
+    journal.finish();
     return 0;
 }

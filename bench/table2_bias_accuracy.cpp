@@ -9,16 +9,21 @@
 
 #include <cstdio>
 
+#include "bench_util.hh"
 #include "core/engine.hh"
 #include "core/experiment.hh"
 #include "support/stats.hh"
 #include "workload/specint.hh"
 
 using namespace bpsim;
+using namespace bpsim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions options =
+        parseBenchOptions(argc, argv, "table2_bias_accuracy");
+    BenchJournal journal(options, "table2_bias_accuracy");
     const Count branches = 2'000'000;
     const std::size_t size_bytes = 32768;
 
@@ -36,6 +41,7 @@ main()
     for (const auto program_id : allSpecPrograms()) {
         SyntheticProgram program =
             makeSpecProgram(program_id, InputSet::Ref);
+        auto section = journal.section(program.name());
 
         // Bias-only profile to measure the biased fraction.
         program.reset();
@@ -65,5 +71,6 @@ main()
     std::printf("\nPaper shape: the more highly biased branches a "
                 "program executes, the higher every scheme's accuracy "
                 "(r close to +1).\n");
+    journal.finish();
     return 0;
 }

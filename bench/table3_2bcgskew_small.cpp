@@ -17,8 +17,11 @@ using namespace bpsim;
 using namespace bpsim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions options =
+        parseBenchOptions(argc, argv, "table3_2bcgskew_small");
+    BenchJournal journal(options, "table3_2bcgskew_small");
     const std::size_t sizes_kb[] = {2, 4, 8, 16, 32};
     const SpecProgram programs[] = {SpecProgram::Go, SpecProgram::Gcc};
 
@@ -33,6 +36,8 @@ main()
 
     for (const std::size_t kb : sizes_kb) {
         std::printf("%6zuKB", kb);
+        auto section =
+            journal.section(std::to_string(kb) + "KB");
         for (const auto id : programs) {
             SyntheticProgram program =
                 makeSpecProgram(id, InputSet::Ref);
@@ -40,6 +45,7 @@ main()
             ExperimentConfig config =
                 baseConfig(PredictorKind::TwoBcGskew, kb * 1024,
                            StaticScheme::None);
+            config.counters = journal.counters();
             const double none =
                 runExperiment(program, config).stats.mispKi();
 
@@ -60,5 +66,6 @@ main()
 
     std::printf("\nPaper shape: gains shrink with size; gcc > go at "
                 "every size; go goes negative at 16-32 KB.\n");
+    journal.finish();
     return 0;
 }

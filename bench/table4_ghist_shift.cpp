@@ -29,8 +29,11 @@ improvementPct(double base, double with)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions options =
+        parseBenchOptions(argc, argv, "table4_ghist_shift");
+    BenchJournal journal(options, "table4_ghist_shift");
     const std::size_t sizes_kb[] = {32, 64};
 
     std::printf("Table 4: 2bcgskew, %% MISP/KI improvement over the "
@@ -41,10 +44,12 @@ main()
 
     for (const auto id : allSpecPrograms()) {
         SyntheticProgram program = makeSpecProgram(id, InputSet::Ref);
+        auto section = journal.section(program.name());
         for (const std::size_t kb : sizes_kb) {
             ExperimentConfig config =
                 baseConfig(PredictorKind::TwoBcGskew, kb * 1024,
                            StaticScheme::None);
+            config.counters = journal.counters();
             const double none =
                 runExperiment(program, config).stats.mispKi();
 
@@ -71,5 +76,6 @@ main()
 
     std::printf("\nPaper shape: where a plain scheme degrades "
                 "(negative), its +shift column recovers.\n");
+    journal.finish();
     return 0;
 }

@@ -31,6 +31,7 @@ main(int argc, char **argv)
         parseBenchOptions(argc, argv, "table5_cross_input");
     const Count profile_len = 4 * evalBranches;
 
+    BenchJournal journal(options, "table5_cross_input");
     ExperimentRunner runner({options.threads});
     for (const auto id : allSpecPrograms()) {
         const std::size_t program =
@@ -38,23 +39,29 @@ main(int argc, char **argv)
         runner.requireBuffer(program, InputSet::Train, profile_len);
         runner.requireBuffer(program, InputSet::Ref, profile_len);
     }
-    runner.materialize();
+    {
+        auto section = journal.section("materialize");
+        runner.materialize();
+    }
 
     std::vector<CrossInputStats> rows(runner.programCount());
-    runner.pool().parallelFor(
-        runner.programCount(), [&](std::size_t p) {
-            ReplayBuffer::Cursor train_stream =
-                runner.buffer(p, InputSet::Train).cursor();
-            const ProfileDb train =
-                ProfileDb::collect(train_stream, profile_len);
+    {
+        auto section = journal.section("compare_profiles");
+        runner.pool().parallelFor(
+            runner.programCount(), [&](std::size_t p) {
+                ReplayBuffer::Cursor train_stream =
+                    runner.buffer(p, InputSet::Train).cursor();
+                const ProfileDb train =
+                    ProfileDb::collect(train_stream, profile_len);
 
-            ReplayBuffer::Cursor ref_stream =
-                runner.buffer(p, InputSet::Ref).cursor();
-            const ProfileDb ref =
-                ProfileDb::collect(ref_stream, profile_len);
+                ReplayBuffer::Cursor ref_stream =
+                    runner.buffer(p, InputSet::Ref).cursor();
+                const ProfileDb ref =
+                    ProfileDb::collect(ref_stream, profile_len);
 
-            rows[p] = compareProfiles(train, ref);
-        });
+                rows[p] = compareProfiles(train, ref);
+            });
+    }
 
     std::printf("Table 5: branch behaviour, train vs ref input "
                 "(static%% / dynamic%%)\n\n");
@@ -76,5 +83,6 @@ main(int argc, char **argv)
                     stats.biasChangeOver50Static,
                     stats.biasChangeOver50Dynamic);
     }
+    journal.finish();
     return 0;
 }

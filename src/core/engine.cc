@@ -285,27 +285,40 @@ simulate(BranchPredictor &predictor, BranchStream &stream,
 
     // Warmup: train the predictor without recording anything.
     BranchRecord record;
+    Count warmup_run = 0;
     for (Count i = 0;
          i < options.warmupBranches && stream.next(record); ++i) {
         predictor.predict(record.pc);
         predictor.update(record.pc, record.taken);
         predictor.updateHistory(record.taken);
+        ++warmup_run;
     }
     predictor.clearCollisionStats();
 
     const bool with_profile = options.profile != nullptr;
+    SimStats stats;
     if (combined != nullptr) {
-        return with_profile
-                   ? runMeasured<true, true>(predictor, combined,
-                                             stream, options)
-                   : runMeasured<false, true>(predictor, combined,
-                                              stream, options);
+        stats = with_profile
+                    ? runMeasured<true, true>(predictor, combined,
+                                              stream, options)
+                    : runMeasured<false, true>(predictor, combined,
+                                               stream, options);
+    } else {
+        stats = with_profile
+                    ? runMeasured<true, false>(predictor, nullptr,
+                                               stream, options)
+                    : runMeasured<false, false>(predictor, nullptr,
+                                                stream, options);
     }
-    return with_profile
-               ? runMeasured<true, false>(predictor, nullptr, stream,
-                                          options)
-               : runMeasured<false, false>(predictor, nullptr, stream,
-                                           options);
+
+    if (options.counters != nullptr) {
+        options.counters->add("engine.virtual_runs");
+        options.counters->add("engine.branches", stats.branches);
+        if (warmup_run > 0)
+            options.counters->add("engine.warmup_branches",
+                                  warmup_run);
+    }
+    return stats;
 }
 
 SimStats
@@ -336,6 +349,15 @@ simulateReplay(BranchPredictor &predictor, const ReplayBuffer &buffer,
             stats = runReplay(concrete, predictor, hints, policy,
                               buffer, options);
         });
+        if (used && options.counters != nullptr) {
+            options.counters->add("engine.kernel_runs");
+            options.counters->add("engine.branches", stats.branches);
+            const Count warmup_run =
+                std::min(options.warmupBranches, buffer.size());
+            if (warmup_run > 0)
+                options.counters->add("engine.warmup_branches",
+                                      warmup_run);
+        }
     }
 
     if (!used) {

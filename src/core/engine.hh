@@ -15,6 +15,7 @@
 #include "core/sim_stats.hh"
 #include "predictor/predictor.hh"
 #include "profile/profile_db.hh"
+#include "support/observe.hh"
 #include "trace/branch_stream.hh"
 
 namespace bpsim
@@ -67,6 +68,15 @@ struct SimOptions
      * collision numbers are part of the result.
      */
     bool trackCollisions = true;
+
+    /**
+     * Optional run-level counter registry (observability). The
+     * engine bumps engine.kernel_runs / engine.virtual_runs,
+     * engine.branches and engine.warmup_branches once per simulation
+     * run — never inside the per-branch loop — so attaching a
+     * registry costs nothing on the hot path.
+     */
+    CounterRegistry *counters = nullptr;
 };
 
 /**

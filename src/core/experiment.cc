@@ -27,6 +27,18 @@ profileOptions(const ExperimentConfig &config, ProfileDb &profile)
     SimOptions options;
     options.maxBranches = config.profileBranches;
     options.profile = &profile;
+    options.counters = config.counters;
+    return options;
+}
+
+/** Options of the evaluation-phase simulation. */
+SimOptions
+evalOptions(const ExperimentConfig &config)
+{
+    SimOptions options;
+    options.maxBranches = config.evalBranches;
+    options.warmupBranches = config.evalWarmupBranches;
+    options.counters = config.counters;
     return options;
 }
 
@@ -103,7 +115,12 @@ finishExperiment(const ExperimentConfig &config,
     ExperimentResult result;
     result.stats = evaluate(combined);
     result.hintCount = hint_count;
-    result.simulatedBranches = simulated + result.stats.branches;
+    // Warmup branches are simulated work even though they are outside
+    // the measured window; count them exactly once (streams shorter
+    // than the warmup are the caller's misconfiguration — the matrix
+    // runner sizes its buffers to cover warmup + eval).
+    result.simulatedBranches =
+        simulated + config.evalWarmupBranches + result.stats.branches;
     return result;
 }
 
@@ -153,9 +170,8 @@ runEvaluationStreams(BranchStream &eval_stream,
             return ProfileDb::collect(bounded, config.profileBranches);
         },
         [&](CombinedPredictor &combined) {
-            SimOptions eval_options;
-            eval_options.maxBranches = config.evalBranches;
-            return simulate(combined, eval_stream, eval_options);
+            return simulate(combined, eval_stream,
+                            evalOptions(config));
         });
 }
 
@@ -173,9 +189,8 @@ runEvaluationReplay(const ReplayBuffer &eval_buffer,
             return ProfileDb::collect(bounded, config.profileBranches);
         },
         [&](CombinedPredictor &combined) {
-            SimOptions eval_options;
-            eval_options.maxBranches = config.evalBranches;
-            return simulateReplay(combined, eval_buffer, eval_options,
+            return simulateReplay(combined, eval_buffer,
+                                  evalOptions(config),
                                   used_fast_path);
         });
 }

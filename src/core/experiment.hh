@@ -20,6 +20,7 @@
 #include "predictor/factory.hh"
 #include "profile/profile_db.hh"
 #include "staticsel/selection.hh"
+#include "support/observe.hh"
 #include "workload/synthetic_program.hh"
 
 namespace bpsim
@@ -50,6 +51,15 @@ struct ExperimentConfig
 
     /** Branches simulated in the evaluation phase. */
     Count evalBranches = 4'000'000;
+
+    /**
+     * Unmeasured warmup branches run before the evaluation window
+     * (the profiling phase never warms up: it wants cold-start
+     * behaviour, like the paper's phase 1). Warmup work is counted
+     * exactly once in ExperimentResult::simulatedBranches, whether
+     * the run took the kernel or the virtual path.
+     */
+    Count evalWarmupBranches = 0;
 
     /** Input used for profiling ("self-trained" = same as eval). */
     InputSet profileInput = InputSet::Ref;
@@ -86,6 +96,14 @@ struct ExperimentConfig
      * is empty; kind/sizeBytes identify the predictor then.
      */
     std::string dynamicKey;
+
+    /**
+     * Optional counter registry the engine reports run-level counters
+     * into (see SimOptions::counters). Pure observability: not part
+     * of the experiment's identity, ignored by the runner's
+     * profile-cache key, and never read on the per-branch path.
+     */
+    CounterRegistry *counters = nullptr;
 };
 
 /**

@@ -31,6 +31,13 @@ secondsSince(std::chrono::steady_clock::time_point start)
 constexpr std::size_t noPhase = std::numeric_limits<std::size_t>::max();
 
 /**
+ * Worker index of the calling thread within the pool currently
+ * executing it; 0 everywhere else. The coordinating thread
+ * participates as worker 0, so its default needs no special casing.
+ */
+thread_local unsigned poolWorkerIndex = 0;
+
+/**
  * Cache identity of a cell's profiling run: everything that affects
  * the ProfilePhase and nothing that doesn't (the selection scheme and
  * its tunables apply downstream, which is what makes the phase
@@ -95,6 +102,12 @@ TaskPool::TaskPool(unsigned threads)
 {
 }
 
+unsigned
+TaskPool::currentWorkerIndex()
+{
+    return poolWorkerIndex;
+}
+
 void
 TaskPool::run(std::vector<std::function<void()>> tasks)
 {
@@ -123,6 +136,7 @@ TaskPool::run(std::vector<std::function<void()>> tasks)
     std::atomic<std::size_t> remaining{tasks.size()};
 
     const auto worker = [&](unsigned self) {
+        poolWorkerIndex = self;
         for (;;) {
             std::size_t task_index = 0;
             bool found = false;
@@ -224,6 +238,12 @@ ExperimentRunner::addCell(std::size_t program_index,
     MatrixCell cell;
     cell.programIndex = program_index;
     cell.config = config;
+    // Attach the journal's counter registry so the engine's per-run
+    // counters (kernel vs virtual path, branch totals) land in the
+    // metrics summary. Not part of the cell's identity: the profile
+    // cache key ignores it and results are unaffected.
+    if (options.journal != nullptr)
+        cell.config.counters = &options.journal->counters();
     if (label.empty()) {
         label = programs[program_index].name() + "/" +
                 predictorKindName(config.kind) + ":" +
@@ -258,7 +278,9 @@ void
 ExperimentRunner::noteCellDemand(const MatrixCell &cell)
 {
     const ExperimentConfig &config = cell.config;
-    Count eval_needed = config.evalBranches;
+    // Warmup branches come out of the same stream ahead of the
+    // measured window, so the buffer must cover both.
+    Count eval_needed = config.evalBranches + config.evalWarmupBranches;
     if (config.scheme != StaticScheme::None) {
         requireBuffer(cell.programIndex, config.profileInput,
                       config.profileBranches);
@@ -325,8 +347,45 @@ ExperimentRunner::buffer(std::size_t program_index,
 MatrixResult
 ExperimentRunner::run()
 {
+    obs::RunJournal *journal = options.journal;
+    TimerRegistry *timers =
+        journal != nullptr ? &journal->timers() : nullptr;
+    if (journal != nullptr) {
+        journal->record(
+            obs::EventKind::RunBegin, TaskPool::currentWorkerIndex(),
+            journal->runLabel(),
+            {obs::Field::u64("threads", taskPool.threadCount()),
+             obs::Field::u64("cells", cells.size())});
+    }
+
     const auto start = std::chrono::steady_clock::now();
-    materialize();
+    {
+        if (journal != nullptr)
+            journal->record(obs::EventKind::PhaseBegin,
+                            TaskPool::currentWorkerIndex(),
+                            "materialize");
+        ScopedTimer timer(timers, "runner.materialize");
+        materialize();
+        const double seconds = timer.stop();
+        if (journal != nullptr) {
+            std::size_t bytes = 0;
+            for (const auto &per_program : buffers) {
+                for (const auto &held : per_program) {
+                    if (held != nullptr)
+                        bytes += held->memoryBytes();
+                }
+            }
+            journal->record(obs::EventKind::Materialize,
+                            TaskPool::currentWorkerIndex(),
+                            "materialize",
+                            {obs::Field::f64("seconds", seconds),
+                             obs::Field::u64("bytes", bytes)});
+            journal->record(obs::EventKind::PhaseEnd,
+                            TaskPool::currentWorkerIndex(),
+                            "materialize",
+                            {obs::Field::f64("seconds", seconds)});
+        }
+    }
 
     MatrixResult result;
     result.cells.resize(cells.size());
@@ -373,26 +432,52 @@ ExperimentRunner::run()
     std::vector<ProfilePhase> phases(profile_tasks.size());
     std::vector<double> phase_walls(profile_tasks.size(), 0.0);
     std::vector<char> phase_kernel(profile_tasks.size(), 0);
+    if (journal != nullptr && !profile_tasks.empty())
+        journal->record(obs::EventKind::PhaseBegin,
+                        TaskPool::currentWorkerIndex(), "profile");
     taskPool.parallelFor(profile_tasks.size(), [&](std::size_t j) {
         const ProfileTask &task = profile_tasks[j];
-        const auto phase_start = std::chrono::steady_clock::now();
+        ScopedTimer timer(timers, "runner.profile_phase");
         bool fast = false;
         phases[j] = runProfilePhaseReplay(
             buffer(task.programIndex, task.input), *task.config,
             &fast);
-        phase_walls[j] = secondsSince(phase_start);
+        phase_walls[j] = timer.stop();
         phase_kernel[j] = fast ? 1 : 0;
+        if (journal != nullptr) {
+            journal->record(
+                obs::EventKind::ProfilePhase,
+                TaskPool::currentWorkerIndex(),
+                programs[task.programIndex].name(),
+                {obs::Field::u64("phase", j),
+                 obs::Field::f64("seconds", phase_walls[j]),
+                 obs::Field::boolean("kernel", fast),
+                 obs::Field::u64("branches",
+                                 phases[j].simulatedBranches)});
+        }
     });
     for (const double wall : phase_walls)
         result.profileSeconds += wall;
+    if (journal != nullptr && !profile_tasks.empty())
+        journal->record(obs::EventKind::PhaseEnd,
+                        TaskPool::currentWorkerIndex(), "profile",
+                        {obs::Field::f64("seconds",
+                                         result.profileSeconds)});
 
     // Phase B: the cells. Each worker owns its predictor and profile
     // state; buffers and cached phases are shared read-only, so the
     // hot path takes no locks.
+    if (journal != nullptr)
+        journal->record(obs::EventKind::PhaseBegin,
+                        TaskPool::currentWorkerIndex(), "cells");
     taskPool.parallelFor(cells.size(), [&](std::size_t i) {
         const MatrixCell &cell = cells[i];
         const ExperimentConfig &config = cell.config;
-        const auto cell_start = std::chrono::steady_clock::now();
+        if (journal != nullptr)
+            journal->record(obs::EventKind::CellBegin,
+                            TaskPool::currentWorkerIndex(), cell.label,
+                            {obs::Field::u64("cell", i)});
+        ScopedTimer timer(timers, "runner.cell");
 
         const ProfilePhase *cached =
             cell_phase[i] != noPhase ? &phases[cell_phase[i]] : nullptr;
@@ -409,8 +494,49 @@ ExperimentRunner::run()
         out.profileCached = cached != nullptr;
         out.usedKernel =
             fast && (cached == nullptr || phase_kernel[cell_phase[i]]);
-        out.wallSeconds = secondsSince(cell_start);
+        out.wallSeconds = timer.stop();
+
+        if (journal != nullptr) {
+            const SimStats &stats = out.result.stats;
+            const Count classified = stats.collisions.constructive +
+                                     stats.collisions.destructive;
+            const Count neutral =
+                stats.collisions.collisions > classified
+                    ? stats.collisions.collisions - classified
+                    : 0;
+            journal->record(
+                obs::EventKind::CellEnd,
+                TaskPool::currentWorkerIndex(), cell.label,
+                {obs::Field::u64("cell", i),
+                 obs::Field::f64("seconds", out.wallSeconds),
+                 obs::Field::boolean("kernel", out.usedKernel),
+                 obs::Field::boolean("profile_cached",
+                                     out.profileCached),
+                 obs::Field::u64("branches", stats.branches),
+                 obs::Field::u64("simulated_branches",
+                                 out.result.simulatedBranches),
+                 obs::Field::u64("instructions", stats.instructions),
+                 obs::Field::u64("mispredictions",
+                                 stats.mispredictions),
+                 obs::Field::f64("misp_ki", stats.mispKi()),
+                 obs::Field::u64("hints", out.result.hintCount),
+                 obs::Field::u64("static_predicted",
+                                 stats.staticPredicted),
+                 obs::Field::u64("lookups", stats.collisions.lookups),
+                 obs::Field::u64("collisions",
+                                 stats.collisions.collisions),
+                 obs::Field::u64("constructive",
+                                 stats.collisions.constructive),
+                 obs::Field::u64("destructive",
+                                 stats.collisions.destructive),
+                 obs::Field::u64("neutral", neutral)});
+        }
     });
+    if (journal != nullptr)
+        journal->record(obs::EventKind::PhaseEnd,
+                        TaskPool::currentWorkerIndex(), "cells",
+                        {obs::Field::f64("seconds",
+                                         secondsSince(run_start))});
     result.runSeconds = secondsSince(run_start);
     result.wallSeconds = secondsSince(start);
     result.materializeSeconds = materializeSeconds;
@@ -435,6 +561,23 @@ ExperimentRunner::run()
             if (held != nullptr)
                 result.replayBytes += held->memoryBytes();
         }
+    }
+
+    if (journal != nullptr) {
+        journal->record(
+            obs::EventKind::RunEnd, TaskPool::currentWorkerIndex(),
+            journal->runLabel(),
+            {obs::Field::f64("seconds", result.wallSeconds),
+             obs::Field::f64("run_seconds", result.runSeconds),
+             obs::Field::u64("cells", result.cells.size()),
+             obs::Field::u64("total_branches", result.totalBranches),
+             obs::Field::u64("actual_branches",
+                             result.actualBranches),
+             obs::Field::u64("profile_cache_hits",
+                             result.profileCacheHits),
+             obs::Field::u64("profile_cache_misses",
+                             result.profileCacheMisses),
+             obs::Field::u64("kernel_cells", result.kernelCells)});
     }
     return result;
 }

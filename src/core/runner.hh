@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "core/experiment.hh"
+#include "obs/run_journal.hh"
 #include "support/args.hh"
 #include "trace/replay_buffer.hh"
 #include "workload/synthetic_program.hh"
@@ -66,6 +67,14 @@ class TaskPool
     /** Run every task to completion; tasks must be independent. */
     void run(std::vector<std::function<void()>> tasks);
 
+    /**
+     * Worker index of the calling thread: its position in the pool
+     * currently executing it, or 0 on any thread outside a pool (the
+     * coordinating thread doubles as worker 0). Used by the run
+     * journal to attribute events to threads.
+     */
+    static unsigned currentWorkerIndex();
+
     /** Run fn(0) .. fn(n-1) across the pool. */
     template <typename Fn>
     void
@@ -100,6 +109,17 @@ struct RunnerOptions
      * whose makeDynamic factory has no dynamicKey stay uncached.
      */
     bool profileCache = true;
+
+    /**
+     * Optional run journal. When set, run() records the structured
+     * event stream (run/phase boundaries, per-profile-phase and
+     * per-cell events with timing, path-taken flags and stat
+     * snapshots), feeds the journal's timer registry through scoped
+     * timers, and attaches its counter registry to every cell's
+     * engine runs. Purely additive: results are identical with or
+     * without a journal.
+     */
+    obs::RunJournal *journal = nullptr;
 };
 
 /** One cell of the experiment matrix. */

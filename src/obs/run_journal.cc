@@ -1,0 +1,393 @@
+#include "obs/run_journal.hh"
+
+#include <cstdio>
+
+#include "support/json.hh"
+#include "support/logging.hh"
+
+namespace bpsim::obs
+{
+
+namespace
+{
+
+void
+appendF64(std::string &out, double value)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.6f", value);
+    out += buf;
+}
+
+void
+appendU64(std::string &out, Count value)
+{
+    out += std::to_string(value);
+}
+
+} // namespace
+
+const char *
+eventKindName(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::RunBegin:
+        return "run_begin";
+      case EventKind::PhaseBegin:
+        return "phase_begin";
+      case EventKind::PhaseEnd:
+        return "phase_end";
+      case EventKind::Materialize:
+        return "materialize";
+      case EventKind::ProfilePhase:
+        return "profile_phase";
+      case EventKind::CellBegin:
+        return "cell_begin";
+      case EventKind::CellEnd:
+        return "cell_end";
+      case EventKind::RunEnd:
+        return "run_end";
+    }
+    return "?";
+}
+
+Field
+Field::u64(std::string key, Count value)
+{
+    Field field;
+    field.fieldKey = std::move(key);
+    field.fieldType = Type::U64;
+    field.u64Field = value;
+    return field;
+}
+
+Field
+Field::f64(std::string key, double value)
+{
+    Field field;
+    field.fieldKey = std::move(key);
+    field.fieldType = Type::F64;
+    field.f64Field = value;
+    return field;
+}
+
+Field
+Field::boolean(std::string key, bool value)
+{
+    Field field;
+    field.fieldKey = std::move(key);
+    field.fieldType = Type::Bool;
+    field.boolField = value;
+    return field;
+}
+
+Field
+Field::str(std::string key, std::string value)
+{
+    Field field;
+    field.fieldKey = std::move(key);
+    field.fieldType = Type::Str;
+    field.strField = std::move(value);
+    return field;
+}
+
+void
+Field::appendJson(std::string &out) const
+{
+    out += jsonQuote(fieldKey);
+    out += ": ";
+    switch (fieldType) {
+      case Type::U64:
+        appendU64(out, u64Field);
+        break;
+      case Type::F64:
+        appendF64(out, f64Field);
+        break;
+      case Type::Bool:
+        out += boolField ? "true" : "false";
+        break;
+      case Type::Str:
+        out += jsonQuote(strField);
+        break;
+    }
+}
+
+const Field *
+Event::find(const std::string &key) const
+{
+    for (const Field &field : fields) {
+        if (field.key() == key)
+            return &field;
+    }
+    return nullptr;
+}
+
+Count
+Event::u64(const std::string &key) const
+{
+    const Field *field = find(key);
+    return field != nullptr && field->type() == Field::Type::U64
+               ? field->u64Value()
+               : 0;
+}
+
+double
+Event::f64(const std::string &key) const
+{
+    const Field *field = find(key);
+    return field != nullptr && field->type() == Field::Type::F64
+               ? field->f64Value()
+               : 0.0;
+}
+
+bool
+Event::boolean(const std::string &key) const
+{
+    const Field *field = find(key);
+    return field != nullptr && field->type() == Field::Type::Bool &&
+           field->boolValue();
+}
+
+RunJournal::RunJournal(std::string run_label)
+    : label(std::move(run_label)),
+      epoch(std::chrono::steady_clock::now())
+{
+}
+
+double
+RunJournal::secondsSinceStart() const
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - epoch)
+        .count();
+}
+
+void
+RunJournal::record(EventKind kind, unsigned thread, std::string label,
+                   std::vector<Field> fields)
+{
+    Event event;
+    event.thread = thread;
+    event.kind = kind;
+    event.label = std::move(label);
+    event.fields = std::move(fields);
+
+    std::lock_guard<std::mutex> guard(lock);
+    event.sequence = log.size();
+    event.seconds = secondsSinceStart();
+    log.push_back(std::move(event));
+}
+
+Count
+RunJournal::eventCount() const
+{
+    std::lock_guard<std::mutex> guard(lock);
+    return log.size();
+}
+
+std::vector<Event>
+RunJournal::events() const
+{
+    std::lock_guard<std::mutex> guard(lock);
+    return log;
+}
+
+JournalSummary
+RunJournal::summary() const
+{
+    const std::vector<Event> snapshot = events();
+
+    JournalSummary sum;
+    sum.totalEvents = snapshot.size();
+    std::map<std::string, long long> open_phases;
+    for (const Event &event : snapshot) {
+        ++sum.eventsByKind[eventKindName(event.kind)];
+        ++sum.eventsByThread[event.thread];
+        switch (event.kind) {
+          case EventKind::PhaseBegin:
+            ++sum.phaseBegins;
+            ++open_phases[event.label];
+            break;
+          case EventKind::PhaseEnd:
+            ++sum.phaseEnds;
+            if (--open_phases[event.label] < 0)
+                sum.phasesBalanced = false;
+            break;
+          case EventKind::Materialize:
+            sum.materializeSeconds += event.f64("seconds");
+            break;
+          case EventKind::ProfilePhase:
+            sum.profileSeconds += event.f64("seconds");
+            break;
+          case EventKind::CellBegin:
+            ++sum.cellsBegun;
+            break;
+          case EventKind::CellEnd:
+            ++sum.cellsEnded;
+            sum.cellSeconds += event.f64("seconds");
+            sum.branches += event.u64("branches");
+            sum.collisions += event.u64("collisions");
+            sum.constructive += event.u64("constructive");
+            sum.destructive += event.u64("destructive");
+            sum.neutral += event.u64("neutral");
+            if (event.boolean("kernel"))
+                ++sum.kernelCells;
+            if (event.boolean("profile_cached"))
+                ++sum.cachedCells;
+            break;
+          case EventKind::RunEnd:
+            sum.wallSeconds = event.f64("seconds");
+            break;
+          case EventKind::RunBegin:
+            break;
+        }
+    }
+    for (const auto &[name, net] : open_phases) {
+        if (net != 0)
+            sum.phasesBalanced = false;
+    }
+    return sum;
+}
+
+std::string
+RunJournal::toJsonLine(const Event &event)
+{
+    std::string out = "{\"seq\": ";
+    appendU64(out, event.sequence);
+    out += ", \"t\": ";
+    appendF64(out, event.seconds);
+    out += ", \"thread\": ";
+    appendU64(out, event.thread);
+    out += ", \"event\": ";
+    out += jsonQuote(eventKindName(event.kind));
+    out += ", \"label\": ";
+    out += jsonQuote(event.label);
+    for (const Field &field : event.fields) {
+        out += ", ";
+        field.appendJson(out);
+    }
+    out += "}";
+    return out;
+}
+
+void
+RunJournal::writeJsonl(const std::string &path) const
+{
+    std::FILE *file = std::fopen(path.c_str(), "w");
+    if (file == nullptr)
+        bpsim_fatal("cannot write '", path, "'");
+    for (const Event &event : events()) {
+        const std::string line = toJsonLine(event);
+        std::fprintf(file, "%s\n", line.c_str());
+    }
+    std::fclose(file);
+}
+
+void
+RunJournal::writeMetrics(const std::string &path) const
+{
+    const JournalSummary sum = summary();
+
+    std::FILE *file = std::fopen(path.c_str(), "w");
+    if (file == nullptr)
+        bpsim_fatal("cannot write '", path, "'");
+
+    std::fprintf(file, "{\n");
+    std::fprintf(file, "  \"schema\": \"bpsim-metrics-v1\",\n");
+    std::fprintf(file, "  \"run\": %s,\n",
+                 jsonQuote(label).c_str());
+    std::fprintf(file, "  \"total_events\": %llu,\n",
+                 static_cast<unsigned long long>(sum.totalEvents));
+
+    std::fprintf(file, "  \"events_by_kind\": {");
+    bool first = true;
+    for (const auto &[kind, count] : sum.eventsByKind) {
+        std::fprintf(file, "%s\n    %s: %llu", first ? "" : ",",
+                     jsonQuote(kind).c_str(),
+                     static_cast<unsigned long long>(count));
+        first = false;
+    }
+    std::fprintf(file, "\n  },\n");
+
+    std::fprintf(file, "  \"events_by_thread\": {");
+    first = true;
+    for (const auto &[thread, count] : sum.eventsByThread) {
+        std::fprintf(file, "%s\n    \"%u\": %llu", first ? "" : ",",
+                     thread,
+                     static_cast<unsigned long long>(count));
+        first = false;
+    }
+    std::fprintf(file, "\n  },\n");
+
+    std::fprintf(file, "  \"cells_begun\": %llu,\n",
+                 static_cast<unsigned long long>(sum.cellsBegun));
+    std::fprintf(file, "  \"cells_ended\": %llu,\n",
+                 static_cast<unsigned long long>(sum.cellsEnded));
+    std::fprintf(file, "  \"phase_begins\": %llu,\n",
+                 static_cast<unsigned long long>(sum.phaseBegins));
+    std::fprintf(file, "  \"phase_ends\": %llu,\n",
+                 static_cast<unsigned long long>(sum.phaseEnds));
+    std::fprintf(file, "  \"phases_balanced\": %s,\n",
+                 sum.phasesBalanced ? "true" : "false");
+    std::fprintf(file, "  \"materialize_seconds\": %.6f,\n",
+                 sum.materializeSeconds);
+    std::fprintf(file, "  \"profile_seconds\": %.6f,\n",
+                 sum.profileSeconds);
+    std::fprintf(file, "  \"cell_seconds\": %.6f,\n", sum.cellSeconds);
+    std::fprintf(file, "  \"wall_seconds\": %.6f,\n", sum.wallSeconds);
+    std::fprintf(file, "  \"kernel_cells\": %llu,\n",
+                 static_cast<unsigned long long>(sum.kernelCells));
+    std::fprintf(file, "  \"cached_cells\": %llu,\n",
+                 static_cast<unsigned long long>(sum.cachedCells));
+    std::fprintf(file, "  \"branches\": %llu,\n",
+                 static_cast<unsigned long long>(sum.branches));
+    std::fprintf(file, "  \"collisions\": %llu,\n",
+                 static_cast<unsigned long long>(sum.collisions));
+    std::fprintf(file, "  \"constructive\": %llu,\n",
+                 static_cast<unsigned long long>(sum.constructive));
+    std::fprintf(file, "  \"destructive\": %llu,\n",
+                 static_cast<unsigned long long>(sum.destructive));
+    std::fprintf(file, "  \"neutral\": %llu,\n",
+                 static_cast<unsigned long long>(sum.neutral));
+
+    std::fprintf(file, "  \"counters\": {");
+    first = true;
+    for (const auto &[name, value] : counterRegistry.snapshot()) {
+        std::fprintf(file, "%s\n    %s: %llu", first ? "" : ",",
+                     jsonQuote(name).c_str(),
+                     static_cast<unsigned long long>(value));
+        first = false;
+    }
+    std::fprintf(file, "\n  },\n");
+
+    std::fprintf(file, "  \"timers\": {");
+    first = true;
+    for (const auto &[name, stat] : timerRegistry.snapshot()) {
+        std::fprintf(file,
+                     "%s\n    %s: {\"count\": %llu, "
+                     "\"seconds\": %.6f}",
+                     first ? "" : ",", jsonQuote(name).c_str(),
+                     static_cast<unsigned long long>(stat.count),
+                     stat.seconds);
+        first = false;
+    }
+    std::fprintf(file, "\n  }\n");
+    std::fprintf(file, "}\n");
+    std::fclose(file);
+}
+
+std::string
+RunJournal::metricsPathFor(const std::string &journal_path)
+{
+    const std::string suffix = ".jsonl";
+    if (journal_path.size() > suffix.size() &&
+        journal_path.compare(journal_path.size() - suffix.size(),
+                             suffix.size(), suffix) == 0) {
+        return journal_path.substr(0,
+                                   journal_path.size() - suffix.size()) +
+               ".metrics.json";
+    }
+    return journal_path + ".metrics.json";
+}
+
+} // namespace bpsim::obs

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Run-journal observability layer.
+ *
+ * A RunJournal records the coarse, structured events of one matrix or
+ * CLI run — phase boundaries, profile-cache outcomes, which execution
+ * path (devirtualized kernel vs virtual fallback) each cell took,
+ * thread assignment, and the final stat snapshot of every cell — and
+ * serializes them as JSONL (one event per line) plus an aggregated
+ * metrics summary JSON. tools/check_bench_json.py validates both
+ * formats (--schema journal / --schema metrics), so every committed
+ * or CI-produced record is checked against the event taxonomy and its
+ * cross-event invariants.
+ *
+ * Granularity contract: events are per phase / per cell, never per
+ * branch. A fig7-12-sized run emits a few hundred events, so the
+ * journal's mutex and timestamping cost is noise (<3% of wall time)
+ * next to the millions of simulated branches per cell.
+ *
+ * Layering: obs sits on support only. Events carry generic typed
+ * fields rather than core's SimStats, so the journal can outlive any
+ * particular stats struct; core/runner does the SimStats -> fields
+ * flattening.
+ */
+
+#ifndef BPSIM_OBS_RUN_JOURNAL_HH
+#define BPSIM_OBS_RUN_JOURNAL_HH
+
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/observe.hh"
+#include "support/types.hh"
+
+namespace bpsim::obs
+{
+
+/**
+ * The event taxonomy. Every journal line names one of these; the
+ * schema validator rejects anything else.
+ */
+enum class EventKind
+{
+    RunBegin,     ///< first event: run label, thread count
+    PhaseBegin,   ///< a named run phase opened (materialize/profile/cells)
+    PhaseEnd,     ///< the matching phase closed (payload: seconds)
+    Materialize,  ///< replay buffers built (seconds, bytes)
+    ProfilePhase, ///< one shared profiling run executed
+    CellBegin,    ///< a matrix cell started on some worker thread
+    CellEnd,      ///< cell finished: timing, path taken, stat snapshot
+    RunEnd,       ///< last event: aggregate totals
+};
+
+/** Wire name of @p kind ("run_begin", "cell_end", ...). */
+const char *eventKindName(EventKind kind);
+
+/** One typed key/value payload entry of an event. */
+class Field
+{
+  public:
+    enum class Type
+    {
+        U64,
+        F64,
+        Bool,
+        Str,
+    };
+
+    static Field u64(std::string key, Count value);
+    static Field f64(std::string key, double value);
+    static Field boolean(std::string key, bool value);
+    static Field str(std::string key, std::string value);
+
+    const std::string &key() const { return fieldKey; }
+    Type type() const { return fieldType; }
+
+    Count u64Value() const { return u64Field; }
+    double f64Value() const { return f64Field; }
+    bool boolValue() const { return boolField; }
+    const std::string &strValue() const { return strField; }
+
+    /** Append `"key": value` (no braces/comma) to @p out. */
+    void appendJson(std::string &out) const;
+
+  private:
+    std::string fieldKey;
+    Type fieldType = Type::U64;
+    Count u64Field = 0;
+    double f64Field = 0.0;
+    bool boolField = false;
+    std::string strField;
+};
+
+/** One recorded event. */
+struct Event
+{
+    /** Monotonic per-journal sequence number (assigned by record()). */
+    Count sequence = 0;
+
+    /** Seconds since the journal's epoch (its construction). */
+    double seconds = 0.0;
+
+    /** Worker-thread index the event was recorded from (0 = the
+     * coordinating thread / pool worker zero). */
+    unsigned thread = 0;
+
+    EventKind kind = EventKind::RunBegin;
+
+    /** Cell label, phase name, or program name — the event's subject. */
+    std::string label;
+
+    std::vector<Field> fields;
+
+    /** Payload field lookup (null when absent). */
+    const Field *find(const std::string &key) const;
+
+    /** Numeric payload value; 0 when absent or non-numeric. */
+    Count u64(const std::string &key) const;
+    double f64(const std::string &key) const;
+    bool boolean(const std::string &key) const;
+};
+
+/** Aggregates computed by RunJournal::summary(). */
+struct JournalSummary
+{
+    Count totalEvents = 0;
+
+    /** Events per taxonomy kind (wire names). */
+    std::map<std::string, Count> eventsByKind;
+
+    /** Events per recording thread index. */
+    std::map<unsigned, Count> eventsByThread;
+
+    Count cellsBegun = 0;
+    Count cellsEnded = 0;
+
+    Count phaseBegins = 0;
+    Count phaseEnds = 0;
+
+    /** Every phase_begin had a later phase_end with the same label
+     * and no phase closed more often than it opened. */
+    bool phasesBalanced = true;
+
+    /** Sum of profile_phase seconds. */
+    double profileSeconds = 0.0;
+
+    /** Sum of cell_end seconds. */
+    double cellSeconds = 0.0;
+
+    /** Sum of materialize seconds. */
+    double materializeSeconds = 0.0;
+
+    /** run_end wall seconds (0 when the run never ended). */
+    double wallSeconds = 0.0;
+
+    /** Cells whose evaluation ran the devirtualized kernels. */
+    Count kernelCells = 0;
+
+    /** Cells that consumed a shared (cached or fresh) profile phase. */
+    Count cachedCells = 0;
+
+    /** Sum of cell_end measured branches. */
+    Count branches = 0;
+
+    /** Collision classification totals summed over cell_end events.
+     * neutral is the unclassified remainder, so
+     * constructive + destructive + neutral == collisions by
+     * construction at the emitter — the validator and property suite
+     * re-check it. */
+    Count collisions = 0;
+    Count constructive = 0;
+    Count destructive = 0;
+    Count neutral = 0;
+};
+
+/**
+ * Thread-safe structured event log for one run, with an embedded
+ * counter registry (fed by the engine) and timer registry (fed by the
+ * runner's scoped phase timers), both serialized into the metrics
+ * summary.
+ */
+class RunJournal
+{
+  public:
+    explicit RunJournal(std::string run_label = "run");
+
+    const std::string &runLabel() const { return label; }
+
+    /** Engine/bench counters attached to this run. */
+    CounterRegistry &counters() { return counterRegistry; }
+    const CounterRegistry &counters() const { return counterRegistry; }
+
+    /** Scoped-timer accumulator attached to this run. */
+    TimerRegistry &timers() { return timerRegistry; }
+    const TimerRegistry &timers() const { return timerRegistry; }
+
+    /** Seconds since the journal was constructed. */
+    double secondsSinceStart() const;
+
+    /**
+     * Record one event (thread-safe). @p thread is the recording
+     * worker's index; sequence number and timestamp are assigned
+     * here, under the journal lock, so sequences are strictly
+     * increasing and timestamps monotonic per journal.
+     */
+    void record(EventKind kind, unsigned thread, std::string label,
+                std::vector<Field> fields = {});
+
+    /** Number of events recorded so far. */
+    Count eventCount() const;
+
+    /** Snapshot copy of the event log, in sequence order. */
+    std::vector<Event> events() const;
+
+    /** Aggregate the current event log. */
+    JournalSummary summary() const;
+
+    /** Serialize one event as its JSONL line (no trailing newline). */
+    static std::string toJsonLine(const Event &event);
+
+    /** Write the event log as JSONL; fatal() if unwritable. */
+    void writeJsonl(const std::string &path) const;
+
+    /**
+     * Write the aggregated metrics summary (plus counter and timer
+     * snapshots) as a single JSON object; fatal() if unwritable.
+     */
+    void writeMetrics(const std::string &path) const;
+
+    /** Conventional metrics path next to @p journal_path
+     * ("x.jsonl" -> "x.metrics.json"). */
+    static std::string metricsPathFor(const std::string &journal_path);
+
+  private:
+    std::string label;
+    std::chrono::steady_clock::time_point epoch;
+    CounterRegistry counterRegistry;
+    TimerRegistry timerRegistry;
+
+    mutable std::mutex lock;
+    std::vector<Event> log;
+};
+
+} // namespace bpsim::obs
+
+#endif // BPSIM_OBS_RUN_JOURNAL_HH

@@ -34,7 +34,9 @@ class ArgParser
     /**
      * Parse argv (excluding any leading subcommand the caller has
      * already consumed). fatal() on unknown options or a missing
-     * value; prints usage and exits 0 on --help.
+     * value; prints usage and exits 0 on --help. Repeating an option
+     * keeps the last value given (never accumulates); repeating a
+     * flag is idempotent.
      */
     void parse(int argc, char **argv, int first = 1);
 

@@ -60,6 +60,38 @@ TEST(ArgParserTest, EqualsSyntaxAndPositionals)
     EXPECT_EQ(args.positional()[1], "extra");
 }
 
+TEST(ArgParserTest, RepeatedOptionKeepsLastValue)
+{
+    // Pinning the documented repeated-flag semantics: a later --name
+    // overrides an earlier one, so scripts can append overrides
+    // without scrubbing earlier arguments — and downstream consumers
+    // (e.g. the bench --warmup accounting) see the value exactly
+    // once, never accumulated per occurrence.
+    ArgParser args("test");
+    args.addOption("warmup", "0", "warmup branches");
+    Argv argv({"tool", "--warmup", "1000", "--warmup", "250"});
+    args.parse(argv.argc(), argv.argv());
+    EXPECT_EQ(args.getUint("warmup"), 250u);
+}
+
+TEST(ArgParserTest, RepeatedOptionMixedSyntax)
+{
+    ArgParser args("test");
+    args.addOption("journal", "", "journal path");
+    Argv argv({"tool", "--journal=a.jsonl", "--journal", "b.jsonl"});
+    args.parse(argv.argc(), argv.argv());
+    EXPECT_EQ(args.get("journal"), "b.jsonl");
+}
+
+TEST(ArgParserTest, RepeatedFlagIsIdempotent)
+{
+    ArgParser args("test");
+    args.addFlag("csv", "csv output");
+    Argv argv({"tool", "--csv", "--csv", "--csv"});
+    args.parse(argv.argc(), argv.argv());
+    EXPECT_TRUE(args.getFlag("csv"));
+}
+
 TEST(ArgParserTest, UnknownOptionIsFatal)
 {
     ArgParser args("test");

@@ -1,0 +1,340 @@
+/**
+ * @file
+ * Golden-value regression suite: fixed-seed experiment statistics for
+ * every predictor kind x static scheme pinned against checked-in JSON
+ * files under tests/golden/. Any change to predictor update rules,
+ * selection logic, stream generation, or the devirtualized kernels
+ * that alters results shows up here as an exact-value diff.
+ *
+ * The workload is a fully explicit ProgramConfig (never a SPEC
+ * preset), so future workload-tuning PRs that adjust the presets do
+ * not spuriously invalidate the goldens; only engine-behaviour
+ * changes can.
+ *
+ * Regenerating after an intentional behaviour change:
+ *
+ *     BPSIM_WRITE_GOLDEN=1 ./build/tests/bpsim_tests \
+ *         --gtest_filter='GoldenTest.*'
+ *
+ * then review the diff under tests/golden/ like any other code
+ * change.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "predictor/factory.hh"
+#include "staticsel/selection.hh"
+#include "support/json.hh"
+#include "trace/replay_buffer.hh"
+#include "workload/synthetic_program.hh"
+
+#ifndef BPSIM_GOLDEN_DIR
+#error "BPSIM_GOLDEN_DIR must point at tests/golden (set by CMake)"
+#endif
+
+namespace bpsim
+{
+namespace
+{
+
+constexpr Count goldenProfileBranches = 60'000;
+constexpr Count goldenEvalBranches = 120'000;
+constexpr std::size_t goldenSizeBytes = 2048;
+
+const std::vector<StaticScheme> goldenSchemes = {
+    StaticScheme::None,
+    StaticScheme::Static95,
+    StaticScheme::StaticAcc,
+    StaticScheme::StaticFac,
+};
+
+/**
+ * The pinned workload. Every knob is written out even where it
+ * matches today's ProgramConfig default: the goldens must survive a
+ * future PR retuning the defaults, so nothing here may depend on
+ * them.
+ */
+ProgramConfig
+goldenProgramConfig()
+{
+    ProgramConfig cfg;
+    cfg.name = "golden";
+    cfg.staticBranches = 900;
+    cfg.avgGap = 8.0;
+    cfg.zipfExponent = 1.0;
+    cfg.meanRegionSites = 10;
+    cfg.fracHighBias = 0.45;
+    cfg.fracLowBias = 0.10;
+    cfg.fracCorrelated = 0.15;
+    cfg.fracPattern = 0.05;
+    cfg.fracPhase = 0.03;
+    cfg.medBiasLo = 0.75;
+    cfg.medBiasHi = 0.95;
+    cfg.highBiasHardFrac = 0.5;
+    cfg.takenMajorityFrac = 0.35;
+    cfg.fixedTripFrac = 0.5;
+    cfg.meanScheduleLen = 6;
+    cfg.meanScheduleRepeats = 64;
+    cfg.loopDensity = 0.12;
+    cfg.meanTripCount = 12;
+    cfg.nestProbability = 0.25;
+    cfg.emptyLoopFrac = 0.2;
+    cfg.trainCoverage = 0.97;
+    cfg.flipFraction = 0.02;
+    cfg.driftFraction = 0.15;
+    cfg.hotFlips = false;
+    cfg.seed = 0x601d; // "gold"; arbitrary but pinned forever
+    return cfg;
+}
+
+ExperimentConfig
+goldenExperimentConfig(PredictorKind kind, StaticScheme scheme)
+{
+    ExperimentConfig config;
+    config.kind = kind;
+    config.sizeBytes = goldenSizeBytes;
+    config.scheme = scheme;
+    config.profileBranches = goldenProfileBranches;
+    config.evalBranches = goldenEvalBranches;
+    return config;
+}
+
+/** The pinned quantities, one per (kind, scheme) cell. */
+struct GoldenStats
+{
+    Count branches = 0;
+    Count instructions = 0;
+    Count mispredictions = 0;
+    Count staticPredicted = 0;
+    Count staticMispredictions = 0;
+    Count lookups = 0;
+    Count collisions = 0;
+    Count constructive = 0;
+    Count destructive = 0;
+    std::size_t hints = 0;
+    Count simulatedBranches = 0;
+    double mispKi = 0.0;
+};
+
+GoldenStats
+fromResult(const ExperimentResult &result)
+{
+    GoldenStats g;
+    g.branches = result.stats.branches;
+    g.instructions = result.stats.instructions;
+    g.mispredictions = result.stats.mispredictions;
+    g.staticPredicted = result.stats.staticPredicted;
+    g.staticMispredictions = result.stats.staticMispredictions;
+    g.lookups = result.stats.collisions.lookups;
+    g.collisions = result.stats.collisions.collisions;
+    g.constructive = result.stats.collisions.constructive;
+    g.destructive = result.stats.collisions.destructive;
+    g.hints = result.hintCount;
+    g.simulatedBranches = result.simulatedBranches;
+    g.mispKi = result.stats.mispKi();
+    return g;
+}
+
+Count
+jsonCount(const JsonValue &cell, const std::string &key)
+{
+    return static_cast<Count>(cell.at(key).asNumber());
+}
+
+GoldenStats
+fromJson(const JsonValue &cell)
+{
+    GoldenStats g;
+    g.branches = jsonCount(cell, "branches");
+    g.instructions = jsonCount(cell, "instructions");
+    g.mispredictions = jsonCount(cell, "mispredictions");
+    g.staticPredicted = jsonCount(cell, "static_predicted");
+    g.staticMispredictions = jsonCount(cell, "static_mispredictions");
+    g.lookups = jsonCount(cell, "lookups");
+    g.collisions = jsonCount(cell, "collisions");
+    g.constructive = jsonCount(cell, "constructive");
+    g.destructive = jsonCount(cell, "destructive");
+    g.hints = static_cast<std::size_t>(cell.at("hints").asNumber());
+    g.simulatedBranches = jsonCount(cell, "simulated_branches");
+    g.mispKi = cell.at("misp_ki").asNumber();
+    return g;
+}
+
+/** Exact comparison; @p path names the run path under test. */
+void
+expectMatchesGolden(const GoldenStats &golden, const GoldenStats &got,
+                    const std::string &path)
+{
+    SCOPED_TRACE(path);
+    EXPECT_EQ(golden.branches, got.branches);
+    EXPECT_EQ(golden.instructions, got.instructions);
+    EXPECT_EQ(golden.mispredictions, got.mispredictions);
+    EXPECT_EQ(golden.staticPredicted, got.staticPredicted);
+    EXPECT_EQ(golden.staticMispredictions,
+              got.staticMispredictions);
+    EXPECT_EQ(golden.lookups, got.lookups);
+    EXPECT_EQ(golden.collisions, got.collisions);
+    EXPECT_EQ(golden.constructive, got.constructive);
+    EXPECT_EQ(golden.destructive, got.destructive);
+    EXPECT_EQ(golden.hints, got.hints);
+    EXPECT_EQ(golden.simulatedBranches, got.simulatedBranches);
+    // %.17g round-trips doubles exactly, so this too is exact.
+    EXPECT_DOUBLE_EQ(golden.mispKi, got.mispKi);
+}
+
+std::string
+formatDouble(double value)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "%.17g", value);
+    return buffer;
+}
+
+std::string
+goldenPath(PredictorKind kind)
+{
+    return std::string(BPSIM_GOLDEN_DIR) + "/" +
+           predictorKindName(kind) + ".json";
+}
+
+void
+writeGoldenFile(PredictorKind kind,
+                const std::vector<GoldenStats> &cells)
+{
+    const std::string path = goldenPath(kind);
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << "{\n";
+    out << "  \"schema\": \"bpsim-golden-v1\",\n";
+    out << "  \"predictor\": \"" << predictorKindName(kind)
+        << "\",\n";
+    out << "  \"size_bytes\": " << goldenSizeBytes << ",\n";
+    out << "  \"profile_branches\": " << goldenProfileBranches
+        << ",\n";
+    out << "  \"eval_branches\": " << goldenEvalBranches << ",\n";
+    out << "  \"cells\": {\n";
+    for (std::size_t i = 0; i < goldenSchemes.size(); ++i) {
+        const GoldenStats &g = cells[i];
+        out << "    \"" << staticSchemeName(goldenSchemes[i])
+            << "\": {\n";
+        out << "      \"branches\": " << g.branches << ",\n";
+        out << "      \"instructions\": " << g.instructions
+            << ",\n";
+        out << "      \"mispredictions\": " << g.mispredictions
+            << ",\n";
+        out << "      \"misp_ki\": " << formatDouble(g.mispKi)
+            << ",\n";
+        out << "      \"static_predicted\": " << g.staticPredicted
+            << ",\n";
+        out << "      \"static_mispredictions\": "
+            << g.staticMispredictions << ",\n";
+        out << "      \"hints\": " << g.hints << ",\n";
+        out << "      \"simulated_branches\": "
+            << g.simulatedBranches << ",\n";
+        out << "      \"lookups\": " << g.lookups << ",\n";
+        out << "      \"collisions\": " << g.collisions << ",\n";
+        out << "      \"constructive\": " << g.constructive
+            << ",\n";
+        out << "      \"destructive\": " << g.destructive << "\n";
+        out << "    }" << (i + 1 < goldenSchemes.size() ? "," : "")
+            << "\n";
+    }
+    out << "  }\n";
+    out << "}\n";
+    ASSERT_TRUE(out.good()) << "write failed for " << path;
+}
+
+/**
+ * Run every scheme for @p kind through BOTH simulation paths — the
+ * devirtualized replay kernels and the virtual stream interface —
+ * and compare each against the same checked-in values. Pinning both
+ * paths to one golden also pins them to each other.
+ */
+void
+runGoldenKind(PredictorKind kind)
+{
+    SyntheticProgram source =
+        buildProgram(goldenProgramConfig(), InputSet::Ref);
+    const ReplayBuffer buffer = ReplayBuffer::materialize(
+        source, std::max(goldenProfileBranches, goldenEvalBranches));
+    ASSERT_EQ(buffer.size(),
+              std::max(goldenProfileBranches, goldenEvalBranches));
+
+    std::vector<GoldenStats> kernel_stats;
+    std::vector<GoldenStats> virtual_stats;
+    for (const StaticScheme scheme : goldenSchemes) {
+        const ExperimentConfig config =
+            goldenExperimentConfig(kind, scheme);
+
+        bool used_kernel = false;
+        const ExperimentResult replayed = runExperimentReplay(
+            &buffer, buffer, config, nullptr, &used_kernel);
+        EXPECT_TRUE(used_kernel)
+            << predictorKindName(kind) << "/"
+            << staticSchemeName(scheme)
+            << " fell off the devirtualized path";
+        kernel_stats.push_back(fromResult(replayed));
+
+        ReplayBuffer::Cursor profile_stream = buffer.cursor();
+        ReplayBuffer::Cursor eval_stream = buffer.cursor();
+        const ExperimentResult streamed = runExperimentStreams(
+            profile_stream, eval_stream, config);
+        virtual_stats.push_back(fromResult(streamed));
+    }
+
+    if (std::getenv("BPSIM_WRITE_GOLDEN") != nullptr) {
+        writeGoldenFile(kind, kernel_stats);
+        // Even while regenerating, the two paths must agree.
+        for (std::size_t i = 0; i < goldenSchemes.size(); ++i)
+            expectMatchesGolden(
+                kernel_stats[i], virtual_stats[i],
+                staticSchemeName(goldenSchemes[i]) + " (paths)");
+        return;
+    }
+
+    const std::string path = goldenPath(kind);
+    ASSERT_TRUE(std::ifstream(path).good())
+        << path << " missing; regenerate with BPSIM_WRITE_GOLDEN=1";
+    const JsonValue golden = JsonValue::parseFile(path);
+    EXPECT_EQ(golden.at("schema").asString(), "bpsim-golden-v1");
+    EXPECT_EQ(golden.at("predictor").asString(),
+              predictorKindName(kind));
+    EXPECT_EQ(jsonCount(golden, "size_bytes"), goldenSizeBytes);
+    EXPECT_EQ(jsonCount(golden, "profile_branches"),
+              goldenProfileBranches);
+    EXPECT_EQ(jsonCount(golden, "eval_branches"),
+              goldenEvalBranches);
+
+    const JsonValue &cells = golden.at("cells");
+    for (std::size_t i = 0; i < goldenSchemes.size(); ++i) {
+        const std::string scheme = staticSchemeName(goldenSchemes[i]);
+        const JsonValue *cell = cells.find(scheme);
+        ASSERT_NE(cell, nullptr)
+            << "no golden cell for " << scheme << " in " << path;
+        const GoldenStats expected = fromJson(*cell);
+        expectMatchesGolden(expected, kernel_stats[i],
+                            scheme + " (kernel path)");
+        expectMatchesGolden(expected, virtual_stats[i],
+                            scheme + " (virtual path)");
+    }
+}
+
+TEST(GoldenTest, Bimodal) { runGoldenKind(PredictorKind::Bimodal); }
+TEST(GoldenTest, Ghist) { runGoldenKind(PredictorKind::Ghist); }
+TEST(GoldenTest, Gshare) { runGoldenKind(PredictorKind::Gshare); }
+TEST(GoldenTest, BiMode) { runGoldenKind(PredictorKind::BiMode); }
+
+TEST(GoldenTest, TwoBcGskew)
+{
+    runGoldenKind(PredictorKind::TwoBcGskew);
+}
+
+} // namespace
+} // namespace bpsim

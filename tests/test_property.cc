@@ -3,8 +3,9 @@
  * Property-based suites, parameterized over predictor kinds and
  * sizes. Each property is an invariant every configuration must hold:
  * budget accounting, collision bookkeeping consistency, determinism,
- * a biased-stream accuracy floor, and the benefit ordering between
- * table sizes on an aliased workload.
+ * a biased-stream accuracy floor, the benefit ordering between table
+ * sizes on an aliased workload, and the run journal's aggregation
+ * invariants.
  */
 
 #include <gtest/gtest.h>
@@ -13,11 +14,14 @@
 #include <tuple>
 
 #include "core/engine.hh"
+#include "core/runner.hh"
+#include "obs/run_journal.hh"
 #include "support/bits.hh"
 #include "core/experiment.hh"
 #include "predictor/factory.hh"
 #include "support/random.hh"
 #include "trace/memory_trace.hh"
+#include "workload/specint.hh"
 #include "workload/synthetic_program.hh"
 
 namespace bpsim
@@ -177,6 +181,129 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<StaticScheme> &info) {
         return staticSchemeName(info.param);
     });
+
+/**
+ * Run the test_runner-style 12-cell matrix (2 programs x 2 kinds x 3
+ * schemes, 60k/120k branch phases) on @p threads workers with a
+ * journal attached, filling @p journal for invariant checks (the
+ * journal owns a mutex, so it cannot be returned by value).
+ */
+void
+runJournaledMatrix(unsigned threads, obs::RunJournal &journal)
+{
+    RunnerOptions options;
+    options.threads = threads;
+    options.journal = &journal;
+    ExperimentRunner runner(options);
+    for (const auto id : {SpecProgram::Go, SpecProgram::Compress}) {
+        const std::size_t program =
+            runner.addProgram(makeSpecProgram(id, InputSet::Ref));
+        for (const auto kind :
+             {PredictorKind::Gshare, PredictorKind::Bimodal}) {
+            for (const auto scheme :
+                 {StaticScheme::None, StaticScheme::Static95,
+                  StaticScheme::StaticAcc}) {
+                ExperimentConfig config;
+                config.kind = kind;
+                config.sizeBytes = 2048;
+                config.scheme = scheme;
+                config.profileBranches = 60'000;
+                config.evalBranches = 120'000;
+                runner.addCell(program, config);
+            }
+        }
+    }
+    runner.run();
+}
+
+TEST(JournalProperty, EventCountsSumAcrossKindsAndThreads)
+{
+    obs::RunJournal journal("property-matrix");
+    runJournaledMatrix(4, journal);
+    const obs::JournalSummary summary = journal.summary();
+
+    EXPECT_EQ(summary.totalEvents, journal.eventCount());
+    Count by_kind = 0;
+    for (const auto &[kind, count] : summary.eventsByKind)
+        by_kind += count;
+    EXPECT_EQ(by_kind, summary.totalEvents);
+    Count by_thread = 0;
+    for (const auto &[thread, count] : summary.eventsByThread) {
+        EXPECT_LT(thread, 4u);
+        by_thread += count;
+    }
+    EXPECT_EQ(by_thread, summary.totalEvents);
+}
+
+TEST(JournalProperty, CellAndPhaseBracketsBalance)
+{
+    obs::RunJournal journal("property-matrix");
+    runJournaledMatrix(4, journal);
+    const obs::JournalSummary summary = journal.summary();
+
+    EXPECT_EQ(summary.cellsBegun, 12u);
+    EXPECT_EQ(summary.cellsEnded, summary.cellsBegun);
+    EXPECT_TRUE(summary.phasesBalanced);
+    EXPECT_EQ(summary.phaseBegins, summary.phaseEnds);
+    // Every scoped phase timer was stopped before run() returned.
+    EXPECT_EQ(journal.timers().openCount(), 0u);
+
+    const std::vector<obs::Event> events = journal.events();
+    ASSERT_FALSE(events.empty());
+    EXPECT_EQ(events.front().kind, obs::EventKind::RunBegin);
+    EXPECT_EQ(events.back().kind, obs::EventKind::RunEnd);
+    for (std::size_t i = 0; i < events.size(); ++i)
+        EXPECT_EQ(events[i].sequence, i);
+}
+
+TEST(JournalProperty, CollisionClassificationPartitions)
+{
+    obs::RunJournal journal("property-matrix");
+    runJournaledMatrix(2, journal);
+
+    // Per cell: the constructive/destructive/neutral split is a
+    // partition of that cell's collisions.
+    Count cells_checked = 0;
+    for (const obs::Event &event : journal.events()) {
+        if (event.kind != obs::EventKind::CellEnd)
+            continue;
+        ++cells_checked;
+        EXPECT_EQ(event.u64("constructive") +
+                      event.u64("destructive") +
+                      event.u64("neutral"),
+                  event.u64("collisions"))
+            << event.label;
+        EXPECT_LE(event.u64("collisions"), event.u64("lookups"))
+            << event.label;
+    }
+    EXPECT_EQ(cells_checked, 12u);
+
+    // And in aggregate, after summing over all cells.
+    const obs::JournalSummary summary = journal.summary();
+    EXPECT_EQ(summary.constructive + summary.destructive +
+                  summary.neutral,
+              summary.collisions);
+    EXPECT_GT(summary.collisions, 0u);
+}
+
+TEST(JournalProperty, SummaryStableAcrossThreadCounts)
+{
+    // Thread attribution changes with the pool size; the aggregated
+    // physics (cells, branches, collision totals) must not.
+    obs::RunJournal serial("property-matrix");
+    runJournaledMatrix(1, serial);
+    obs::RunJournal pooled("property-matrix");
+    runJournaledMatrix(4, pooled);
+    const obs::JournalSummary one = serial.summary();
+    const obs::JournalSummary four = pooled.summary();
+    EXPECT_EQ(one.totalEvents, four.totalEvents);
+    EXPECT_EQ(one.cellsEnded, four.cellsEnded);
+    EXPECT_EQ(one.kernelCells, four.kernelCells);
+    EXPECT_EQ(one.branches, four.branches);
+    EXPECT_EQ(one.collisions, four.collisions);
+    EXPECT_EQ(one.constructive, four.constructive);
+    EXPECT_EQ(one.destructive, four.destructive);
+}
 
 TEST(SizeBenefitProperty, LargerGshareNeverMuchWorseOnAliasedLoad)
 {

@@ -26,6 +26,7 @@
 #include "core/cpi_model.hh"
 #include "core/engine.hh"
 #include "core/experiment.hh"
+#include "obs/run_journal.hh"
 #include "support/args.hh"
 #include "trace/trace_io.hh"
 #include "workload/specint.hh"
@@ -34,6 +35,107 @@ using namespace bpsim;
 
 namespace
 {
+
+/**
+ * Journal wiring for one CLI invocation (--journal): opens the
+ * journal when requested, brackets each simulation as a
+ * cell_begin/cell_end pair carrying the same stat-snapshot fields the
+ * matrix runner emits, and writes the JSONL + metrics files from
+ * finish().
+ */
+class CliJournal
+{
+  public:
+    CliJournal(std::string path, std::string label)
+        : path(std::move(path))
+    {
+        if (this->path.empty())
+            return;
+        journal =
+            std::make_unique<obs::RunJournal>(std::move(label));
+        journal->record(obs::EventKind::RunBegin, 0,
+                        journal->runLabel(),
+                        {obs::Field::u64("threads", 1)});
+    }
+
+    CounterRegistry *
+    counters()
+    {
+        return journal ? &journal->counters() : nullptr;
+    }
+
+    TimerRegistry *
+    timers()
+    {
+        return journal ? &journal->timers() : nullptr;
+    }
+
+    void
+    beginCell(const std::string &label)
+    {
+        if (journal == nullptr)
+            return;
+        journal->record(obs::EventKind::CellBegin, 0, label,
+                        {obs::Field::u64("cell", cells)});
+    }
+
+    void
+    endCell(const std::string &label, double seconds,
+            std::size_t hints, const SimStats &stats)
+    {
+        if (journal == nullptr)
+            return;
+        const Count classified = stats.collisions.constructive +
+                                 stats.collisions.destructive;
+        const Count neutral = stats.collisions.collisions > classified
+                                  ? stats.collisions.collisions -
+                                        classified
+                                  : 0;
+        journal->record(
+            obs::EventKind::CellEnd, 0, label,
+            {obs::Field::u64("cell", cells),
+             obs::Field::f64("seconds", seconds),
+             obs::Field::u64("branches", stats.branches),
+             obs::Field::u64("instructions", stats.instructions),
+             obs::Field::u64("mispredictions", stats.mispredictions),
+             obs::Field::f64("misp_ki", stats.mispKi()),
+             obs::Field::u64("hints", hints),
+             obs::Field::u64("static_predicted",
+                             stats.staticPredicted),
+             obs::Field::u64("lookups", stats.collisions.lookups),
+             obs::Field::u64("collisions",
+                             stats.collisions.collisions),
+             obs::Field::u64("constructive",
+                             stats.collisions.constructive),
+             obs::Field::u64("destructive",
+                             stats.collisions.destructive),
+             obs::Field::u64("neutral", neutral)});
+        ++cells;
+    }
+
+    void
+    finish()
+    {
+        if (journal == nullptr)
+            return;
+        journal->record(
+            obs::EventKind::RunEnd, 0, journal->runLabel(),
+            {obs::Field::f64("seconds",
+                             journal->secondsSinceStart()),
+             obs::Field::u64("cells", cells)});
+        journal->writeJsonl(path);
+        const std::string metrics =
+            obs::RunJournal::metricsPathFor(path);
+        journal->writeMetrics(metrics);
+        std::printf("journal: %s\nmetrics: %s\n", path.c_str(),
+                    metrics.c_str());
+    }
+
+  private:
+    std::string path;
+    std::unique_ptr<obs::RunJournal> journal;
+    Count cells = 0;
+};
 
 ShiftPolicy
 shiftFromName(const std::string &name)
@@ -77,6 +179,10 @@ addCommonOptions(ArgParser &args)
     args.addFlag("filter-unstable",
                  "apply the cross-training merge filter (5% rule)");
     args.addFlag("csv", "emit one machine-readable CSV row per run");
+    args.addOption("journal", "",
+                   "write the structured run journal (JSONL) to this "
+                   "path; the metrics summary lands next to it "
+                   "(empty = disabled)");
 }
 
 SyntheticProgram
@@ -150,6 +256,7 @@ cmdRun(int argc, char **argv)
     const StaticScheme scheme =
         staticSchemeFromName(args.get("scheme"));
     bool csv_header = false;
+    CliJournal journal(args.get("journal"), "bpsim_cli run");
 
     if (!args.get("trace").empty()) {
         // Trace replay: static schemes need a workload to re-run for
@@ -161,10 +268,17 @@ cmdRun(int argc, char **argv)
         SimOptions options;
         options.maxBranches = args.getUint("branches");
         options.warmupBranches = args.getUint("warmup");
+        options.counters = journal.counters();
+        const std::string label =
+            args.get("trace") + "/" + predictor->name();
+        journal.beginCell(label);
+        ScopedTimer timer(journal.timers(), "cli.run");
         const SimStats stats = simulate(*predictor, reader, options);
+        journal.endCell(label, timer.stop(), 0, stats);
         report(args, args.get("trace"), predictor->name(),
                predictor->sizeBytes(), "none", "noshift", 0, stats,
                csv_header);
+        journal.finish();
         return 0;
     }
 
@@ -177,11 +291,18 @@ cmdRun(int argc, char **argv)
         SimOptions options;
         options.maxBranches = args.getUint("branches");
         options.warmupBranches = args.getUint("warmup");
+        options.counters = journal.counters();
         auto predictor = makePredictor(spec);
+        const std::string label =
+            program.name() + "/" + predictor->name() + "/none";
+        journal.beginCell(label);
+        ScopedTimer timer(journal.timers(), "cli.run");
         const SimStats stats = simulate(*predictor, program, options);
+        journal.endCell(label, timer.stop(), 0, stats);
         report(args, program.name(), predictor->name(),
                predictor->sizeBytes(), "none", "noshift", 0, stats,
                csv_header);
+        journal.finish();
         return 0;
     }
 
@@ -203,11 +324,21 @@ cmdRun(int argc, char **argv)
             : (args.get("profile-input") == "train" ? InputSet::Train
                                                     : InputSet::Ref);
     config.filterUnstable = args.getFlag("filter-unstable");
+    config.evalWarmupBranches = args.getUint("warmup");
+    config.counters = journal.counters();
 
+    const std::string label = program.name() + "/" + kind_name + ":" +
+                              std::to_string(config.sizeBytes) + "/" +
+                              args.get("scheme");
+    journal.beginCell(label);
+    ScopedTimer timer(journal.timers(), "cli.run");
     const ExperimentResult result = runExperiment(program, config);
+    journal.endCell(label, timer.stop(), result.hintCount,
+                    result.stats);
     report(args, program.name(), kind_name, config.sizeBytes,
            args.get("scheme"), args.get("shift"), result.hintCount,
            result.stats, csv_header);
+    journal.finish();
     return 0;
 }
 
@@ -244,6 +375,7 @@ cmdSweep(int argc, char **argv)
     }
 
     bool csv_header = false;
+    CliJournal journal(args.get("journal"), "bpsim_cli sweep");
     for (const std::size_t bytes : sizes) {
         ExperimentConfig config;
         config.kind = kind;
@@ -251,14 +383,24 @@ cmdSweep(int argc, char **argv)
         config.scheme = scheme;
         config.shift = shiftFromName(args.get("shift"));
         config.evalBranches = args.getUint("branches");
+        config.evalWarmupBranches = args.getUint("warmup");
         config.profileBranches = args.getUint("profile-branches");
         config.selection.cutoffBias = args.getDouble("cutoff");
+        config.counters = journal.counters();
+        const std::string label =
+            program.name() + "/" + args.get("predictor") + ":" +
+            std::to_string(bytes) + "/" + args.get("scheme");
+        journal.beginCell(label);
+        ScopedTimer timer(journal.timers(), "cli.sweep");
         const ExperimentResult result =
             runExperiment(program, config);
+        journal.endCell(label, timer.stop(), result.hintCount,
+                        result.stats);
         report(args, program.name(), args.get("predictor"), bytes,
                args.get("scheme"), args.get("shift"),
                result.hintCount, result.stats, csv_header);
     }
+    journal.finish();
     return 0;
 }
 

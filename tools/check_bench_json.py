@@ -1,12 +1,19 @@
 #!/usr/bin/env python3
-"""Validate a BENCH_runner.json timing file.
+"""Validate bpsim's machine-readable run records.
 
-The experiment-matrix runner (src/core/runner.cc, writeRunnerJson)
-emits per-cell and aggregate timing so the perf trajectory is tracked
-across PRs; this validator is wired into ctest so a malformed emitter
-fails tier-1 instead of silently corrupting the record.
+Three schemas, selected with --schema (default: runner):
 
-Usage: check_bench_json.py FILE [FILE...]
+  runner   BENCH_runner.json timing files written by writeRunnerJson
+           (src/core/runner.cc)
+  journal  run-journal JSONL event streams written by
+           obs::RunJournal::writeJsonl (one event object per line)
+  metrics  aggregated metrics summaries written by
+           obs::RunJournal::writeMetrics
+
+The validator is wired into ctest (and CI smoke runs), so a malformed
+emitter fails tier-1 instead of silently corrupting the record.
+
+Usage: check_bench_json.py [--schema runner|journal|metrics] FILE...
 Exits non-zero with a message on the first problem found.
 """
 
@@ -46,6 +53,65 @@ CELL_REQUIRED = {
     "profile_cached": bool,
 }
 
+# The journal event taxonomy (obs::EventKind wire names).
+EVENT_KINDS = {
+    "run_begin",
+    "phase_begin",
+    "phase_end",
+    "materialize",
+    "profile_phase",
+    "cell_begin",
+    "cell_end",
+    "run_end",
+}
+
+EVENT_REQUIRED = {
+    "seq": int,
+    "t": (int, float),
+    "thread": int,
+    "event": str,
+    "label": str,
+}
+
+CELL_END_REQUIRED = {
+    "seconds": (int, float),
+    "branches": int,
+    "misp_ki": (int, float),
+    "hints": int,
+    "collisions": int,
+    "constructive": int,
+    "destructive": int,
+    "neutral": int,
+}
+
+METRICS_REQUIRED = {
+    "schema": str,
+    "run": str,
+    "total_events": int,
+    "events_by_kind": dict,
+    "events_by_thread": dict,
+    "cells_begun": int,
+    "cells_ended": int,
+    "phase_begins": int,
+    "phase_ends": int,
+    "phases_balanced": bool,
+    "materialize_seconds": (int, float),
+    "profile_seconds": (int, float),
+    "cell_seconds": (int, float),
+    "wall_seconds": (int, float),
+    "kernel_cells": int,
+    "cached_cells": int,
+    "branches": int,
+    "collisions": int,
+    "constructive": int,
+    "destructive": int,
+    "neutral": int,
+    "counters": dict,
+    "timers": dict,
+}
+
+METRICS_SCHEMA_ID = "bpsim-metrics-v1"
+
 
 def fail(path, message):
     print(f"{path}: {message}", file=sys.stderr)
@@ -73,7 +139,7 @@ def check_fields(path, obj, spec, where):
                 fail(path, f"{where}: key '{key}' is negative")
 
 
-def check_file(path):
+def check_runner_file(path):
     try:
         with open(path, encoding="utf-8") as handle:
             data = json.load(handle)
@@ -134,12 +200,229 @@ def check_file(path):
           f"{data['kernel_cells']} kernel cells)")
 
 
+def check_collision_split(path, obj, where):
+    classified = obj["constructive"] + obj["destructive"] + \
+        obj["neutral"]
+    if classified != obj["collisions"]:
+        fail(path, f"{where}: constructive + destructive + neutral "
+                   f"{classified} != collisions {obj['collisions']}")
+
+
+def check_journal_file(path):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    except OSError as error:
+        fail(path, f"cannot read: {error}")
+
+    events = []
+    for number, line in enumerate(lines, start=1):
+        if not line.strip():
+            fail(path, f"line {number}: blank line in JSONL stream")
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as error:
+            fail(path, f"line {number}: not valid JSON: {error}")
+        if not isinstance(event, dict):
+            fail(path, f"line {number}: event must be an object")
+        check_fields(path, event, EVENT_REQUIRED, f"line {number}")
+        if event["event"] not in EVENT_KINDS:
+            fail(path, f"line {number}: unknown event kind "
+                       f"'{event['event']}'")
+        events.append(event)
+
+    if not events:
+        fail(path, "journal is empty")
+
+    # Sequence numbers are assigned under the journal lock: strictly
+    # increasing from zero, timestamps monotonic.
+    for index, event in enumerate(events):
+        where = f"line {index + 1}"
+        if event["seq"] != index:
+            fail(path, f"{where}: seq {event['seq']} != line "
+                       f"position {index}")
+        if index > 0 and event["t"] < events[index - 1]["t"]:
+            fail(path, f"{where}: timestamp {event['t']} goes "
+                       f"backwards")
+
+    if events[0]["event"] != "run_begin":
+        fail(path, "first event must be run_begin")
+    if events[-1]["event"] != "run_end":
+        fail(path, "last event must be run_end")
+    for marker in ("run_begin", "run_end"):
+        count = sum(1 for e in events if e["event"] == marker)
+        if count != 1:
+            fail(path, f"expected exactly one {marker}, found {count}")
+
+    # Phases balance per label and never close more than they opened.
+    open_phases = {}
+    for index, event in enumerate(events):
+        if event["event"] == "phase_begin":
+            open_phases[event["label"]] = \
+                open_phases.get(event["label"], 0) + 1
+        elif event["event"] == "phase_end":
+            open_phases[event["label"]] = \
+                open_phases.get(event["label"], 0) - 1
+            if open_phases[event["label"]] < 0:
+                fail(path, f"line {index + 1}: phase_end "
+                           f"'{event['label']}' without a matching "
+                           f"phase_begin")
+    for label, net in open_phases.items():
+        if net != 0:
+            fail(path, f"phase '{label}' opened {net} more times than "
+                       f"it closed")
+
+    # Every cell_end pairs with an earlier cell_begin of the same
+    # label and cell index, and carries a consistent stat snapshot.
+    begun = set()
+    ended = set()
+    cell_ends = []
+    for index, event in enumerate(events):
+        where = f"line {index + 1}"
+        if event["event"] == "cell_begin":
+            begun.add((event["label"], event.get("cell")))
+        elif event["event"] == "cell_end":
+            key = (event["label"], event.get("cell"))
+            if key not in begun:
+                fail(path, f"{where}: cell_end without an earlier "
+                           f"cell_begin for {key}")
+            if key in ended:
+                fail(path, f"{where}: duplicate cell_end for {key}")
+            ended.add(key)
+            check_fields(path, event, CELL_END_REQUIRED, where)
+            check_collision_split(path, event, where)
+            cell_ends.append(event)
+    if len(begun) != len(ended):
+        fail(path, f"{len(begun)} cells begun but {len(ended)} ended")
+
+    # Aggregate cross-checks against run_end, for the fields the
+    # emitter chose to include (the matrix runner includes them all;
+    # the CLI's single-cell run_end only carries cells).
+    run_end = events[-1]
+    if "cells" in run_end and run_end["cells"] != len(cell_ends):
+        fail(path, f"run_end cells {run_end['cells']} != "
+                   f"{len(cell_ends)} cell_end events")
+    if "kernel_cells" in run_end:
+        kernel = sum(1 for e in cell_ends if e.get("kernel") is True)
+        if kernel != run_end["kernel_cells"]:
+            fail(path, f"run_end kernel_cells "
+                       f"{run_end['kernel_cells']} != {kernel} "
+                       f"kernel cell_end events")
+    if "total_branches" in run_end:
+        total = sum(e.get("simulated_branches", e["branches"])
+                    for e in cell_ends)
+        if total != run_end["total_branches"]:
+            fail(path, f"run_end total_branches "
+                       f"{run_end['total_branches']} != sum of "
+                       f"cell_end simulated branches {total}")
+    if "profile_cache_hits" in run_end and \
+            "profile_cache_misses" in run_end:
+        cached = sum(1 for e in cell_ends
+                     if e.get("profile_cached") is True)
+        accesses = run_end["profile_cache_hits"] + \
+            run_end["profile_cache_misses"]
+        if cached != accesses:
+            fail(path, f"profile_cache_hits + profile_cache_misses "
+                       f"{accesses} != {cached} profile_cached "
+                       f"cell_end events")
+        phases = sum(1 for e in events
+                     if e["event"] == "profile_phase")
+        if phases != run_end["profile_cache_misses"]:
+            fail(path, f"{phases} profile_phase events != "
+                       f"profile_cache_misses "
+                       f"{run_end['profile_cache_misses']}")
+
+    print(f"{path}: ok ({len(events)} events, {len(cell_ends)} cells, "
+          f"{len(set(e['thread'] for e in events))} threads)")
+
+
+def check_metrics_file(path):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+    except OSError as error:
+        fail(path, f"cannot read: {error}")
+    except json.JSONDecodeError as error:
+        fail(path, f"not valid JSON: {error}")
+
+    if not isinstance(data, dict):
+        fail(path, "top level must be an object")
+    check_fields(path, data, METRICS_REQUIRED, "top level")
+
+    if data["schema"] != METRICS_SCHEMA_ID:
+        fail(path, f"schema '{data['schema']}' != "
+                   f"'{METRICS_SCHEMA_ID}'")
+
+    for kind in data["events_by_kind"]:
+        if kind not in EVENT_KINDS:
+            fail(path, f"events_by_kind: unknown event kind '{kind}'")
+    by_kind = sum(data["events_by_kind"].values())
+    if by_kind != data["total_events"]:
+        fail(path, f"events_by_kind sums to {by_kind}, "
+                   f"total_events is {data['total_events']}")
+    by_thread = sum(data["events_by_thread"].values())
+    if by_thread != data["total_events"]:
+        fail(path, f"events_by_thread sums to {by_thread}, "
+                   f"total_events is {data['total_events']}")
+
+    if data["cells_begun"] != data["cells_ended"]:
+        fail(path, f"cells_begun {data['cells_begun']} != "
+                   f"cells_ended {data['cells_ended']}")
+    if not data["phases_balanced"]:
+        fail(path, "phases_balanced is false")
+    if data["phase_begins"] != data["phase_ends"]:
+        fail(path, f"phase_begins {data['phase_begins']} != "
+                   f"phase_ends {data['phase_ends']}")
+    check_collision_split(path, data, "top level")
+
+    for name, stat in data["timers"].items():
+        where = f"timers['{name}']"
+        if not isinstance(stat, dict):
+            fail(path, f"{where}: must be an object")
+        check_fields(path, stat, {"count": int,
+                                  "seconds": (int, float)}, where)
+
+    print(f"{path}: ok ({data['total_events']} events, "
+          f"{data['cells_ended']} cells, "
+          f"{len(data['counters'])} counters, "
+          f"{len(data['timers'])} timers)")
+
+
+CHECKERS = {
+    "runner": check_runner_file,
+    "journal": check_journal_file,
+    "metrics": check_metrics_file,
+}
+
+
 def main(argv):
-    if len(argv) < 2:
+    schema = "runner"
+    paths = []
+    i = 1
+    while i < len(argv):
+        arg = argv[i]
+        if arg == "--schema":
+            if i + 1 >= len(argv):
+                print("--schema needs a value", file=sys.stderr)
+                return 2
+            schema = argv[i + 1]
+            i += 2
+            continue
+        if arg.startswith("--schema="):
+            schema = arg.split("=", 1)[1]
+            i += 1
+            continue
+        paths.append(arg)
+        i += 1
+    if schema not in CHECKERS:
+        print(f"unknown schema '{schema}' (expected "
+              f"{'/'.join(sorted(CHECKERS))})", file=sys.stderr)
+        return 2
+    if not paths:
         print(__doc__, file=sys.stderr)
         return 2
-    for path in argv[1:]:
-        check_file(path)
+    for path in paths:
+        CHECKERS[schema](path)
     return 0
 
 
