@@ -74,6 +74,18 @@ struct BenchOptions
      * every option, a repeated --warmup keeps only the last value.
      */
     Count warmupBranches = 0;
+
+    /** Sweep checkpoint path (--checkpoint; empty = off). */
+    std::string checkpointPath;
+
+    /** Restore finished cells from the checkpoint (--resume). */
+    bool resume = false;
+
+    /** Extra attempts for transient cell failures (--retries). */
+    unsigned retries = 0;
+
+    /** Abort the sweep at the first failed cell (--fail-fast). */
+    bool failFast = false;
 };
 
 /**
@@ -109,6 +121,17 @@ parseBenchOptions(int argc, char **argv, const char *tool,
                    "evaluation warmup branches before the measured "
                    "window (repeating the option keeps the last "
                    "value)");
+    args.addOption("checkpoint", "",
+                   "persist each finished cell to this JSONL "
+                   "checkpoint (empty = disabled)");
+    args.addFlag("resume",
+                 "restore finished cells from --checkpoint instead "
+                 "of re-running them");
+    args.addOption("retries", "0",
+                   "extra attempts for transient "
+                   "(resource_exhausted) cell failures");
+    args.addFlag("fail-fast",
+                 "abort the sweep at the first failed cell");
     args.parse(argc, argv);
 
     BenchOptions options;
@@ -117,6 +140,17 @@ parseBenchOptions(int argc, char **argv, const char *tool,
     options.baselineSeconds = args.getDouble("baseline-seconds");
     options.journalPath = args.get("journal");
     options.warmupBranches = args.getUint("warmup");
+    options.checkpointPath = args.get("checkpoint");
+    options.resume = args.getFlag("resume");
+    options.retries = static_cast<unsigned>(args.getUint("retries"));
+    options.failFast = args.getFlag("fail-fast");
+    if (options.resume && options.checkpointPath.empty()) {
+        std::fprintf(stderr,
+                     "%s: error [config_invalid] --resume needs "
+                     "--checkpoint\n",
+                     tool);
+        std::exit(usageExitCode);
+    }
     return options;
 }
 
@@ -134,7 +168,8 @@ makeJournal(const BenchOptions &options, std::string label)
     return std::make_unique<obs::RunJournal>(std::move(label));
 }
 
-/** RunnerOptions carrying the bench's thread count and journal. */
+/** RunnerOptions carrying the bench's thread count, journal and
+ * fault-tolerance knobs (checkpoint/resume/retries/fail-fast). */
 inline RunnerOptions
 runnerOptions(const BenchOptions &options,
               obs::RunJournal *journal = nullptr)
@@ -142,6 +177,10 @@ runnerOptions(const BenchOptions &options,
     RunnerOptions runner;
     runner.threads = options.threads;
     runner.journal = journal;
+    runner.retries = options.retries;
+    runner.failFast = options.failFast;
+    runner.checkpointPath = options.checkpointPath;
+    runner.resume = options.resume;
     return runner;
 }
 

@@ -32,7 +32,7 @@ main(int argc, char **argv)
     const Count profile_len = 4 * evalBranches;
 
     BenchJournal journal(options, "table5_cross_input");
-    ExperimentRunner runner({options.threads});
+    ExperimentRunner runner(runnerOptions(options, journal.get()));
     for (const auto id : allSpecPrograms()) {
         const std::size_t program =
             runner.addProgram(makeSpecProgram(id, InputSet::Train));

@@ -1,0 +1,235 @@
+#include "core/checkpoint.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "core/combined_predictor.hh"
+#include "predictor/factory.hh"
+#include "support/atomic_file.hh"
+#include "support/json.hh"
+
+namespace bpsim
+{
+
+namespace
+{
+
+/** Deterministic double rendering for fingerprints (%.17g survives a
+ * round trip; to_string's fixed six digits would collide tunables). */
+std::string
+fingerprintDouble(double value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return buf;
+}
+
+Count
+countField(const JsonValue &line, const char *key)
+{
+    return static_cast<Count>(line.at(key).asNumber());
+}
+
+} // namespace
+
+std::string
+cellFingerprint(const SyntheticProgram &program,
+                const ExperimentConfig &config)
+{
+    std::string predictor;
+    if (config.makeDynamic) {
+        if (config.dynamicKey.empty())
+            return {};
+        predictor = "custom:" + config.dynamicKey;
+    } else {
+        predictor = predictorKindName(config.kind) + ":" +
+                    std::to_string(config.sizeBytes);
+    }
+
+    std::ostringstream os;
+    os << "v1|" << program.name() << "|" << program.seedValue() << "|"
+       << predictor << "|" << staticSchemeName(config.scheme) << "|"
+       << shiftPolicyName(config.shift) << "|"
+       << config.profileBranches << "|" << config.evalBranches << "|"
+       << config.evalWarmupBranches << "|"
+       << static_cast<unsigned>(config.profileInput) << "|"
+       << static_cast<unsigned>(config.evalInput) << "|"
+       << (config.filterUnstable ? 1 : 0) << ":"
+       << fingerprintDouble(config.stabilityThreshold) << "|"
+       << fingerprintDouble(config.selection.cutoffBias) << ","
+       << fingerprintDouble(config.selection.factor) << ","
+       << config.selection.minExecutions << ","
+       << fingerprintDouble(config.selection.aliasCutoffBias) << ","
+       << fingerprintDouble(config.selection.aliasMinCollisionRate);
+    return os.str();
+}
+
+SweepCheckpoint::SweepCheckpoint(std::string path)
+    : filePath(std::move(path))
+{
+}
+
+Result<void>
+SweepCheckpoint::load()
+{
+    std::lock_guard<std::mutex> guard(lock);
+    records.clear();
+    index.clear();
+
+    std::FILE *file = std::fopen(filePath.c_str(), "rb");
+    if (file == nullptr) {
+        if (errno == ENOENT)
+            return okResult(); // fresh run
+        return Error(ErrorCode::IoFailure,
+                     "cannot read checkpoint '" + filePath +
+                         "': " + std::strerror(errno));
+    }
+    std::string text;
+    char chunk[4096];
+    std::size_t got;
+    while ((got = std::fread(chunk, 1, sizeof(chunk), file)) > 0)
+        text.append(chunk, got);
+    const bool read_failed = std::ferror(file) != 0;
+    std::fclose(file);
+    if (read_failed) {
+        return Error(ErrorCode::IoFailure,
+                     "error reading checkpoint '" + filePath + "'");
+    }
+
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t end = text.find('\n', pos);
+        if (end == std::string::npos)
+            end = text.size();
+        const std::string line = text.substr(pos, end - pos);
+        pos = end + 1;
+        if (line.empty())
+            continue;
+        // A line that does not parse or carries another schema is
+        // skipped: the cell it would have restored simply re-runs.
+        const Result<JsonValue> parsed =
+            JsonValue::tryParse(line, filePath);
+        if (!parsed.ok() || !parsed.value().isObject())
+            continue;
+        const JsonValue &object = parsed.value();
+        const JsonValue *schema = object.find("schema");
+        if (schema == nullptr || !schema->isString() ||
+            schema->asString() != checkpointSchema)
+            continue;
+
+        CheckpointRecord record;
+        record.fingerprint = object.at("fingerprint").asString();
+        record.label = object.at("label").asString();
+        SimStats &stats = record.result.stats;
+        stats.branches = countField(object, "branches");
+        stats.instructions = countField(object, "instructions");
+        stats.mispredictions = countField(object, "mispredictions");
+        stats.staticPredicted =
+            countField(object, "static_predicted");
+        stats.staticMispredictions =
+            countField(object, "static_mispredictions");
+        stats.collisions.lookups = countField(object, "lookups");
+        stats.collisions.collisions =
+            countField(object, "collisions");
+        stats.collisions.constructive =
+            countField(object, "constructive");
+        stats.collisions.destructive =
+            countField(object, "destructive");
+        record.result.hintCount = static_cast<std::size_t>(
+            object.at("hints").asNumber());
+        record.result.simulatedBranches =
+            countField(object, "simulated_branches");
+        record.usedKernel = object.at("kernel").asBool();
+        record.phaseBranches = countField(object, "phase_branches");
+
+        const auto [it, inserted] =
+            index.try_emplace(record.fingerprint, records.size());
+        if (inserted)
+            records.push_back(std::move(record));
+        else
+            records[it->second] = std::move(record);
+    }
+    return okResult();
+}
+
+std::string
+SweepCheckpoint::renderLine(const CheckpointRecord &record)
+{
+    const SimStats &stats = record.result.stats;
+    std::ostringstream os;
+    os << "{\"schema\": " << jsonQuote(checkpointSchema)
+       << ", \"fingerprint\": " << jsonQuote(record.fingerprint)
+       << ", \"label\": " << jsonQuote(record.label)
+       << ", \"branches\": " << stats.branches
+       << ", \"instructions\": " << stats.instructions
+       << ", \"mispredictions\": " << stats.mispredictions
+       << ", \"static_predicted\": " << stats.staticPredicted
+       << ", \"static_mispredictions\": "
+       << stats.staticMispredictions
+       << ", \"lookups\": " << stats.collisions.lookups
+       << ", \"collisions\": " << stats.collisions.collisions
+       << ", \"constructive\": " << stats.collisions.constructive
+       << ", \"destructive\": " << stats.collisions.destructive
+       << ", \"hints\": " << record.result.hintCount
+       << ", \"simulated_branches\": "
+       << record.result.simulatedBranches
+       << ", \"kernel\": " << (record.usedKernel ? "true" : "false")
+       << ", \"phase_branches\": " << record.phaseBranches << "}";
+    return os.str();
+}
+
+Result<void>
+SweepCheckpoint::rewriteLocked()
+{
+    std::string content;
+    for (const CheckpointRecord &record : records) {
+        content += renderLine(record);
+        content += '\n';
+    }
+    Result<void> written = writeFileAtomic(filePath, content);
+    if (!written.ok()) {
+        return std::move(written.error())
+            .withContext("while writing checkpoint");
+    }
+    return okResult();
+}
+
+Result<void>
+SweepCheckpoint::record(CheckpointRecord record)
+{
+    if (record.fingerprint.empty()) {
+        return Error(ErrorCode::Internal,
+                     "cannot checkpoint an unfingerprintable cell '" +
+                         record.label + "'");
+    }
+    std::lock_guard<std::mutex> guard(lock);
+    const auto [it, inserted] =
+        index.try_emplace(record.fingerprint, records.size());
+    if (inserted)
+        records.push_back(std::move(record));
+    else
+        records[it->second] = std::move(record);
+    return rewriteLocked();
+}
+
+const CheckpointRecord *
+SweepCheckpoint::find(const std::string &fingerprint) const
+{
+    if (fingerprint.empty())
+        return nullptr;
+    std::lock_guard<std::mutex> guard(lock);
+    const auto it = index.find(fingerprint);
+    return it != index.end() ? &records[it->second] : nullptr;
+}
+
+std::size_t
+SweepCheckpoint::size() const
+{
+    std::lock_guard<std::mutex> guard(lock);
+    return records.size();
+}
+
+} // namespace bpsim

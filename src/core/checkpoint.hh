@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Sweep checkpoint/resume: persist finished matrix cells so an
+ * interrupted sweep restarts where it died instead of from zero.
+ *
+ * Each completed cell is stored as one JSONL record keyed by a
+ * deterministic config fingerprint (program identity + every
+ * result-affecting config field), so resume matching survives cell
+ * reordering, added cells, and label edits. Only deterministic fields
+ * are persisted — stats, hint counts, branch totals, the kernel flag —
+ * never wall times, so a resumed run's merged result is bit-identical
+ * to an uninterrupted one in every deterministic field.
+ *
+ * Durability: the file is rewritten atomically (temp + rename) on
+ * every record, so a crash at any instant leaves either the previous
+ * or the new complete checkpoint, never a torn line. Unparseable or
+ * wrong-schema lines found on load are skipped, not fatal: a stale
+ * checkpoint only costs re-execution.
+ */
+
+#ifndef BPSIM_CORE_CHECKPOINT_HH
+#define BPSIM_CORE_CHECKPOINT_HH
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "support/error.hh"
+#include "workload/synthetic_program.hh"
+
+namespace bpsim
+{
+
+/** Schema tag stamped on every checkpoint line. */
+inline constexpr const char *checkpointSchema = "bpsim-checkpoint-v1";
+
+/** One persisted cell: its identity and deterministic outcome. */
+struct CheckpointRecord
+{
+    /** cellFingerprint() of the cell this record restores. */
+    std::string fingerprint;
+
+    /** Display label at record time (informational only). */
+    std::string label;
+
+    /** The cell's deterministic experiment outcome. */
+    ExperimentResult result;
+
+    /** Every simulation of the cell ran the devirtualized kernels. */
+    bool usedKernel = false;
+
+    /**
+     * simulatedBranches of the shared profiling phase the cell
+     * consumed (0 = ran its own or needed none). Lets a resumed run
+     * reconstruct the matrix's actual-branches accounting when a
+     * phase's every consumer was restored and the phase never re-ran.
+     */
+    Count phaseBranches = 0;
+};
+
+/**
+ * Deterministic identity of one matrix cell: the program's name and
+ * seed plus every config field that affects the result. Cells with a
+ * makeDynamic factory use the dynamicKey as the predictor identity;
+ * with no key the cell is unfingerprintable and returns "" (the
+ * runner then runs it unconditionally and never checkpoints it).
+ */
+std::string cellFingerprint(const SyntheticProgram &program,
+                            const ExperimentConfig &config);
+
+/**
+ * The on-disk checkpoint of one sweep. Thread-safe: the runner's
+ * workers record cells concurrently; each record() rewrites the file
+ * atomically under a lock.
+ */
+class SweepCheckpoint
+{
+  public:
+    /** Bind to @p path; reads nothing until load(). */
+    explicit SweepCheckpoint(std::string path);
+
+    /**
+     * Read existing records from the bound path. A missing file is an
+     * empty checkpoint (fresh run), not an error; unparseable and
+     * wrong-schema lines are skipped. io_failure only when the file
+     * exists but cannot be read.
+     */
+    Result<void> load();
+
+    /** Record @p record and atomically rewrite the file. */
+    Result<void> record(CheckpointRecord record);
+
+    /** Loaded/recorded record for @p fingerprint; null when absent
+     * (or when @p fingerprint is empty — unfingerprintable cell). */
+    const CheckpointRecord *find(const std::string &fingerprint) const;
+
+    /** Records held (loaded + recorded this run). */
+    std::size_t size() const;
+
+    const std::string &path() const { return filePath; }
+
+  private:
+    /** Render one record as its JSONL line (no trailing newline). */
+    static std::string renderLine(const CheckpointRecord &record);
+
+    /** Rewrite the file from records; caller holds the lock. */
+    Result<void> rewriteLocked();
+
+    std::string filePath;
+    mutable std::mutex lock;
+    std::vector<CheckpointRecord> records;
+    std::map<std::string, std::size_t> index;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_CORE_CHECKPOINT_HH

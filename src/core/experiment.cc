@@ -126,6 +126,64 @@ finishExperiment(const ExperimentConfig &config,
 
 } // namespace
 
+Result<void>
+ExperimentConfig::validate() const
+{
+    // The table factory carves sizeBytes into power-of-two entry
+    // counts (halved or quartered by the multi-table schemes), so
+    // the budget itself must be a power of two with room for the
+    // smallest split. makeDynamic bypasses the factory entirely.
+    if (!makeDynamic &&
+        (sizeBytes < 16 || (sizeBytes & (sizeBytes - 1)) != 0)) {
+        return Error(ErrorCode::ConfigInvalid,
+                     "predictor sizeBytes must be a power of two "
+                     ">= 16, got " +
+                         std::to_string(sizeBytes));
+    }
+    if (evalBranches == 0) {
+        return Error(ErrorCode::ConfigInvalid,
+                     "evalBranches must be positive (zero-length "
+                     "evaluation stream)");
+    }
+    if (scheme != StaticScheme::None && profileBranches == 0) {
+        return Error(ErrorCode::ConfigInvalid,
+                     "profileBranches must be positive when a static "
+                     "scheme needs a profiling phase");
+    }
+    if (filterUnstable &&
+        (stabilityThreshold < 0.0 || stabilityThreshold > 1.0)) {
+        return Error(ErrorCode::ConfigInvalid,
+                     "stabilityThreshold must be in [0, 1], got " +
+                         std::to_string(stabilityThreshold));
+    }
+    if (selection.cutoffBias < 0.5 || selection.cutoffBias > 1.0) {
+        return Error(ErrorCode::ConfigInvalid,
+                     "selection.cutoffBias must be in [0.5, 1], got " +
+                         std::to_string(selection.cutoffBias));
+    }
+    if (selection.aliasCutoffBias < 0.5 ||
+        selection.aliasCutoffBias > 1.0) {
+        return Error(ErrorCode::ConfigInvalid,
+                     "selection.aliasCutoffBias must be in [0.5, 1], "
+                     "got " +
+                         std::to_string(selection.aliasCutoffBias));
+    }
+    if (selection.factor <= 0.0) {
+        return Error(ErrorCode::ConfigInvalid,
+                     "selection.factor must be positive, got " +
+                         std::to_string(selection.factor));
+    }
+    if (selection.aliasMinCollisionRate < 0.0 ||
+        selection.aliasMinCollisionRate > 1.0) {
+        return Error(ErrorCode::ConfigInvalid,
+                     "selection.aliasMinCollisionRate must be in "
+                     "[0, 1], got " +
+                         std::to_string(
+                             selection.aliasMinCollisionRate));
+    }
+    return okResult();
+}
+
 ProfilePhase
 runProfilePhase(BranchStream &profile_stream,
                 const ExperimentConfig &config)
@@ -200,6 +258,8 @@ runExperimentStreams(BranchStream &profile_stream,
                      BranchStream &eval_stream,
                      const ExperimentConfig &config)
 {
+    if (Result<void> valid = config.validate(); !valid.ok())
+        raise(std::move(valid.error()));
     ProfilePhase phase;
     const ProfilePhase *phase_ptr = nullptr;
     if (config.scheme != StaticScheme::None) {
@@ -216,6 +276,8 @@ runExperimentReplay(const ReplayBuffer *profile_buffer,
                     const ProfilePhase *cached_profile,
                     bool *used_fast_path)
 {
+    if (Result<void> valid = config.validate(); !valid.ok())
+        raise(std::move(valid.error()));
     ProfilePhase local;
     const ProfilePhase *phase = cached_profile;
     bool profile_fast = true;

@@ -20,6 +20,7 @@
 #include "predictor/factory.hh"
 #include "profile/profile_db.hh"
 #include "staticsel/selection.hh"
+#include "support/error.hh"
 #include "support/observe.hh"
 #include "workload/synthetic_program.hh"
 
@@ -104,6 +105,15 @@ struct ExperimentConfig
      * profile-cache key, and never read on the per-branch path.
      */
     CounterRegistry *counters = nullptr;
+
+    /**
+     * Fail-fast validation: returns a config_invalid Error naming the
+     * offending field when the config cannot run (non-power-of-two
+     * table budget, zero-length streams, out-of-range tunables).
+     * Experiment entry points raise() it; the matrix runner turns it
+     * into a failed cell instead of simulating garbage.
+     */
+    Result<void> validate() const;
 };
 
 /**

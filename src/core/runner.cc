@@ -10,7 +10,12 @@
 #include <mutex>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 
+#include "core/checkpoint.hh"
+#include "support/atomic_file.hh"
+#include "support/fault.hh"
+#include "support/json.hh"
 #include "support/logging.hh"
 
 namespace bpsim
@@ -63,23 +68,74 @@ profileCacheKey(const MatrixCell &cell)
     return key;
 }
 
+/**
+ * Run @p fn up to 1 + @p retries times, retrying only transient
+ * failures. Returns the final Error (std::nullopt on success) and
+ * reports the attempts made through @p attempts. Non-ErrorException
+ * exceptions become internal errors and never retry.
+ */
+std::optional<Error>
+attemptWithRetries(unsigned retries, unsigned &attempts,
+                   const std::function<void()> &fn)
+{
+    for (attempts = 1;; ++attempts) {
+        try {
+            fn();
+            return std::nullopt;
+        } catch (const ErrorException &failure) {
+            if (!failure.error().transient() || attempts > retries)
+                return failure.error();
+        } catch (const std::exception &failure) {
+            return Error(ErrorCode::Internal,
+                         std::string("unexpected exception: ") +
+                             failure.what());
+        }
+    }
+}
+
 } // namespace
 
 unsigned
 resolveThreadCount(unsigned requested)
 {
-    if (requested > 0)
+    if (requested > 0) {
+        if (requested > maxResolvedThreads) {
+            std::fprintf(stderr,
+                         "bpsim: warning: %u threads requested; "
+                         "clamping to %u\n",
+                         requested, maxResolvedThreads);
+            return maxResolvedThreads;
+        }
         return requested;
+    }
+    const unsigned hardware = std::thread::hardware_concurrency();
+    const unsigned fallback = hardware > 0 ? hardware : 1;
     if (const char *env = std::getenv("BPSIM_THREADS")) {
         char *end = nullptr;
         const unsigned long value = std::strtoul(env, &end, 10);
-        if (end == env || *end != '\0' || value == 0)
-            bpsim_fatal("BPSIM_THREADS expects a positive integer, "
-                        "got '", env, "'");
+        // strtoul wraps negative input to a huge value; treat it as
+        // garbage like any other unparseable token.
+        if (end == env || *end != '\0' || value == 0 ||
+            env[0] == '-') {
+            // Garbage in the environment degrades to the hardware
+            // default with a warning: a bad shell export should not
+            // kill a sweep that would otherwise run fine.
+            std::fprintf(stderr,
+                         "bpsim: warning: BPSIM_THREADS expects a "
+                         "positive integer, got '%s'; using %u\n",
+                         env, fallback);
+            return fallback;
+        }
+        if (value > maxResolvedThreads) {
+            std::fprintf(stderr,
+                         "bpsim: warning: BPSIM_THREADS=%lu; "
+                         "clamping to %u\n",
+                         value, maxResolvedThreads);
+            return maxResolvedThreads;
+        }
         return static_cast<unsigned>(value);
     }
-    const unsigned hardware = std::thread::hardware_concurrency();
-    return hardware > 0 ? hardware : 1;
+    return fallback;
 }
 
 void
@@ -111,14 +167,35 @@ TaskPool::currentWorkerIndex()
 void
 TaskPool::run(std::vector<std::function<void()>> tasks)
 {
+    const std::vector<std::exception_ptr> errors =
+        runCollect(std::move(tasks));
+    // Every task ran (or captured); rethrow the first failure by task
+    // index so the escaping exception is thread-count independent.
+    for (const std::exception_ptr &error : errors) {
+        if (error)
+            std::rethrow_exception(error);
+    }
+}
+
+std::vector<std::exception_ptr>
+TaskPool::runCollect(std::vector<std::function<void()>> tasks)
+{
+    std::vector<std::exception_ptr> errors(tasks.size());
     if (tasks.empty())
-        return;
+        return errors;
+    const auto guarded = [&](std::size_t task_index) {
+        try {
+            tasks[task_index]();
+        } catch (...) {
+            errors[task_index] = std::current_exception();
+        }
+    };
     const unsigned n = static_cast<unsigned>(
         std::min<std::size_t>(workers, tasks.size()));
     if (n <= 1) {
-        for (auto &task : tasks)
-            task();
-        return;
+        for (std::size_t i = 0; i < tasks.size(); ++i)
+            guarded(i);
+        return errors;
     }
 
     // Round-robin deal onto per-worker deques. Each worker drains its
@@ -166,7 +243,7 @@ TaskPool::run(std::vector<std::function<void()>> tasks)
                 std::this_thread::yield();
                 continue;
             }
-            tasks[task_index]();
+            guarded(task_index);
             remaining.fetch_sub(1, std::memory_order_acq_rel);
         }
     };
@@ -178,6 +255,7 @@ TaskPool::run(std::vector<std::function<void()>> tasks)
     worker(0);
     for (auto &thread : threads)
         thread.join();
+    return errors;
 }
 
 double
@@ -317,6 +395,7 @@ ExperimentRunner::materialize()
     const auto start = std::chrono::steady_clock::now();
     taskPool.parallelFor(pending.size(), [&](std::size_t i) {
         const std::size_t p = pending[i];
+        faultPoint(fault_points::materialize, programs[p].name());
         for (unsigned input = 0; input < numInputSets; ++input) {
             const Count needed = demand[p][input];
             const ReplayBuffer *existing = buffers[p][input].get();
@@ -350,6 +429,30 @@ ExperimentRunner::run()
     obs::RunJournal *journal = options.journal;
     TimerRegistry *timers =
         journal != nullptr ? &journal->timers() : nullptr;
+
+    // Checkpoint binding and resume load come first: an unreadable
+    // checkpoint under --resume is a whole-run failure, raised before
+    // any simulation work or journal events.
+    std::unique_ptr<SweepCheckpoint> checkpoint;
+    if (!options.checkpointPath.empty()) {
+        checkpoint =
+            std::make_unique<SweepCheckpoint>(options.checkpointPath);
+    }
+    if (options.resume && checkpoint != nullptr) {
+        Result<void> loaded = checkpoint->load();
+        if (!loaded.ok()) {
+            raise(std::move(loaded.error())
+                      .withContext("while resuming sweep"));
+        }
+    }
+    std::vector<std::string> fingerprints(cells.size());
+    if (checkpoint != nullptr) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            fingerprints[i] = cellFingerprint(
+                programs[cells[i].programIndex], cells[i].config);
+        }
+    }
+
     if (journal != nullptr) {
         journal->record(
             obs::EventKind::RunBegin, TaskPool::currentWorkerIndex(),
@@ -365,7 +468,19 @@ ExperimentRunner::run()
                             TaskPool::currentWorkerIndex(),
                             "materialize");
         ScopedTimer timer(timers, "runner.materialize");
-        materialize();
+        try {
+            materialize();
+        } catch (...) {
+            // Nothing can run without buffers: close the phase
+            // bracket and let the failure escape to the caller.
+            if (journal != nullptr) {
+                journal->record(obs::EventKind::PhaseEnd,
+                                TaskPool::currentWorkerIndex(),
+                                "materialize",
+                                {obs::Field::f64("seconds", 0.0)});
+            }
+            throw;
+        }
         const double seconds = timer.stop();
         if (journal != nullptr) {
             std::size_t bytes = 0;
@@ -391,13 +506,41 @@ ExperimentRunner::run()
     result.cells.resize(cells.size());
     result.threads = taskPool.threadCount();
 
+    // Per-cell validation up front: an invalid cell becomes a failed
+    // result without executing anything — crucially it also stays
+    // out of the profile-phase plan, where its config could not
+    // build a predictor.
+    std::vector<std::optional<Error>> invalid(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        Result<void> valid = cells[i].config.validate();
+        if (!valid.ok())
+            invalid[i] = std::move(valid.error());
+    }
+
+    // Cells restored from the checkpoint (copied out: the checkpoint
+    // grows concurrently once workers start recording new cells).
+    std::vector<std::optional<CheckpointRecord>> restored(cells.size());
+    if (options.resume && checkpoint != nullptr) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (invalid[i].has_value())
+                continue;
+            const CheckpointRecord *record =
+                checkpoint->find(fingerprints[i]);
+            if (record != nullptr)
+                restored[i] = *record;
+        }
+    }
+
     const auto run_start = std::chrono::steady_clock::now();
 
     // Phase A: the unique profiling runs. Distinct cells often need
     // byte-identical profiling simulations (every scheme cell of one
     // program × predictor does); run each unique one once, in
     // first-seen cell order so the task list — and with it every
-    // result — is independent of the thread count.
+    // result — is independent of the thread count. The plan (and the
+    // cache accounting) covers restored cells too: it is a property
+    // of the matrix, so a resumed run reports the same hit/miss
+    // counts as an uninterrupted one.
     struct ProfileTask
     {
         std::size_t programIndex;
@@ -410,6 +553,8 @@ ExperimentRunner::run()
         std::unordered_map<std::string, std::size_t> phase_of_key;
         for (std::size_t i = 0; i < cells.size(); ++i) {
             const ExperimentConfig &config = cells[i].config;
+            if (invalid[i].has_value())
+                continue;
             if (config.scheme == StaticScheme::None)
                 continue;
             const std::string key = profileCacheKey(cells[i]);
@@ -429,26 +574,66 @@ ExperimentRunner::run()
         result.profileCacheMisses = profile_tasks.size();
     }
 
+    // Only phases with at least one pending consumer execute; a
+    // phase whose every consumer was restored is skipped (its branch
+    // count is recovered from the checkpoint records below).
+    std::vector<char> phase_needed(profile_tasks.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (cell_phase[i] != noPhase && !restored[i].has_value())
+            phase_needed[cell_phase[i]] = 1;
+    }
+    std::vector<std::size_t> phase_exec;
+    for (std::size_t j = 0; j < profile_tasks.size(); ++j) {
+        if (phase_needed[j])
+            phase_exec.push_back(j);
+    }
+
     std::vector<ProfilePhase> phases(profile_tasks.size());
+    std::vector<Count> phase_branches(profile_tasks.size(), 0);
     std::vector<double> phase_walls(profile_tasks.size(), 0.0);
     std::vector<char> phase_kernel(profile_tasks.size(), 0);
-    if (journal != nullptr && !profile_tasks.empty())
+    std::vector<std::optional<Error>> phase_errors(
+        profile_tasks.size());
+    std::atomic<bool> abortRun{false};
+
+    if (journal != nullptr && !phase_exec.empty())
         journal->record(obs::EventKind::PhaseBegin,
                         TaskPool::currentWorkerIndex(), "profile");
-    taskPool.parallelFor(profile_tasks.size(), [&](std::size_t j) {
+    taskPool.parallelFor(phase_exec.size(), [&](std::size_t k) {
+        const std::size_t j = phase_exec[k];
         const ProfileTask &task = profile_tasks[j];
+        const std::string &program_name =
+            programs[task.programIndex].name();
+        if (abortRun.load(std::memory_order_relaxed)) {
+            phase_errors[j] =
+                Error(ErrorCode::CellFailed,
+                      "skipped: fail-fast after an earlier failure");
+            return;
+        }
         ScopedTimer timer(timers, "runner.profile_phase");
         bool fast = false;
-        phases[j] = runProfilePhaseReplay(
-            buffer(task.programIndex, task.input), *task.config,
-            &fast);
+        unsigned attempts = 0;
+        std::optional<Error> failure = attemptWithRetries(
+            options.retries, attempts, [&] {
+                faultPoint(fault_points::profilePhase, program_name);
+                phases[j] = runProfilePhaseReplay(
+                    buffer(task.programIndex, task.input),
+                    *task.config, &fast);
+            });
         phase_walls[j] = timer.stop();
+        if (failure.has_value()) {
+            phase_errors[j] = std::move(*failure).withContext(
+                "in shared profiling phase (" + program_name + ")");
+            if (options.failFast)
+                abortRun.store(true, std::memory_order_relaxed);
+            return;
+        }
+        phase_branches[j] = phases[j].simulatedBranches;
         phase_kernel[j] = fast ? 1 : 0;
         if (journal != nullptr) {
             journal->record(
                 obs::EventKind::ProfilePhase,
-                TaskPool::currentWorkerIndex(),
-                programs[task.programIndex].name(),
+                TaskPool::currentWorkerIndex(), program_name,
                 {obs::Field::u64("phase", j),
                  obs::Field::f64("seconds", phase_walls[j]),
                  obs::Field::boolean("kernel", fast),
@@ -458,7 +643,7 @@ ExperimentRunner::run()
     });
     for (const double wall : phase_walls)
         result.profileSeconds += wall;
-    if (journal != nullptr && !profile_tasks.empty())
+    if (journal != nullptr && !phase_exec.empty())
         journal->record(obs::EventKind::PhaseEnd,
                         TaskPool::currentWorkerIndex(), "profile",
                         {obs::Field::f64("seconds",
@@ -473,30 +658,35 @@ ExperimentRunner::run()
     taskPool.parallelFor(cells.size(), [&](std::size_t i) {
         const MatrixCell &cell = cells[i];
         const ExperimentConfig &config = cell.config;
+        CellResult &out = result.cells[i];
         if (journal != nullptr)
             journal->record(obs::EventKind::CellBegin,
                             TaskPool::currentWorkerIndex(), cell.label,
                             {obs::Field::u64("cell", i)});
-        ScopedTimer timer(timers, "runner.cell");
 
-        const ProfilePhase *cached =
-            cell_phase[i] != noPhase ? &phases[cell_phase[i]] : nullptr;
-        const ReplayBuffer *profile_buffer =
-            config.scheme != StaticScheme::None && cached == nullptr
-                ? &buffer(cell.programIndex, config.profileInput)
-                : nullptr;
+        // Close the cell's journal bracket with a cell_error and set
+        // its failure slot; with failFast, wave the rest of the
+        // sweep off.
+        const auto failCell = [&](Error error, unsigned attempts) {
+            out.error = std::move(error);
+            out.attempts = attempts;
+            if (options.failFast)
+                abortRun.store(true, std::memory_order_relaxed);
+            if (journal != nullptr) {
+                journal->record(
+                    obs::EventKind::CellError,
+                    TaskPool::currentWorkerIndex(), cell.label,
+                    {obs::Field::u64("cell", i),
+                     obs::Field::str("code",
+                                     errorCodeName(out.error->code())),
+                     obs::Field::str("message", out.error->message()),
+                     obs::Field::u64("attempts", attempts)});
+            }
+        };
 
-        CellResult &out = result.cells[i];
-        bool fast = false;
-        out.result = runExperimentReplay(
-            profile_buffer, buffer(cell.programIndex, config.evalInput),
-            config, cached, &fast);
-        out.profileCached = cached != nullptr;
-        out.usedKernel =
-            fast && (cached == nullptr || phase_kernel[cell_phase[i]]);
-        out.wallSeconds = timer.stop();
-
-        if (journal != nullptr) {
+        const auto emitCellEnd = [&] {
+            if (journal == nullptr)
+                return;
             const SimStats &stats = out.result.stats;
             const Count classified = stats.collisions.constructive +
                                      stats.collisions.destructive;
@@ -512,6 +702,7 @@ ExperimentRunner::run()
                  obs::Field::boolean("kernel", out.usedKernel),
                  obs::Field::boolean("profile_cached",
                                      out.profileCached),
+                 obs::Field::boolean("restored", out.restored),
                  obs::Field::u64("branches", stats.branches),
                  obs::Field::u64("simulated_branches",
                                  out.result.simulatedBranches),
@@ -530,7 +721,112 @@ ExperimentRunner::run()
                  obs::Field::u64("destructive",
                                  stats.collisions.destructive),
                  obs::Field::u64("neutral", neutral)});
+        };
+
+        if (invalid[i].has_value()) {
+            failCell(*invalid[i], 0);
+            return;
         }
+
+        // Restored from the checkpoint: surface the persisted result
+        // without executing. profileCached comes from the matrix's
+        // phase plan so cache accounting matches an uninterrupted
+        // run; wallSeconds stays 0 (no work was done).
+        if (restored[i].has_value()) {
+            out.result = restored[i]->result;
+            out.usedKernel = restored[i]->usedKernel;
+            out.profileCached = cell_phase[i] != noPhase;
+            out.restored = true;
+            emitCellEnd();
+            return;
+        }
+
+        if (abortRun.load(std::memory_order_relaxed)) {
+            failCell(
+                Error(ErrorCode::CellFailed,
+                      "skipped: fail-fast after an earlier failure"),
+                0);
+            return;
+        }
+
+        const ProfilePhase *cached = nullptr;
+        if (cell_phase[i] != noPhase) {
+            if (phase_errors[cell_phase[i]].has_value()) {
+                failCell(Error(ErrorCode::CellFailed,
+                               "shared profiling phase failed")
+                             .withContext(
+                                 phase_errors[cell_phase[i]]
+                                     ->describe()),
+                         0);
+                return;
+            }
+            cached = &phases[cell_phase[i]];
+        }
+        const ReplayBuffer *profile_buffer =
+            config.scheme != StaticScheme::None && cached == nullptr
+                ? &buffer(cell.programIndex, config.profileInput)
+                : nullptr;
+
+        ScopedTimer timer(timers, "runner.cell");
+        bool fast = false;
+        unsigned attempts = 0;
+        ExperimentResult cell_result;
+        std::optional<Error> failure = attemptWithRetries(
+            options.retries, attempts, [&] {
+                faultPoint(fault_points::cell, cell.label);
+                cell_result = runExperimentReplay(
+                    profile_buffer,
+                    buffer(cell.programIndex, config.evalInput),
+                    config, cached, &fast);
+            });
+        out.wallSeconds = timer.stop();
+        if (failure.has_value()) {
+            failCell(std::move(*failure).withContext(
+                         "while running cell " + cell.label),
+                     attempts);
+            return;
+        }
+        out.result = cell_result;
+        out.attempts = attempts;
+        out.profileCached = cached != nullptr;
+        out.usedKernel =
+            fast && (cached == nullptr || phase_kernel[cell_phase[i]]);
+
+        // Persist before the journal event: a kill between the two
+        // can only lose the cell (re-run on resume), never record it
+        // twice. A failed checkpoint write degrades durability, not
+        // correctness, so it warns instead of failing the cell.
+        if (checkpoint != nullptr && !fingerprints[i].empty()) {
+            try {
+                faultPoint(fault_points::checkpointWrite, cell.label);
+                CheckpointRecord record;
+                record.fingerprint = fingerprints[i];
+                record.label = cell.label;
+                record.result = out.result;
+                record.usedKernel = out.usedKernel;
+                record.phaseBranches =
+                    out.profileCached
+                        ? phase_branches[cell_phase[i]]
+                        : 0;
+                const Result<void> recorded =
+                    checkpoint->record(std::move(record));
+                if (!recorded.ok()) {
+                    std::fprintf(stderr,
+                                 "bpsim: warning: checkpoint write "
+                                 "failed for '%s': %s\n",
+                                 cell.label.c_str(),
+                                 recorded.error().describe().c_str());
+                }
+            } catch (const ErrorException &write_failure) {
+                std::fprintf(stderr,
+                             "bpsim: warning: checkpoint write "
+                             "failed for '%s': %s\n",
+                             cell.label.c_str(),
+                             write_failure.what());
+            }
+        }
+
+        emitCellEnd();
     });
     if (journal != nullptr)
         journal->record(obs::EventKind::PhaseEnd,
@@ -541,21 +837,35 @@ ExperimentRunner::run()
     result.wallSeconds = secondsSince(start);
     result.materializeSeconds = materializeSeconds;
 
+    // A phase skipped because its every consumer was restored never
+    // ran; recover its branch count from any restored consumer so
+    // the actual-branches accounting matches an uninterrupted run.
+    for (std::size_t i = 0; i < result.cells.size(); ++i) {
+        if (restored[i].has_value() && cell_phase[i] != noPhase &&
+            phase_branches[cell_phase[i]] == 0)
+            phase_branches[cell_phase[i]] = restored[i]->phaseBranches;
+    }
+
     for (std::size_t i = 0; i < result.cells.size(); ++i) {
         const CellResult &cell = result.cells[i];
+        if (!cell.ok()) {
+            ++result.failedCells;
+            continue;
+        }
+        if (cell.restored)
+            ++result.restoredCells;
         result.totalBranches += cell.result.simulatedBranches;
         // A cached phase's branches appear in every consumer's
         // simulatedBranches; count them once (below) for the actual
         // work done.
         result.actualBranches += cell.result.simulatedBranches;
         if (cell.profileCached)
-            result.actualBranches -=
-                phases[cell_phase[i]].simulatedBranches;
+            result.actualBranches -= phase_branches[cell_phase[i]];
         if (cell.usedKernel)
             ++result.kernelCells;
     }
-    for (const ProfilePhase &phase : phases)
-        result.actualBranches += phase.simulatedBranches;
+    for (const Count branches : phase_branches)
+        result.actualBranches += branches;
     for (const auto &per_program : buffers) {
         for (const auto &held : per_program) {
             if (held != nullptr)
@@ -577,7 +887,10 @@ ExperimentRunner::run()
                              result.profileCacheHits),
              obs::Field::u64("profile_cache_misses",
                              result.profileCacheMisses),
-             obs::Field::u64("kernel_cells", result.kernelCells)});
+             obs::Field::u64("kernel_cells", result.kernelCells),
+             obs::Field::u64("failed_cells", result.failedCells),
+             obs::Field::u64("restored_cells",
+                             result.restoredCells)});
     }
     return result;
 }
@@ -587,9 +900,10 @@ writeRunnerJson(const std::string &path, const std::string &bench,
                 const ExperimentRunner &runner,
                 const MatrixResult &result, double baseline_seconds)
 {
-    std::FILE *file = std::fopen(path.c_str(), "w");
-    if (file == nullptr)
+    AtomicFile writer(path);
+    if (!writer.ok())
         bpsim_fatal("cannot write '", path, "'");
+    std::FILE *file = writer.stream();
 
     std::fprintf(file, "{\n");
     std::fprintf(file, "  \"bench\": \"%s\",\n", bench.c_str());
@@ -604,7 +918,7 @@ writeRunnerJson(const std::string &path, const std::string &bench,
             "\"misp_ki\": %.6f, \"hints\": %zu, "
             "\"branches\": %llu, \"wall_seconds\": %.6f, "
             "\"branches_per_second\": %.1f, "
-            "\"kernel\": %s, \"profile_cached\": %s}%s\n",
+            "\"kernel\": %s, \"profile_cached\": %s",
             meta.label.c_str(),
             runner.program(meta.programIndex).name().c_str(),
             cell.result.stats.mispKi(), cell.result.hintCount,
@@ -612,8 +926,20 @@ writeRunnerJson(const std::string &path, const std::string &bench,
                 cell.result.simulatedBranches),
             cell.wallSeconds, cell.branchesPerSecond(),
             cell.usedKernel ? "true" : "false",
-            cell.profileCached ? "true" : "false",
-            i + 1 < result.cells.size() ? "," : "");
+            cell.profileCached ? "true" : "false");
+        if (cell.restored)
+            std::fprintf(file, ", \"restored\": true");
+        if (!cell.ok()) {
+            std::fprintf(
+                file,
+                ", \"error\": {\"code\": \"%s\", \"message\": %s, "
+                "\"attempts\": %u}",
+                errorCodeName(cell.error->code()),
+                jsonQuote(cell.error->message()).c_str(),
+                cell.attempts);
+        }
+        std::fprintf(file, "}%s\n",
+                     i + 1 < result.cells.size() ? "," : "");
     }
     std::fprintf(file, "  ],\n");
     std::fprintf(file, "  \"materialize_seconds\": %.6f,\n",
@@ -628,6 +954,11 @@ writeRunnerJson(const std::string &path, const std::string &bench,
                      result.profileCacheMisses));
     std::fprintf(file, "  \"kernel_cells\": %llu,\n",
                  static_cast<unsigned long long>(result.kernelCells));
+    std::fprintf(file, "  \"failed_cells\": %llu,\n",
+                 static_cast<unsigned long long>(result.failedCells));
+    std::fprintf(file, "  \"restored_cells\": %llu,\n",
+                 static_cast<unsigned long long>(
+                     result.restoredCells));
     std::fprintf(file, "  \"run_seconds\": %.6f,\n",
                  result.runSeconds);
     std::fprintf(file, "  \"wall_seconds\": %.6f,\n",
@@ -660,7 +991,9 @@ writeRunnerJson(const std::string &path, const std::string &bench,
     std::fprintf(file, "  \"speedup_vs_serial_estimate\": %.3f\n",
                  result.speedupVsSerialEstimate());
     std::fprintf(file, "}\n");
-    std::fclose(file);
+    const Result<void> committed = writer.commit();
+    if (!committed.ok())
+        bpsim_fatal(committed.error().describe());
 }
 
 } // namespace bpsim

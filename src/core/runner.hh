@@ -17,20 +17,31 @@
  * replay buffers and its config — workers share only immutable
  * buffers and write to disjoint result slots — so results are
  * bit-identical to the serial path at any thread count.
+ *
+ * Fault tolerance: a failing cell no longer takes down the sweep.
+ * Worker exceptions are captured per task (never std::terminate), a
+ * failed cell becomes a CellResult carrying its Error, transient
+ * (resource_exhausted) failures retry up to RunnerOptions::retries
+ * times, and an optional JSONL checkpoint persists each finished cell
+ * under a deterministic config fingerprint so an interrupted sweep
+ * resumes where it died with bit-identical deterministic results.
  */
 
 #ifndef BPSIM_CORE_RUNNER_HH
 #define BPSIM_CORE_RUNNER_HH
 
 #include <array>
+#include <exception>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/experiment.hh"
 #include "obs/run_journal.hh"
 #include "support/args.hh"
+#include "support/error.hh"
 #include "trace/replay_buffer.hh"
 #include "workload/synthetic_program.hh"
 
@@ -40,9 +51,16 @@ namespace bpsim
 /**
  * Resolve a worker-thread count: an explicit @p requested value wins,
  * then the BPSIM_THREADS environment variable, then the hardware
- * concurrency (minimum 1).
+ * concurrency (minimum 1). Hardened against garbage: an unparseable
+ * or zero BPSIM_THREADS falls back to the hardware count with a
+ * stderr warning, and absurd values (> maxResolvedThreads) from
+ * either source are clamped with a warning — never fatal, never
+ * silently wrong.
  */
 unsigned resolveThreadCount(unsigned requested = 0);
+
+/** Upper clamp of resolveThreadCount() (oversubscription guard). */
+inline constexpr unsigned maxResolvedThreads = 512;
 
 /** Declare the shared --threads option on @p args. */
 void addThreadsOption(ArgParser &args);
@@ -64,8 +82,24 @@ class TaskPool
 
     unsigned threadCount() const { return workers; }
 
-    /** Run every task to completion; tasks must be independent. */
+    /**
+     * Run every task to completion; tasks must be independent. A
+     * throwing task never terminates the process: its exception is
+     * captured, the pool drains every remaining task, and the first
+     * captured exception (in task order, so deterministic at any
+     * thread count) is rethrown once all workers have joined.
+     */
     void run(std::vector<std::function<void()>> tasks);
+
+    /**
+     * Exception-safe run(): per-task exception capture into result
+     * slots. Slot i holds the exception task i threw (null when it
+     * completed); the pool always drains every task and never
+     * rethrows. This is the primitive the matrix runner builds
+     * per-cell fault isolation on.
+     */
+    std::vector<std::exception_ptr>
+    runCollect(std::vector<std::function<void()>> tasks);
 
     /**
      * Worker index of the calling thread: its position in the pool
@@ -75,7 +109,8 @@ class TaskPool
      */
     static unsigned currentWorkerIndex();
 
-    /** Run fn(0) .. fn(n-1) across the pool. */
+    /** Run fn(0) .. fn(n-1) across the pool; rethrows the first
+     * failure (by index) after every iteration ran. */
     template <typename Fn>
     void
     parallelFor(std::size_t n, Fn &&fn)
@@ -85,6 +120,18 @@ class TaskPool
         for (std::size_t i = 0; i < n; ++i)
             tasks.push_back([i, &fn] { fn(i); });
         run(std::move(tasks));
+    }
+
+    /** Exception-collecting parallelFor (see runCollect()). */
+    template <typename Fn>
+    std::vector<std::exception_ptr>
+    parallelForCollect(std::size_t n, Fn &&fn)
+    {
+        std::vector<std::function<void()>> tasks;
+        tasks.reserve(n);
+        for (std::size_t i = 0; i < n; ++i)
+            tasks.push_back([i, &fn] { fn(i); });
+        return runCollect(std::move(tasks));
     }
 
   private:
@@ -120,6 +167,37 @@ struct RunnerOptions
      * without a journal.
      */
     obs::RunJournal *journal = nullptr;
+
+    /**
+     * Extra attempts granted to a cell (or shared profiling phase)
+     * whose failure is transient (resource_exhausted). Non-transient
+     * failures — bad config, internal errors — never retry.
+     */
+    unsigned retries = 0;
+
+    /**
+     * Abort the sweep at the first failed cell: cells not yet started
+     * are marked failed ("skipped: fail-fast") without executing.
+     * Off, the default, runs every cell and reports all failures.
+     */
+    bool failFast = false;
+
+    /**
+     * JSONL checkpoint path (empty = no checkpointing). Every
+     * successfully finished cell is persisted under its deterministic
+     * config fingerprint via an atomic rewrite, so a killed sweep
+     * loses at most the cells in flight.
+     */
+    std::string checkpointPath;
+
+    /**
+     * Load the checkpoint before running and restore finished cells
+     * from it instead of re-executing them. The merged MatrixResult
+     * is bit-identical to an uninterrupted run in every deterministic
+     * field (stats, hints, branch totals, cache accounting); only
+     * wall-time fields differ. Requires checkpointPath.
+     */
+    bool resume = false;
 };
 
 /** One cell of the experiment matrix. */
@@ -151,6 +229,19 @@ struct CellResult
     /** The cell consumed a shared profiling phase instead of running
      * its own. */
     bool profileCached = false;
+
+    /** The cell was restored from a checkpoint, not executed. */
+    bool restored = false;
+
+    /** Execution attempts made (0 for restored/skipped cells, > 1
+     * when transient failures were retried). */
+    unsigned attempts = 0;
+
+    /** The failure that ended the cell; empty on success. */
+    std::optional<Error> error;
+
+    /** Did the cell produce a usable result? */
+    bool ok() const { return !error.has_value(); }
 
     /** Simulated branch throughput of the cell. */
     double
@@ -187,6 +278,12 @@ struct MatrixResult
 
     /** Cells whose simulations all ran the devirtualized kernels. */
     Count kernelCells = 0;
+
+    /** Cells that ended in an Error (including fail-fast skips). */
+    Count failedCells = 0;
+
+    /** Cells restored from the checkpoint instead of executed. */
+    Count restoredCells = 0;
 
     /**
      * Branches actually simulated, counting each shared profiling
@@ -270,7 +367,13 @@ class ExperimentRunner
     const ReplayBuffer &buffer(std::size_t program_index,
                                InputSet input) const;
 
-    /** Run all cells across the pool and collect results + timing. */
+    /**
+     * Run all cells across the pool and collect results + timing.
+     * Cell failures (invalid configs, exceptions, injected faults)
+     * are isolated into their CellResult::error slots — run() itself
+     * throws ErrorException only when nothing can proceed at all: a
+     * materialization failure or an unreadable resume checkpoint.
+     */
     MatrixResult run();
 
     /** The pool, for benches adding custom parallel passes. */

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "support/atomic_file.hh"
 #include "support/json.hh"
 #include "support/logging.hh"
 
@@ -45,6 +46,8 @@ eventKindName(EventKind kind)
         return "cell_begin";
       case EventKind::CellEnd:
         return "cell_end";
+      case EventKind::CellError:
+        return "cell_error";
       case EventKind::RunEnd:
         return "run_end";
     }
@@ -222,8 +225,13 @@ RunJournal::summary() const
           case EventKind::CellBegin:
             ++sum.cellsBegun;
             break;
+          case EventKind::CellError:
+            ++sum.cellsFailed;
+            break;
           case EventKind::CellEnd:
             ++sum.cellsEnded;
+            if (event.boolean("restored"))
+                ++sum.cellsRestored;
             sum.cellSeconds += event.f64("seconds");
             sum.branches += event.u64("branches");
             sum.collisions += event.u64("collisions");
@@ -273,14 +281,16 @@ RunJournal::toJsonLine(const Event &event)
 void
 RunJournal::writeJsonl(const std::string &path) const
 {
-    std::FILE *file = std::fopen(path.c_str(), "w");
-    if (file == nullptr)
+    AtomicFile writer(path);
+    if (!writer.ok())
         bpsim_fatal("cannot write '", path, "'");
     for (const Event &event : events()) {
         const std::string line = toJsonLine(event);
-        std::fprintf(file, "%s\n", line.c_str());
+        std::fprintf(writer.stream(), "%s\n", line.c_str());
     }
-    std::fclose(file);
+    const Result<void> committed = writer.commit();
+    if (!committed.ok())
+        bpsim_fatal(committed.error().describe());
 }
 
 void
@@ -288,9 +298,10 @@ RunJournal::writeMetrics(const std::string &path) const
 {
     const JournalSummary sum = summary();
 
-    std::FILE *file = std::fopen(path.c_str(), "w");
-    if (file == nullptr)
+    AtomicFile writer(path);
+    if (!writer.ok())
         bpsim_fatal("cannot write '", path, "'");
+    std::FILE *file = writer.stream();
 
     std::fprintf(file, "{\n");
     std::fprintf(file, "  \"schema\": \"bpsim-metrics-v1\",\n");
@@ -323,6 +334,10 @@ RunJournal::writeMetrics(const std::string &path) const
                  static_cast<unsigned long long>(sum.cellsBegun));
     std::fprintf(file, "  \"cells_ended\": %llu,\n",
                  static_cast<unsigned long long>(sum.cellsEnded));
+    std::fprintf(file, "  \"cells_failed\": %llu,\n",
+                 static_cast<unsigned long long>(sum.cellsFailed));
+    std::fprintf(file, "  \"cells_restored\": %llu,\n",
+                 static_cast<unsigned long long>(sum.cellsRestored));
     std::fprintf(file, "  \"phase_begins\": %llu,\n",
                  static_cast<unsigned long long>(sum.phaseBegins));
     std::fprintf(file, "  \"phase_ends\": %llu,\n",
@@ -373,7 +388,9 @@ RunJournal::writeMetrics(const std::string &path) const
     }
     std::fprintf(file, "\n  }\n");
     std::fprintf(file, "}\n");
-    std::fclose(file);
+    const Result<void> committed = writer.commit();
+    if (!committed.ok())
+        bpsim_fatal(committed.error().describe());
 }
 
 std::string

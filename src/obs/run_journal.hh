@@ -51,6 +51,7 @@ enum class EventKind
     ProfilePhase, ///< one shared profiling run executed
     CellBegin,    ///< a matrix cell started on some worker thread
     CellEnd,      ///< cell finished: timing, path taken, stat snapshot
+    CellError,    ///< cell failed: error code, message, attempts
     RunEnd,       ///< last event: aggregate totals
 };
 
@@ -137,6 +138,15 @@ struct JournalSummary
     Count cellsBegun = 0;
     Count cellsEnded = 0;
 
+    /** cell_error events: cells whose execution failed. Every
+     * cell_begin is closed by exactly one cell_end or cell_error, so
+     * cellsBegun == cellsEnded + cellsFailed on a complete journal. */
+    Count cellsFailed = 0;
+
+    /** cell_end events restored from a checkpoint (resume) rather
+     * than executed in this run. */
+    Count cellsRestored = 0;
+
     Count phaseBegins = 0;
     Count phaseEnds = 0;
 
@@ -221,12 +231,14 @@ class RunJournal
     /** Serialize one event as its JSONL line (no trailing newline). */
     static std::string toJsonLine(const Event &event);
 
-    /** Write the event log as JSONL; fatal() if unwritable. */
+    /** Write the event log as JSONL (atomic temp + rename); fatal()
+     * if unwritable. */
     void writeJsonl(const std::string &path) const;
 
     /**
      * Write the aggregated metrics summary (plus counter and timer
-     * snapshots) as a single JSON object; fatal() if unwritable.
+     * snapshots) as a single JSON object (atomic temp + rename);
+     * fatal() if unwritable.
      */
     void writeMetrics(const std::string &path) const;
 

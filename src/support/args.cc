@@ -49,6 +49,14 @@ ArgParser::find(const std::string &name) const
 void
 ArgParser::parse(int argc, char **argv, int first)
 {
+    const Result<void> parsed = tryParse(argc, argv, first);
+    if (!parsed.ok())
+        usageExit(parsed.error());
+}
+
+Result<void>
+ArgParser::tryParse(int argc, char **argv, int first)
+{
     for (int i = first; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--help" || arg == "-h") {
@@ -69,22 +77,38 @@ ArgParser::parse(int argc, char **argv, int first)
             has_value = true;
         }
         Option *option = find(arg);
-        if (option == nullptr)
-            bpsim_fatal("unknown option '--", arg, "'\n", usage());
+        if (option == nullptr) {
+            return Error(ErrorCode::ConfigInvalid,
+                         "unknown option '--" + arg + "'")
+                .withContext("see --help for usage");
+        }
         if (option->isFlag) {
-            if (has_value)
-                bpsim_fatal("flag '--", arg, "' takes no value");
+            if (has_value) {
+                return Error(ErrorCode::ConfigInvalid,
+                             "flag '--" + arg + "' takes no value");
+            }
             option->value = "1";
         } else {
             if (!has_value) {
-                if (i + 1 >= argc)
-                    bpsim_fatal("option '--", arg,
-                                "' needs a value");
+                if (i + 1 >= argc) {
+                    return Error(ErrorCode::ConfigInvalid,
+                                 "option '--" + arg +
+                                     "' needs a value");
+                }
                 value = argv[++i];
             }
             option->value = value;
         }
     }
+    return okResult();
+}
+
+[[noreturn]] void
+ArgParser::usageExit(const Error &error) const
+{
+    std::fprintf(stderr, "%s: error %s\n%s", toolName.c_str(),
+                 error.describe().c_str(), usage().c_str());
+    std::exit(usageExitCode);
 }
 
 const std::string &
@@ -96,28 +120,50 @@ ArgParser::get(const std::string &name) const
     return option->value;
 }
 
-std::uint64_t
-ArgParser::getUint(const std::string &name) const
+Result<std::uint64_t>
+ArgParser::tryGetUint(const std::string &name) const
 {
     const std::string &text = get(name);
     char *end = nullptr;
     const std::uint64_t value = std::strtoull(text.c_str(), &end, 10);
-    if (end == nullptr || *end != '\0')
-        bpsim_fatal("option '--", name, "' expects an integer, got '",
-                    text, "'");
+    if (text.empty() || end != text.c_str() + text.size()) {
+        return Error(ErrorCode::ConfigInvalid,
+                     "option '--" + name +
+                         "' expects an integer, got '" + text + "'");
+    }
     return value;
+}
+
+Result<double>
+ArgParser::tryGetDouble(const std::string &name) const
+{
+    const std::string &text = get(name);
+    char *end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    if (text.empty() || end != text.c_str() + text.size()) {
+        return Error(ErrorCode::ConfigInvalid,
+                     "option '--" + name +
+                         "' expects a number, got '" + text + "'");
+    }
+    return value;
+}
+
+std::uint64_t
+ArgParser::getUint(const std::string &name) const
+{
+    Result<std::uint64_t> value = tryGetUint(name);
+    if (!value.ok())
+        usageExit(value.error());
+    return value.value();
 }
 
 double
 ArgParser::getDouble(const std::string &name) const
 {
-    const std::string &text = get(name);
-    char *end = nullptr;
-    const double value = std::strtod(text.c_str(), &end);
-    if (end == nullptr || *end != '\0')
-        bpsim_fatal("option '--", name, "' expects a number, got '",
-                    text, "'");
-    return value;
+    Result<double> value = tryGetDouble(name);
+    if (!value.ok())
+        usageExit(value.error());
+    return value.value();
 }
 
 bool

@@ -3,7 +3,11 @@
  * Minimal command-line option parser for the library's tools.
  *
  * Supports "--name value", "--name=value", boolean flags, defaults,
- * and generated usage text. Unknown options are fatal (user error).
+ * and generated usage text. Unknown options and unparseable values
+ * produce a structured config_invalid Error naming the offending
+ * token; the exiting entry points (parse()/getUint()/getDouble())
+ * print it with a usage hint and exit 2, while the try* variants
+ * return a Result for callers (and tests) that handle it themselves.
  */
 
 #ifndef BPSIM_SUPPORT_ARGS_HH
@@ -13,8 +17,13 @@
 #include <string>
 #include <vector>
 
+#include "support/error.hh"
+
 namespace bpsim
 {
+
+/** Exit status of a tool rejecting its command line (config error). */
+inline constexpr int usageExitCode = 2;
 
 /** Declarative option parser. */
 class ArgParser
@@ -33,21 +42,38 @@ class ArgParser
 
     /**
      * Parse argv (excluding any leading subcommand the caller has
-     * already consumed). fatal() on unknown options or a missing
-     * value; prints usage and exits 0 on --help. Repeating an option
-     * keeps the last value given (never accumulates); repeating a
-     * flag is idempotent.
+     * already consumed). On unknown options or a missing value,
+     * prints the structured error plus usage and exits with
+     * usageExitCode (2); prints usage and exits 0 on --help.
+     * Repeating an option keeps the last value given (never
+     * accumulates); repeating a flag is idempotent.
      */
     void parse(int argc, char **argv, int first = 1);
+
+    /**
+     * Non-exiting parse: returns a config_invalid Error naming the
+     * offending token instead of exiting (--help still prints usage
+     * and exits 0). Parsing stops at the first bad token; options
+     * seen before it keep their parsed values.
+     */
+    Result<void> tryParse(int argc, char **argv, int first = 1);
 
     /** Value of a declared string option. */
     const std::string &get(const std::string &name) const;
 
-    /** Value of a string option parsed as an unsigned integer. */
+    /** Value of a string option parsed as an unsigned integer;
+     * structured error + exit 2 when unparseable. */
     std::uint64_t getUint(const std::string &name) const;
 
-    /** Value of a string option parsed as a double. */
+    /** Value of a string option parsed as a double; structured error
+     * + exit 2 when unparseable. */
     double getDouble(const std::string &name) const;
+
+    /** Non-exiting getUint(). */
+    Result<std::uint64_t> tryGetUint(const std::string &name) const;
+
+    /** Non-exiting getDouble(). */
+    Result<double> tryGetDouble(const std::string &name) const;
 
     /** State of a declared flag. */
     bool getFlag(const std::string &name) const;
@@ -72,6 +98,9 @@ class ArgParser
 
     Option *find(const std::string &name);
     const Option *find(const std::string &name) const;
+
+    /** Print @p error plus usage and exit with usageExitCode. */
+    [[noreturn]] void usageExit(const Error &error) const;
 
     std::string toolName;
     std::vector<Option> options;

@@ -1,0 +1,85 @@
+#include "support/atomic_file.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#ifdef _WIN32
+#include <process.h>
+#define bpsim_getpid _getpid
+#else
+#include <unistd.h>
+#define bpsim_getpid getpid
+#endif
+
+namespace bpsim
+{
+
+AtomicFile::AtomicFile(std::string path) : finalPath(std::move(path))
+{
+    tempPath = finalPath + ".tmp." +
+               std::to_string(static_cast<long>(bpsim_getpid()));
+    file = std::fopen(tempPath.c_str(), "w");
+}
+
+AtomicFile::~AtomicFile()
+{
+    if (!committed)
+        discard();
+}
+
+void
+AtomicFile::discard()
+{
+    if (file != nullptr) {
+        std::fclose(file);
+        file = nullptr;
+    }
+    std::remove(tempPath.c_str());
+}
+
+Result<void>
+AtomicFile::commit()
+{
+    if (committed)
+        return okResult();
+    if (file == nullptr) {
+        return Error(ErrorCode::IoFailure,
+                     "cannot open temp file '" + tempPath + "': " +
+                         std::strerror(errno));
+    }
+    const bool flushed = std::fflush(file) == 0;
+    const int close_error = std::fclose(file);
+    file = nullptr;
+    if (!flushed || close_error != 0) {
+        std::remove(tempPath.c_str());
+        return Error(ErrorCode::IoFailure,
+                     "cannot flush '" + tempPath + "': " +
+                         std::strerror(errno));
+    }
+    if (std::rename(tempPath.c_str(), finalPath.c_str()) != 0) {
+        const std::string reason = std::strerror(errno);
+        std::remove(tempPath.c_str());
+        return Error(ErrorCode::IoFailure,
+                     "cannot rename '" + tempPath + "' to '" +
+                         finalPath + "': " + reason);
+    }
+    committed = true;
+    return okResult();
+}
+
+Result<void>
+writeFileAtomic(const std::string &path, const std::string &content)
+{
+    AtomicFile out(path);
+    if (out.ok()) {
+        const std::size_t written = std::fwrite(
+            content.data(), 1, content.size(), out.stream());
+        if (written != content.size()) {
+            return Error(ErrorCode::IoFailure,
+                         "short write to '" + path + "'");
+        }
+    }
+    return out.commit();
+}
+
+} // namespace bpsim

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Crash-safe file writes: write-temp-then-rename.
+ *
+ * Every machine-readable record the repo emits (BENCH_runner.json,
+ * journal JSONL + metrics, golden regeneration, sweep checkpoints)
+ * goes through this helper, so a run killed mid-write leaves either
+ * the previous complete file or the new complete file — never a
+ * truncated one. rename(2) within one directory is atomic on POSIX,
+ * which is all the repo targets.
+ */
+
+#ifndef BPSIM_SUPPORT_ATOMIC_FILE_HH
+#define BPSIM_SUPPORT_ATOMIC_FILE_HH
+
+#include <cstdio>
+#include <string>
+
+#include "support/error.hh"
+
+namespace bpsim
+{
+
+/**
+ * RAII temp-file writer. Opens "<path>.tmp.<pid>" on construction;
+ * commit() flushes and renames it over @p path. Destruction without a
+ * commit discards the temp file, so a failed writer never clobbers an
+ * existing good file.
+ */
+class AtomicFile
+{
+  public:
+    explicit AtomicFile(std::string path);
+
+    AtomicFile(const AtomicFile &) = delete;
+    AtomicFile &operator=(const AtomicFile &) = delete;
+
+    ~AtomicFile();
+
+    /** Did the temp file open? (commit() re-reports the error.) */
+    bool ok() const { return file != nullptr; }
+
+    /** The temp file's stream; null when ok() is false. */
+    std::FILE *stream() { return file; }
+
+    /** Flush, close and rename into place. Idempotent on failure. */
+    Result<void> commit();
+
+  private:
+    void discard();
+
+    std::string finalPath;
+    std::string tempPath;
+    std::FILE *file = nullptr;
+    bool committed = false;
+};
+
+/** Write @p content to @p path atomically. */
+Result<void> writeFileAtomic(const std::string &path,
+                             const std::string &content);
+
+} // namespace bpsim
+
+#endif // BPSIM_SUPPORT_ATOMIC_FILE_HH

@@ -1,0 +1,52 @@
+#include "support/error.hh"
+
+#include "support/logging.hh"
+
+namespace bpsim
+{
+
+const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::ConfigInvalid:
+        return "config_invalid";
+      case ErrorCode::IoFailure:
+        return "io_failure";
+      case ErrorCode::ResourceExhausted:
+        return "resource_exhausted";
+      case ErrorCode::CellFailed:
+        return "cell_failed";
+      case ErrorCode::Internal:
+        return "internal";
+    }
+    return "?";
+}
+
+std::string
+Error::describe() const
+{
+    std::string out = "[";
+    out += errorCodeName(errorCode);
+    out += "] ";
+    out += errorMessage;
+    if (!notes.empty()) {
+        out += " (context: ";
+        for (std::size_t i = 0; i < notes.size(); ++i) {
+            if (i > 0)
+                out += "; ";
+            out += notes[i];
+        }
+        out += ")";
+    }
+    return out;
+}
+
+void
+resultAccessPanic()
+{
+    bpsim_panic("Result accessed on the wrong side (value() on a "
+                "failure or error() on a success)");
+}
+
+} // namespace bpsim

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Fault-injection harness for the fault-tolerance tests and CI.
+ *
+ * The runner stack calls faultPoint() at its failure-relevant
+ * boundaries (materialize, profile_phase, cell, checkpoint_write).
+ * In normal operation the armed-check is one relaxed atomic load and
+ * the hooks cost nothing. When armed — programmatically from tests or
+ * via BPSIM_FAULT_INJECT from the environment — the injector counts
+ * hits per point and throws an ErrorException at the configured ones,
+ * which exercises exactly the same unwind path a real failure takes.
+ *
+ * Spec syntax (env and armFromSpec):
+ *
+ *     point:nth[:code[:times]]
+ *
+ * fires on the nth, nth+1, ..., nth+times-1 matching hits (1-based,
+ * default times = 1, default code = internal). Programmatic arming
+ * adds an optional context-substring match so tests can target one
+ * specific cell regardless of thread scheduling.
+ */
+
+#ifndef BPSIM_SUPPORT_FAULT_HH
+#define BPSIM_SUPPORT_FAULT_HH
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "support/error.hh"
+#include "support/types.hh"
+
+namespace bpsim
+{
+
+/** Fault-point names used by the runner stack. */
+namespace fault_points
+{
+inline constexpr const char *materialize = "materialize";
+inline constexpr const char *profilePhase = "profile_phase";
+inline constexpr const char *cell = "cell";
+inline constexpr const char *checkpointWrite = "checkpoint_write";
+} // namespace fault_points
+
+/** Process-wide fault injector (see file comment for semantics). */
+class FaultInjector
+{
+  public:
+    /** The process-wide instance. Reads BPSIM_FAULT_INJECT once, on
+     * first access; tests re-arm programmatically. */
+    static FaultInjector &instance();
+
+    /**
+     * Arm the injector: hits of @p point whose context contains
+     * @p match (every context when empty) fail with @p code starting
+     * at the @p nth matching hit (1-based), @p times times.
+     * Re-arming replaces the previous arming and zeroes hit counts.
+     */
+    void arm(std::string point, Count nth,
+             ErrorCode code = ErrorCode::Internal, Count times = 1,
+             std::string match = {});
+
+    /** Parse and arm a "point:nth[:code[:times]]" spec. */
+    Result<void> armFromSpec(const std::string &spec);
+
+    /** Disarm and zero all hit counts. */
+    void disarm();
+
+    bool armed() const
+    {
+        return isArmed.load(std::memory_order_relaxed);
+    }
+
+    /** Matching hits of @p point seen since the last (dis)arm. */
+    Count hits(const std::string &point) const;
+
+    /**
+     * Count a hit of @p point; throws ErrorException when the arming
+     * says this hit fails. @p context names the unit of work (cell
+     * label, program name) for targeting and error messages.
+     */
+    void onHit(const char *point, const std::string &context);
+
+  private:
+    FaultInjector();
+
+    std::atomic<bool> isArmed{false};
+
+    mutable std::mutex lock;
+    std::string armedPoint;
+    std::string armedMatch;
+    Count armedNth = 0;
+    Count armedTimes = 0;
+    ErrorCode armedCode = ErrorCode::Internal;
+    std::map<std::string, Count> hitCounts;
+};
+
+/** Fault-point hook: near-free unless the injector is armed. */
+inline void
+faultPoint(const char *point, const std::string &context = {})
+{
+    FaultInjector &injector = FaultInjector::instance();
+    if (injector.armed())
+        injector.onHit(point, context);
+}
+
+} // namespace bpsim
+
+#endif // BPSIM_SUPPORT_FAULT_HH

@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <utility>
 
 #include "support/logging.hh"
 
@@ -57,7 +58,11 @@ class JsonParser
     [[noreturn]] void
     fail(const std::string &message) const
     {
-        bpsim_fatal(where, ": offset ", pos, ": ", message);
+        // Thrown as a structured error so tryParse() can return it;
+        // the fatal entry point catches and keeps its old behaviour.
+        raise(Error(ErrorCode::IoFailure,
+                    where + ": offset " + std::to_string(pos) + ": " +
+                        message));
     }
 
     void
@@ -259,7 +264,20 @@ class JsonParser
 JsonValue
 JsonValue::parse(const std::string &text, const std::string &where)
 {
-    return JsonParser(text, where).document();
+    Result<JsonValue> parsed = tryParse(text, where);
+    if (!parsed.ok())
+        bpsim_fatal(parsed.error().message());
+    return std::move(parsed.value());
+}
+
+Result<JsonValue>
+JsonValue::tryParse(const std::string &text, const std::string &where)
+{
+    try {
+        return JsonParser(text, where).document();
+    } catch (const ErrorException &failure) {
+        return failure.error();
+    }
 }
 
 JsonValue

@@ -415,11 +415,92 @@ buildBlock(BuildState &state, unsigned plain_sites, bool hot_region,
 
 } // namespace
 
+Result<void>
+ProgramConfig::validate() const
+{
+    if (staticBranches < 4) {
+        return Error(ErrorCode::ConfigInvalid,
+                     "staticBranches must be >= 4, got " +
+                         std::to_string(staticBranches));
+    }
+    if (meanRegionSites < 1) {
+        return Error(ErrorCode::ConfigInvalid,
+                     "meanRegionSites must be >= 1 (empty regions)");
+    }
+    if (!(avgGap > 0.0)) {
+        return Error(ErrorCode::ConfigInvalid,
+                     "avgGap must be positive, got " +
+                         std::to_string(avgGap));
+    }
+    if (zipfExponent < 0.0) {
+        return Error(ErrorCode::ConfigInvalid,
+                     "zipfExponent must be non-negative, got " +
+                         std::to_string(zipfExponent));
+    }
+    struct Fraction
+    {
+        const char *name;
+        double value;
+    };
+    const Fraction fractions[] = {
+        {"fracHighBias", fracHighBias},
+        {"fracLowBias", fracLowBias},
+        {"fracCorrelated", fracCorrelated},
+        {"fracPattern", fracPattern},
+        {"fracPhase", fracPhase},
+        {"highBiasHardFrac", highBiasHardFrac},
+        {"takenMajorityFrac", takenMajorityFrac},
+        {"fixedTripFrac", fixedTripFrac},
+        {"loopDensity", loopDensity},
+        {"nestProbability", nestProbability},
+        {"emptyLoopFrac", emptyLoopFrac},
+        {"trainCoverage", trainCoverage},
+        {"flipFraction", flipFraction},
+        {"driftFraction", driftFraction},
+    };
+    for (const Fraction &fraction : fractions) {
+        if (fraction.value < 0.0 || fraction.value > 1.0) {
+            return Error(ErrorCode::ConfigInvalid,
+                         std::string(fraction.name) +
+                             " must be in [0, 1], got " +
+                             std::to_string(fraction.value));
+        }
+    }
+    const double mixture = fracHighBias + fracLowBias +
+                           fracCorrelated + fracPattern + fracPhase;
+    if (mixture > 1.0) {
+        return Error(ErrorCode::ConfigInvalid,
+                     "behaviour mixture fractions sum to " +
+                         std::to_string(mixture) + ", must be <= 1");
+    }
+    if (medBiasLo < 0.0 || medBiasHi > 1.0 || medBiasLo > medBiasHi) {
+        return Error(ErrorCode::ConfigInvalid,
+                     "medium-bias range [" + std::to_string(medBiasLo) +
+                         ", " + std::to_string(medBiasHi) +
+                         ") must be ordered within [0, 1]");
+    }
+    if (meanScheduleLen < 1) {
+        return Error(ErrorCode::ConfigInvalid,
+                     "meanScheduleLen must be >= 1");
+    }
+    if (meanScheduleRepeats < 1.0) {
+        return Error(ErrorCode::ConfigInvalid,
+                     "meanScheduleRepeats must be >= 1, got " +
+                         std::to_string(meanScheduleRepeats));
+    }
+    if (!(meanTripCount > 0.0)) {
+        return Error(ErrorCode::ConfigInvalid,
+                     "meanTripCount must be positive, got " +
+                         std::to_string(meanTripCount));
+    }
+    return okResult();
+}
+
 SyntheticProgram
 buildProgram(const ProgramConfig &config, InputSet input)
 {
-    bpsim_assert(config.staticBranches >= 4, "program too small");
-    bpsim_assert(config.meanRegionSites >= 1, "empty regions");
+    if (Result<void> valid = config.validate(); !valid.ok())
+        raise(std::move(valid.error()));
 
     BuildState state(config);
     std::vector<Region> regions;

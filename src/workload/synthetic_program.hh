@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "support/error.hh"
 #include "support/random.hh"
 #include "trace/branch_stream.hh"
 #include "workload/cfg.hh"
@@ -55,6 +56,9 @@ class SyntheticProgram : public BranchStream
 
     /** Program name. */
     const std::string &name() const { return programName; }
+
+    /** Run seed (with the name, the program's checkpoint identity). */
+    std::uint64_t seedValue() const { return seed; }
 
     /** Number of static conditional branches in the program. */
     std::size_t staticBranchCount() const;
@@ -197,6 +201,14 @@ struct ProgramConfig
 
     /** Structure seed (PCs, behaviours, weights all derive from it). */
     std::uint64_t seed = 1;
+
+    /**
+     * Fail-fast validation: config_invalid Error naming the offending
+     * knob (empty program, non-positive gaps/trip counts, fractions
+     * outside [0, 1] or a behaviour mixture summing past one).
+     * buildProgram() raises it before constructing anything.
+     */
+    Result<void> validate() const;
 };
 
 /** Build a program from @p config; deterministic in config.seed. */

@@ -92,32 +92,106 @@ TEST(ArgParserTest, RepeatedFlagIsIdempotent)
     EXPECT_TRUE(args.getFlag("csv"));
 }
 
-TEST(ArgParserTest, UnknownOptionIsFatal)
+// The exiting entry points reject bad command lines with the
+// structured config_invalid error, a usage hint, and exit code 2
+// (usageExitCode) — distinguishable from runtime failures (1).
+
+TEST(ArgParserTest, UnknownOptionExitsUsageCode)
 {
     ArgParser args("test");
     args.addOption("size", "1", "x");
     Argv argv({"tool", "--bogus", "3"});
     EXPECT_EXIT(args.parse(argv.argc(), argv.argv()),
-                ::testing::ExitedWithCode(1), "unknown option");
+                ::testing::ExitedWithCode(usageExitCode),
+                "\\[config_invalid\\] unknown option '--bogus'");
 }
 
-TEST(ArgParserTest, MissingValueIsFatal)
+TEST(ArgParserTest, MissingValueExitsUsageCode)
 {
     ArgParser args("test");
     args.addOption("size", "1", "x");
     Argv argv({"tool", "--size"});
     EXPECT_EXIT(args.parse(argv.argc(), argv.argv()),
-                ::testing::ExitedWithCode(1), "needs a value");
+                ::testing::ExitedWithCode(usageExitCode),
+                "option '--size' needs a value");
 }
 
-TEST(ArgParserTest, BadNumberIsFatal)
+TEST(ArgParserTest, BadNumberExitsUsageCode)
 {
     ArgParser args("test");
     args.addOption("size", "1", "x");
     Argv argv({"tool", "--size", "abc"});
     args.parse(argv.argc(), argv.argv());
-    EXPECT_EXIT(args.getUint("size"), ::testing::ExitedWithCode(1),
-                "expects an integer");
+    EXPECT_EXIT(args.getUint("size"),
+                ::testing::ExitedWithCode(usageExitCode),
+                "expects an integer, got 'abc'");
+}
+
+TEST(ArgParserTest, TryParseReturnsStructuredError)
+{
+    ArgParser args("test");
+    args.addOption("size", "1", "x");
+    Argv argv({"tool", "--bogus"});
+    const Result<void> parsed =
+        args.tryParse(argv.argc(), argv.argv());
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_EQ(parsed.error().code(), ErrorCode::ConfigInvalid);
+    EXPECT_EQ(parsed.error().message(),
+              "unknown option '--bogus'");
+    ASSERT_EQ(parsed.error().context().size(), 1u);
+    EXPECT_EQ(parsed.error().context()[0], "see --help for usage");
+}
+
+TEST(ArgParserTest, TryParseFlagWithValueFails)
+{
+    ArgParser args("test");
+    args.addFlag("csv", "csv output");
+    Argv argv({"tool", "--csv=yes"});
+    const Result<void> parsed =
+        args.tryParse(argv.argc(), argv.argv());
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_EQ(parsed.error().message(),
+              "flag '--csv' takes no value");
+}
+
+TEST(ArgParserTest, TryGetUintNamesOffendingToken)
+{
+    ArgParser args("test");
+    args.addOption("size", "1", "x");
+    Argv argv({"tool", "--size", "12monkeys"});
+    ASSERT_TRUE(args.tryParse(argv.argc(), argv.argv()).ok());
+    const Result<std::uint64_t> value = args.tryGetUint("size");
+    ASSERT_FALSE(value.ok());
+    EXPECT_EQ(value.error().code(), ErrorCode::ConfigInvalid);
+    EXPECT_EQ(value.error().message(),
+              "option '--size' expects an integer, got '12monkeys'");
+}
+
+TEST(ArgParserTest, TryGetDoubleNamesOffendingToken)
+{
+    ArgParser args("test");
+    args.addOption("cutoff", "0.5", "x");
+    Argv argv({"tool", "--cutoff", "fast"});
+    ASSERT_TRUE(args.tryParse(argv.argc(), argv.argv()).ok());
+    const Result<double> value = args.tryGetDouble("cutoff");
+    ASSERT_FALSE(value.ok());
+    EXPECT_EQ(value.error().message(),
+              "option '--cutoff' expects a number, got 'fast'");
+}
+
+TEST(ArgParserTest, TryVariantsSucceedOnGoodInput)
+{
+    ArgParser args("test");
+    args.addOption("size", "1", "x");
+    args.addOption("cutoff", "0.5", "x");
+    Argv argv({"tool", "--size", "4096", "--cutoff=0.9"});
+    ASSERT_TRUE(args.tryParse(argv.argc(), argv.argv()).ok());
+    const Result<std::uint64_t> size = args.tryGetUint("size");
+    ASSERT_TRUE(size.ok());
+    EXPECT_EQ(size.value(), 4096u);
+    const Result<double> cutoff = args.tryGetDouble("cutoff");
+    ASSERT_TRUE(cutoff.ok());
+    EXPECT_DOUBLE_EQ(cutoff.value(), 0.9);
 }
 
 TEST(ArgParserTest, UsageListsOptions)

@@ -25,12 +25,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/experiment.hh"
 #include "predictor/factory.hh"
 #include "staticsel/selection.hh"
+#include "support/atomic_file.hh"
 #include "support/json.hh"
 #include "trace/replay_buffer.hh"
 #include "workload/synthetic_program.hh"
@@ -209,8 +211,10 @@ writeGoldenFile(PredictorKind kind,
                 const std::vector<GoldenStats> &cells)
 {
     const std::string path = goldenPath(kind);
-    std::ofstream out(path);
-    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    // Rendered into memory and written atomically (temp + rename), so
+    // an interrupted regeneration can never leave a truncated golden
+    // behind for the next test run to diff against.
+    std::ostringstream out;
     out << "{\n";
     out << "  \"schema\": \"bpsim-golden-v1\",\n";
     out << "  \"predictor\": \"" << predictorKindName(kind)
@@ -248,7 +252,10 @@ writeGoldenFile(PredictorKind kind,
     }
     out << "  }\n";
     out << "}\n";
-    ASSERT_TRUE(out.good()) << "write failed for " << path;
+    const Result<void> written = writeFileAtomic(path, out.str());
+    ASSERT_TRUE(written.ok())
+        << "write failed for " << path << ": "
+        << (written.ok() ? "" : written.error().describe());
 }
 
 /**

@@ -38,6 +38,14 @@ testConfig(PredictorKind kind, StaticScheme scheme)
     return config;
 }
 
+RunnerOptions
+threadOptions(unsigned threads)
+{
+    RunnerOptions options;
+    options.threads = threads;
+    return options;
+}
+
 void
 expectSameStats(const SimStats &a, const SimStats &b)
 {
@@ -161,7 +169,7 @@ TEST(RunnerTest, CrossInputFilterIdenticalToRegenerated)
     const ExperimentResult regenerated =
         runExperiment(serial, config);
 
-    ExperimentRunner runner({1});
+    ExperimentRunner runner(threadOptions(1));
     const std::size_t program = runner.addProgram(
         makeSpecProgram(SpecProgram::Perl, InputSet::Ref));
     runner.addCell(program, config);
@@ -260,7 +268,7 @@ TEST(RunnerTest, ProfileCacheOffIsBitIdentical)
 
 TEST(RunnerTest, CellMetadataAndTiming)
 {
-    ExperimentRunner runner({2});
+    ExperimentRunner runner(threadOptions(2));
     const std::size_t program = runner.addProgram(
         makeSpecProgram(SpecProgram::Compress, InputSet::Ref));
     runner.addCell(program, testConfig(PredictorKind::Gshare,
@@ -301,6 +309,31 @@ TEST(ThreadCountTest, ResolutionOrder)
     ASSERT_EQ(unsetenv("BPSIM_THREADS"), 0);
 
     EXPECT_GE(resolveThreadCount(0), 1u);
+}
+
+TEST(ThreadCountTest, GarbageEnvFallsBackToHardware)
+{
+    // A bad shell export must degrade (warning + hardware fallback),
+    // never kill the run or silently misbehave.
+    const unsigned fallback = resolveThreadCount(0);
+    for (const char *garbage : {"banana", "-4", "0", "", "8x", "1e3"}) {
+        ASSERT_EQ(setenv("BPSIM_THREADS", garbage, 1), 0);
+        EXPECT_EQ(resolveThreadCount(0), fallback)
+            << "BPSIM_THREADS='" << garbage << "'";
+    }
+    ASSERT_EQ(unsetenv("BPSIM_THREADS"), 0);
+}
+
+TEST(ThreadCountTest, AbsurdValuesAreClamped)
+{
+    ASSERT_EQ(setenv("BPSIM_THREADS", "100000", 1), 0);
+    EXPECT_EQ(resolveThreadCount(0), maxResolvedThreads);
+    ASSERT_EQ(unsetenv("BPSIM_THREADS"), 0);
+
+    EXPECT_EQ(resolveThreadCount(maxResolvedThreads + 1),
+              maxResolvedThreads);
+    EXPECT_EQ(resolveThreadCount(maxResolvedThreads),
+              maxResolvedThreads);
 }
 
 TEST(ThreadCountTest, ArgsIntegration)

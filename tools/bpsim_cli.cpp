@@ -18,7 +18,9 @@
  *       --sizes 1024,4096,16384 --scheme static_95
  */
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -26,8 +28,10 @@
 #include "core/cpi_model.hh"
 #include "core/engine.hh"
 #include "core/experiment.hh"
+#include "core/runner.hh"
 #include "obs/run_journal.hh"
 #include "support/args.hh"
+#include "support/error.hh"
 #include "trace/trace_io.hh"
 #include "workload/specint.hh"
 
@@ -342,6 +346,42 @@ cmdRun(int argc, char **argv)
     return 0;
 }
 
+/**
+ * Parse the comma-separated --sizes list. Rejects empty, non-numeric
+ * and zero tokens with a structured config_invalid error instead of
+ * the unhandled std::stoul exception the original parser threw.
+ */
+std::vector<std::size_t>
+parseSizes(const std::string &list)
+{
+    std::vector<std::size_t> sizes;
+    std::size_t pos = 0;
+    while (pos <= list.size()) {
+        const auto comma = list.find(',', pos);
+        const std::string token =
+            list.substr(pos, comma == std::string::npos
+                                 ? std::string::npos
+                                 : comma - pos);
+        errno = 0;
+        char *end = nullptr;
+        const unsigned long long value =
+            std::strtoull(token.c_str(), &end, 10);
+        if (token.empty() || end != token.c_str() + token.size() ||
+            errno == ERANGE || value == 0) {
+            raise(Error(ErrorCode::ConfigInvalid,
+                        "--sizes expects comma-separated positive "
+                        "byte counts, got '" +
+                            token + "'")
+                      .withContext("see --help for usage"));
+        }
+        sizes.push_back(static_cast<std::size_t>(value));
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return sizes;
+}
+
 int
 cmdSweep(int argc, char **argv)
 {
@@ -351,31 +391,53 @@ cmdSweep(int argc, char **argv)
                    "predictor kind (no size suffix)");
     args.addOption("sizes", "1024,2048,4096,8192,16384,32768,65536",
                    "comma-separated byte sizes");
+    addThreadsOption(args);
+    args.addOption("checkpoint", "",
+                   "persist each finished cell to this JSONL "
+                   "checkpoint (empty = disabled)");
+    args.addFlag("resume",
+                 "restore finished cells from --checkpoint instead "
+                 "of re-running them");
+    args.addOption("retries", "0",
+                   "extra attempts for transient "
+                   "(resource_exhausted) cell failures");
+    args.addFlag("fail-fast",
+                 "abort the sweep at the first failed cell");
     args.parse(argc, argv, 2);
 
-    SyntheticProgram program = makeProgram(args);
     const PredictorKind kind =
         predictorKindFromName(args.get("predictor"));
     const StaticScheme scheme =
         staticSchemeFromName(args.get("scheme"));
-
-    std::vector<std::size_t> sizes;
-    {
-        std::string list = args.get("sizes");
-        std::size_t pos = 0;
-        while (pos < list.size()) {
-            const auto comma = list.find(',', pos);
-            const std::string token =
-                list.substr(pos, comma - pos);
-            sizes.push_back(std::stoul(token));
-            if (comma == std::string::npos)
-                break;
-            pos = comma + 1;
-        }
+    const std::vector<std::size_t> sizes =
+        parseSizes(args.get("sizes"));
+    if (args.getFlag("resume") && args.get("checkpoint").empty()) {
+        raise(Error(ErrorCode::ConfigInvalid,
+                    "--resume needs --checkpoint")
+                  .withContext("see --help for usage"));
     }
 
-    bool csv_header = false;
-    CliJournal journal(args.get("journal"), "bpsim_cli sweep");
+    const std::string journal_path = args.get("journal");
+    std::unique_ptr<obs::RunJournal> journal;
+    if (!journal_path.empty()) {
+        journal =
+            std::make_unique<obs::RunJournal>("bpsim_cli sweep");
+    }
+
+    RunnerOptions options;
+    options.threads = threadsFromArgs(args);
+    options.journal = journal.get();
+    options.retries = static_cast<unsigned>(args.getUint("retries"));
+    options.failFast = args.getFlag("fail-fast");
+    options.checkpointPath = args.get("checkpoint");
+    options.resume = args.getFlag("resume");
+
+    ExperimentRunner runner(options);
+    const std::size_t program_index =
+        runner.addProgram(makeProgram(args));
+    const std::string program_name =
+        runner.program(program_index).name();
+
     for (const std::size_t bytes : sizes) {
         ExperimentConfig config;
         config.kind = kind;
@@ -386,22 +448,42 @@ cmdSweep(int argc, char **argv)
         config.evalWarmupBranches = args.getUint("warmup");
         config.profileBranches = args.getUint("profile-branches");
         config.selection.cutoffBias = args.getDouble("cutoff");
-        config.counters = journal.counters();
-        const std::string label =
-            program.name() + "/" + args.get("predictor") + ":" +
-            std::to_string(bytes) + "/" + args.get("scheme");
-        journal.beginCell(label);
-        ScopedTimer timer(journal.timers(), "cli.sweep");
-        const ExperimentResult result =
-            runExperiment(program, config);
-        journal.endCell(label, timer.stop(), result.hintCount,
-                        result.stats);
-        report(args, program.name(), args.get("predictor"), bytes,
-               args.get("scheme"), args.get("shift"),
-               result.hintCount, result.stats, csv_header);
+        config.counters =
+            journal != nullptr ? &journal->counters() : nullptr;
+        runner.addCell(program_index, config,
+                       program_name + "/" + args.get("predictor") +
+                           ":" + std::to_string(bytes) + "/" +
+                           args.get("scheme"));
     }
-    journal.finish();
-    return 0;
+
+    const MatrixResult matrix = runner.run();
+
+    bool csv_header = false;
+    Count failed = 0;
+    for (std::size_t i = 0; i < matrix.cells.size(); ++i) {
+        const CellResult &cell = matrix.cells[i];
+        if (!cell.ok()) {
+            ++failed;
+            std::fprintf(stderr,
+                         "bpsim_cli sweep: cell '%s' failed: %s\n",
+                         runner.cell(i).label.c_str(),
+                         cell.error->describe().c_str());
+            continue;
+        }
+        report(args, program_name, args.get("predictor"), sizes[i],
+               args.get("scheme"), args.get("shift"),
+               cell.result.hintCount, cell.result.stats, csv_header);
+    }
+
+    if (journal != nullptr) {
+        journal->writeJsonl(journal_path);
+        const std::string metrics =
+            obs::RunJournal::metricsPathFor(journal_path);
+        journal->writeMetrics(metrics);
+        std::printf("journal: %s\nmetrics: %s\n",
+                    journal_path.c_str(), metrics.c_str());
+    }
+    return failed == 0 ? 0 : 1;
 }
 
 int
@@ -427,14 +509,22 @@ int
 main(int argc, char **argv)
 {
     const std::string command = argc > 1 ? argv[1] : "";
-    if (command == "run")
-        return cmdRun(argc, argv);
-    if (command == "sweep")
-        return cmdSweep(argc, argv);
-    if (command == "list")
-        return cmdList();
+    try {
+        if (command == "run")
+            return cmdRun(argc, argv);
+        if (command == "sweep")
+            return cmdSweep(argc, argv);
+        if (command == "list")
+            return cmdList();
+    } catch (const ErrorException &failure) {
+        std::fprintf(stderr, "bpsim_cli: error %s\n",
+                     failure.error().describe().c_str());
+        return failure.error().code() == ErrorCode::ConfigInvalid
+                   ? usageExitCode
+                   : 1;
+    }
     std::fprintf(stderr,
                  "usage: bpsim_cli <run|sweep|list> [options]\n"
                  "       bpsim_cli run --help\n");
-    return 2;
+    return usageExitCode;
 }

@@ -1,19 +1,22 @@
 #!/usr/bin/env python3
 """Validate bpsim's machine-readable run records.
 
-Three schemas, selected with --schema (default: runner):
+Four schemas, selected with --schema (default: runner):
 
-  runner   BENCH_runner.json timing files written by writeRunnerJson
-           (src/core/runner.cc)
-  journal  run-journal JSONL event streams written by
-           obs::RunJournal::writeJsonl (one event object per line)
-  metrics  aggregated metrics summaries written by
-           obs::RunJournal::writeMetrics
+  runner      BENCH_runner.json timing files written by
+              writeRunnerJson (src/core/runner.cc)
+  journal     run-journal JSONL event streams written by
+              obs::RunJournal::writeJsonl (one event object per line)
+  metrics     aggregated metrics summaries written by
+              obs::RunJournal::writeMetrics
+  checkpoint  sweep-checkpoint JSONL files written by
+              SweepCheckpoint (src/core/checkpoint.cc)
 
 The validator is wired into ctest (and CI smoke runs), so a malformed
 emitter fails tier-1 instead of silently corrupting the record.
 
-Usage: check_bench_json.py [--schema runner|journal|metrics] FILE...
+Usage: check_bench_json.py [--schema runner|journal|metrics|checkpoint]
+       FILE...
 Exits non-zero with a message on the first problem found.
 """
 
@@ -30,6 +33,8 @@ TOP_LEVEL_REQUIRED = {
     "profile_cache_hits": int,
     "profile_cache_misses": int,
     "kernel_cells": int,
+    "failed_cells": int,
+    "restored_cells": int,
     "run_seconds": (int, float),
     "wall_seconds": (int, float),
     "total_branches": int,
@@ -53,6 +58,21 @@ CELL_REQUIRED = {
     "profile_cached": bool,
 }
 
+# The error-code taxonomy (bpsim::ErrorCode wire names).
+ERROR_CODES = {
+    "config_invalid",
+    "io_failure",
+    "resource_exhausted",
+    "cell_failed",
+    "internal",
+}
+
+CELL_ERROR_OBJECT_REQUIRED = {
+    "code": str,
+    "message": str,
+    "attempts": int,
+}
+
 # The journal event taxonomy (obs::EventKind wire names).
 EVENT_KINDS = {
     "run_begin",
@@ -62,6 +82,7 @@ EVENT_KINDS = {
     "profile_phase",
     "cell_begin",
     "cell_end",
+    "cell_error",
     "run_end",
 }
 
@@ -84,6 +105,13 @@ CELL_END_REQUIRED = {
     "neutral": int,
 }
 
+CELL_ERROR_REQUIRED = {
+    "cell": int,
+    "code": str,
+    "message": str,
+    "attempts": int,
+}
+
 METRICS_REQUIRED = {
     "schema": str,
     "run": str,
@@ -92,6 +120,8 @@ METRICS_REQUIRED = {
     "events_by_thread": dict,
     "cells_begun": int,
     "cells_ended": int,
+    "cells_failed": int,
+    "cells_restored": int,
     "phase_begins": int,
     "phase_ends": int,
     "phases_balanced": bool,
@@ -111,6 +141,27 @@ METRICS_REQUIRED = {
 }
 
 METRICS_SCHEMA_ID = "bpsim-metrics-v1"
+
+CHECKPOINT_SCHEMA_ID = "bpsim-checkpoint-v1"
+
+CHECKPOINT_REQUIRED = {
+    "schema": str,
+    "fingerprint": str,
+    "label": str,
+    "branches": int,
+    "instructions": int,
+    "mispredictions": int,
+    "static_predicted": int,
+    "static_mispredictions": int,
+    "lookups": int,
+    "collisions": int,
+    "constructive": int,
+    "destructive": int,
+    "hints": int,
+    "simulated_branches": int,
+    "kernel": bool,
+    "phase_branches": int,
+}
 
 
 def fail(path, message):
@@ -154,50 +205,88 @@ def check_runner_file(path):
 
     if not data["cells"]:
         fail(path, "cells array is empty")
+    failed_cells = 0
+    restored_cells = 0
     for index, cell in enumerate(data["cells"]):
         where = f"cells[{index}]"
         if not isinstance(cell, dict):
             fail(path, f"{where}: must be an object")
         check_fields(path, cell, CELL_REQUIRED, where)
+        if "restored" in cell:
+            if cell["restored"] is not True:
+                fail(path, f"{where}: 'restored', when present, must "
+                           f"be true")
+            restored_cells += 1
+        if "error" in cell:
+            error = cell["error"]
+            if not isinstance(error, dict):
+                fail(path, f"{where}: 'error' must be an object")
+            check_fields(path, error, CELL_ERROR_OBJECT_REQUIRED,
+                         f"{where}.error")
+            if error["code"] not in ERROR_CODES:
+                fail(path, f"{where}.error: unknown code "
+                           f"'{error['code']}'")
+            failed_cells += 1
+
+    if failed_cells != data["failed_cells"]:
+        fail(path, f"failed_cells {data['failed_cells']} != "
+                   f"count of cells carrying an error {failed_cells}")
+    if restored_cells != data["restored_cells"]:
+        fail(path, f"restored_cells {data['restored_cells']} != "
+                   f"count of restored cells {restored_cells}")
 
     if "baseline_seconds" in data and "speedup_vs_baseline" not in data:
         fail(path, "baseline_seconds without speedup_vs_baseline")
 
-    total = sum(cell["branches"] for cell in data["cells"])
+    total = sum(cell["branches"] for cell in data["cells"]
+                if "error" not in cell)
     if total != data["total_branches"]:
         fail(path, f"total_branches {data['total_branches']} != "
-                   f"sum of cell branches {total}")
+                   f"sum of successful cell branches {total}")
 
     # The profile cache removes work, never adds it: actual_branches
     # counts each shared profiling phase once, total_branches once per
-    # consuming cell.
-    if data["actual_branches"] > data["total_branches"]:
-        fail(path, f"actual_branches {data['actual_branches']} > "
-                   f"total_branches {data['total_branches']}")
-    if data["profile_cache_hits"] > 0 and \
-            data["actual_branches"] == data["total_branches"]:
-        fail(path, "profile cache hits reported but actual_branches "
-                   "== total_branches (no work was shared)")
+    # consuming cell. With failed cells the inequality can flip (a
+    # phase may have run for a cell that then failed), so these two
+    # checks only hold on a fully successful run.
+    if failed_cells == 0:
+        if data["actual_branches"] > data["total_branches"]:
+            fail(path, f"actual_branches {data['actual_branches']} > "
+                       f"total_branches {data['total_branches']}")
+        if data["profile_cache_hits"] > 0 and \
+                data["actual_branches"] == data["total_branches"]:
+            fail(path, "profile cache hits reported but "
+                       "actual_branches == total_branches (no work "
+                       "was shared)")
 
     kernel_cells = sum(1 for cell in data["cells"] if cell["kernel"])
     if kernel_cells != data["kernel_cells"]:
         fail(path, f"kernel_cells {data['kernel_cells']} != "
                    f"count of kernel cells {kernel_cells}")
 
+    # Every non-failed cell in the cache plan reports profile_cached;
+    # failed consumers drop out of the count, so with failures the
+    # plan size only bounds it.
     cached_cells = sum(
         1 for cell in data["cells"] if cell["profile_cached"])
     cache_accesses = data["profile_cache_hits"] + \
         data["profile_cache_misses"]
-    if cached_cells != cache_accesses:
+    if failed_cells == 0 and cached_cells != cache_accesses:
         fail(path, f"profile_cache_hits + profile_cache_misses "
                    f"{cache_accesses} != count of profile_cached "
                    f"cells {cached_cells}")
+    if cached_cells > cache_accesses:
+        fail(path, f"{cached_cells} profile_cached cells > "
+                   f"profile_cache_hits + profile_cache_misses "
+                   f"{cache_accesses}")
 
     print(f"{path}: ok ({len(data['cells'])} cells, "
           f"{data['threads']} threads, "
           f"{data['wall_seconds']:.2f}s wall, "
           f"{data['profile_cache_hits']} profile-cache hits, "
-          f"{data['kernel_cells']} kernel cells)")
+          f"{data['kernel_cells']} kernel cells, "
+          f"{data['failed_cells']} failed, "
+          f"{data['restored_cells']} restored)")
 
 
 def check_collision_split(path, obj, where):
@@ -272,36 +361,60 @@ def check_journal_file(path):
             fail(path, f"phase '{label}' opened {net} more times than "
                        f"it closed")
 
-    # Every cell_end pairs with an earlier cell_begin of the same
-    # label and cell index, and carries a consistent stat snapshot.
+    # Every cell_begin is closed by exactly one cell_end (success or
+    # checkpoint restore) or cell_error (failure), and a cell_end
+    # carries a consistent stat snapshot.
     begun = set()
-    ended = set()
+    closed = set()
     cell_ends = []
+    cell_errors = []
     for index, event in enumerate(events):
         where = f"line {index + 1}"
         if event["event"] == "cell_begin":
             begun.add((event["label"], event.get("cell")))
-        elif event["event"] == "cell_end":
+        elif event["event"] in ("cell_end", "cell_error"):
             key = (event["label"], event.get("cell"))
             if key not in begun:
-                fail(path, f"{where}: cell_end without an earlier "
-                           f"cell_begin for {key}")
-            if key in ended:
-                fail(path, f"{where}: duplicate cell_end for {key}")
-            ended.add(key)
-            check_fields(path, event, CELL_END_REQUIRED, where)
-            check_collision_split(path, event, where)
-            cell_ends.append(event)
-    if len(begun) != len(ended):
-        fail(path, f"{len(begun)} cells begun but {len(ended)} ended")
+                fail(path, f"{where}: {event['event']} without an "
+                           f"earlier cell_begin for {key}")
+            if key in closed:
+                fail(path, f"{where}: cell {key} closed twice")
+            closed.add(key)
+            if event["event"] == "cell_end":
+                check_fields(path, event, CELL_END_REQUIRED, where)
+                check_collision_split(path, event, where)
+                cell_ends.append(event)
+            else:
+                check_fields(path, event, CELL_ERROR_REQUIRED, where)
+                if event["code"] not in ERROR_CODES:
+                    fail(path, f"{where}: unknown error code "
+                               f"'{event['code']}'")
+                cell_errors.append(event)
+    if len(begun) != len(closed):
+        fail(path, f"{len(begun)} cells begun but {len(closed)} "
+                   f"closed by cell_end/cell_error")
+    restored = sum(1 for e in cell_ends
+                   if e.get("restored") is True)
 
     # Aggregate cross-checks against run_end, for the fields the
     # emitter chose to include (the matrix runner includes them all;
     # the CLI's single-cell run_end only carries cells).
     run_end = events[-1]
-    if "cells" in run_end and run_end["cells"] != len(cell_ends):
+    if "cells" in run_end and \
+            run_end["cells"] != len(cell_ends) + len(cell_errors):
         fail(path, f"run_end cells {run_end['cells']} != "
-                   f"{len(cell_ends)} cell_end events")
+                   f"{len(cell_ends)} cell_end + {len(cell_errors)} "
+                   f"cell_error events")
+    if "failed_cells" in run_end and \
+            run_end["failed_cells"] != len(cell_errors):
+        fail(path, f"run_end failed_cells "
+                   f"{run_end['failed_cells']} != "
+                   f"{len(cell_errors)} cell_error events")
+    if "restored_cells" in run_end and \
+            run_end["restored_cells"] != restored:
+        fail(path, f"run_end restored_cells "
+                   f"{run_end['restored_cells']} != {restored} "
+                   f"restored cell_end events")
     if "kernel_cells" in run_end:
         kernel = sum(1 for e in cell_ends if e.get("kernel") is True)
         if kernel != run_end["kernel_cells"]:
@@ -321,18 +434,31 @@ def check_journal_file(path):
                      if e.get("profile_cached") is True)
         accesses = run_end["profile_cache_hits"] + \
             run_end["profile_cache_misses"]
-        if cached != accesses:
+        if not cell_errors and cached != accesses:
             fail(path, f"profile_cache_hits + profile_cache_misses "
                        f"{accesses} != {cached} profile_cached "
                        f"cell_end events")
+        if cached > accesses:
+            fail(path, f"{cached} profile_cached cell_end events > "
+                       f"profile_cache_hits + profile_cache_misses "
+                       f"{accesses}")
+        # Restored consumers skip their phase and failed phases emit
+        # no event, so the executed phases only match the miss count
+        # exactly on an uninterrupted, fully successful run.
         phases = sum(1 for e in events
                      if e["event"] == "profile_phase")
-        if phases != run_end["profile_cache_misses"]:
+        if not cell_errors and restored == 0 and \
+                phases != run_end["profile_cache_misses"]:
             fail(path, f"{phases} profile_phase events != "
+                       f"profile_cache_misses "
+                       f"{run_end['profile_cache_misses']}")
+        if phases > run_end["profile_cache_misses"]:
+            fail(path, f"{phases} profile_phase events > "
                        f"profile_cache_misses "
                        f"{run_end['profile_cache_misses']}")
 
     print(f"{path}: ok ({len(events)} events, {len(cell_ends)} cells, "
+          f"{len(cell_errors)} failed, {restored} restored, "
           f"{len(set(e['thread'] for e in events))} threads)")
 
 
@@ -365,8 +491,13 @@ def check_metrics_file(path):
         fail(path, f"events_by_thread sums to {by_thread}, "
                    f"total_events is {data['total_events']}")
 
-    if data["cells_begun"] != data["cells_ended"]:
+    closed = data["cells_ended"] + data["cells_failed"]
+    if data["cells_begun"] != closed:
         fail(path, f"cells_begun {data['cells_begun']} != "
+                   f"cells_ended {data['cells_ended']} + "
+                   f"cells_failed {data['cells_failed']}")
+    if data["cells_restored"] > data["cells_ended"]:
+        fail(path, f"cells_restored {data['cells_restored']} > "
                    f"cells_ended {data['cells_ended']}")
     if not data["phases_balanced"]:
         fail(path, "phases_balanced is false")
@@ -388,10 +519,57 @@ def check_metrics_file(path):
           f"{len(data['timers'])} timers)")
 
 
+def check_checkpoint_file(path):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    except OSError as error:
+        fail(path, f"cannot read: {error}")
+
+    # An empty checkpoint is legal: a sweep killed before any cell
+    # finished leaves (at most) an empty file behind.
+    fingerprints = set()
+    for number, line in enumerate(lines, start=1):
+        where = f"line {number}"
+        if not line.strip():
+            fail(path, f"{where}: blank line in JSONL stream")
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            fail(path, f"{where}: not valid JSON: {error}")
+        if not isinstance(record, dict):
+            fail(path, f"{where}: record must be an object")
+        check_fields(path, record, CHECKPOINT_REQUIRED, where)
+        if record["schema"] != CHECKPOINT_SCHEMA_ID:
+            fail(path, f"{where}: schema '{record['schema']}' != "
+                       f"'{CHECKPOINT_SCHEMA_ID}'")
+        if not record["fingerprint"].startswith("v1|"):
+            fail(path, f"{where}: fingerprint does not start with "
+                       f"'v1|'")
+        if record["fingerprint"] in fingerprints:
+            fail(path, f"{where}: duplicate fingerprint "
+                       f"'{record['fingerprint']}'")
+        fingerprints.add(record["fingerprint"])
+        if record["mispredictions"] > record["branches"]:
+            fail(path, f"{where}: mispredictions > branches")
+        if record["branches"] > record["simulated_branches"]:
+            fail(path, f"{where}: branches > simulated_branches")
+        if record["collisions"] > record["lookups"]:
+            fail(path, f"{where}: collisions > lookups")
+        classified = record["constructive"] + record["destructive"]
+        if classified > record["collisions"]:
+            fail(path, f"{where}: constructive + destructive "
+                       f"{classified} > collisions "
+                       f"{record['collisions']}")
+
+    print(f"{path}: ok ({len(lines)} checkpoint records)")
+
+
 CHECKERS = {
     "runner": check_runner_file,
     "journal": check_journal_file,
     "metrics": check_metrics_file,
+    "checkpoint": check_checkpoint_file,
 }
 
 
