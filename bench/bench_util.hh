@@ -86,6 +86,11 @@ struct BenchOptions
 
     /** Abort the sweep at the first failed cell (--fail-fast). */
     bool failFast = false;
+
+    /** Fused sweep execution (--fused / --no-fused; on by default).
+     * Cells sharing a replay buffer are stepped in one pass; results
+     * are bit-identical either way. */
+    bool fused = true;
 };
 
 /**
@@ -132,6 +137,12 @@ parseBenchOptions(int argc, char **argv, const char *tool,
                    "(resource_exhausted) cell failures");
     args.addFlag("fail-fast",
                  "abort the sweep at the first failed cell");
+    args.addFlag("fused",
+                 "fuse cells sharing a replay buffer into one pass "
+                 "(default; results are bit-identical either way)");
+    args.addFlag("no-fused",
+                 "run every cell's evaluation as its own pass "
+                 "(overrides --fused)");
     args.parse(argc, argv);
 
     BenchOptions options;
@@ -144,6 +155,7 @@ parseBenchOptions(int argc, char **argv, const char *tool,
     options.resume = args.getFlag("resume");
     options.retries = static_cast<unsigned>(args.getUint("retries"));
     options.failFast = args.getFlag("fail-fast");
+    options.fused = !args.getFlag("no-fused");
     if (options.resume && options.checkpointPath.empty()) {
         std::fprintf(stderr,
                      "%s: error [config_invalid] --resume needs "
@@ -181,6 +193,7 @@ runnerOptions(const BenchOptions &options,
     runner.failFast = options.failFast;
     runner.checkpointPath = options.checkpointPath;
     runner.resume = options.resume;
+    runner.fused = options.fused;
     return runner;
 }
 

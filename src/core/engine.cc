@@ -1,10 +1,14 @@
 #include "core/engine.hh"
 
 #include <algorithm>
+#include <memory>
 #include <type_traits>
+#include <typeindex>
+#include <vector>
 
 #include "core/combined_predictor.hh"
 #include "predictor/factory.hh"
+#include "support/logging.hh"
 #include "trace/replay_buffer.hh"
 
 namespace bpsim
@@ -78,6 +82,17 @@ runMeasured(BranchPredictor &predictor, CombinedPredictor *combined,
  * not semantically significant.
  */
 constexpr Count kernelBlock = 4096;
+
+/**
+ * Records per fused-walk block. Larger than kernelBlock: with every
+ * sim of a fused pass stepping through the block before the walk
+ * advances, the per-block fixed costs (virtual dispatch into each
+ * exec, loop setup, stats spills) amortize over more records, and the
+ * shared trace columns still stream through L2. 64Ki records ≈ 768KB
+ * of trace columns; measured best on the reference container across a
+ * 512..4Mi sweep.
+ */
+constexpr Count fusedBlock = 65536;
 
 /**
  * Devirtualized replay kernel for a bare dynamic predictor of
@@ -269,6 +284,703 @@ runReplay(P &concrete, BranchPredictor &outer, const HintDb *hints,
     return stats;
 }
 
+/** Dense hint-code bits (0 = no hint for the site). */
+constexpr std::uint8_t hintPresentBit = 2;
+constexpr std::uint8_t hintTakenBit = 1;
+
+/**
+ * Dense-hint variant of runReplayCombined for the fused executor: the
+ * per-record HintDb hash lookup becomes a site-indexed byte load and
+ * the shift policy is a compile-time constant. Semantically identical
+ * to runReplayCombined over the same records.
+ */
+template <bool WithProfile, bool Track, ShiftPolicy Policy, typename P>
+void
+runReplayCombinedSites(P &predictor, const std::uint8_t *hint_code,
+                       const std::uint32_t *site_of,
+                       const ReplayBuffer &buffer, Count start,
+                       Count end, SimStats &stats, ProfileDb *profile)
+{
+    const Addr *pcs = buffer.pcData();
+    const std::uint32_t *packed = buffer.packedData();
+
+    for (Count base = start; base < end; base += kernelBlock) {
+        const Count stop = std::min(base + kernelBlock, end);
+        for (Count i = base; i < stop; ++i) {
+            const Addr pc = pcs[i];
+            const std::uint32_t word = packed[i];
+            const bool taken =
+                (word & ReplayBuffer::packedTakenBit) != 0;
+
+            const std::uint8_t code = hint_code[site_of[i]];
+            const bool was_static = (code & hintPresentBit) != 0;
+            bool correct;
+            Count lookup_collisions = 0;
+            if (was_static) {
+                const bool hint_direction =
+                    (code & hintTakenBit) != 0;
+                correct = hint_direction == taken;
+                if constexpr (Policy == ShiftPolicy::ShiftOutcome)
+                    predictor.historyStep(taken);
+                else if constexpr (Policy ==
+                                   ShiftPolicy::ShiftPrediction)
+                    predictor.historyStep(hint_direction);
+                ++stats.staticPredicted;
+                if (!correct)
+                    ++stats.staticMispredictions;
+            } else {
+                const bool prediction =
+                    predictor.template predictStep<Track>(pc);
+                correct = prediction == taken;
+                if constexpr (WithProfile)
+                    lookup_collisions = predictor.pendingStep();
+                predictor.template updateStep<Track>(pc, taken);
+                predictor.historyStep(taken);
+            }
+
+            ++stats.branches;
+            stats.instructions += word & ~ReplayBuffer::packedTakenBit;
+            if (!correct)
+                ++stats.mispredictions;
+
+            if constexpr (WithProfile) {
+                profile->recordOutcome(pc, taken);
+                // Accuracy counts describe the *dynamic* predictor,
+                // so statically resolved branches do not contribute.
+                if (!was_static) {
+                    profile->recordPrediction(pc, correct);
+                    if (lookup_collisions > 0)
+                        profile->recordCollisions(pc,
+                                                  lookup_collisions);
+                }
+            }
+        }
+    }
+}
+
+/** Per-site profile accumulator standing in for a ProfileDb. */
+struct DenseProfile
+{
+    std::vector<BranchProfile> counts;
+};
+
+/**
+ * Dense-profile variant of runReplayDynamic<true, Track> for the
+ * fused executor: per-branch profile updates hit a site-indexed
+ * array instead of the ProfileDb hash map; the counts are flushed
+ * into the real database when the pass finishes. Every record of the
+ * dynamic path is predicted, so predicted mirrors executed, and
+ * adding a zero collision count matches skipping the call.
+ */
+template <bool Track, typename P>
+void
+runReplayDynamicDense(P &predictor, const std::uint32_t *site_of,
+                      const ReplayBuffer &buffer, Count start,
+                      Count end, SimStats &stats, DenseProfile &dense)
+{
+    const Addr *pcs = buffer.pcData();
+    const std::uint32_t *packed = buffer.packedData();
+
+    for (Count base = start; base < end; base += kernelBlock) {
+        const Count stop = std::min(base + kernelBlock, end);
+        for (Count i = base; i < stop; ++i) {
+            const Addr pc = pcs[i];
+            const std::uint32_t word = packed[i];
+            const bool taken =
+                (word & ReplayBuffer::packedTakenBit) != 0;
+
+            const bool prediction =
+                predictor.template predictStep<Track>(pc);
+            const bool correct = prediction == taken;
+            const Count lookup_collisions = predictor.pendingStep();
+
+            predictor.template updateStep<Track>(pc, taken);
+            predictor.historyStep(taken);
+
+            ++stats.branches;
+            stats.instructions += word & ~ReplayBuffer::packedTakenBit;
+            if (!correct)
+                ++stats.mispredictions;
+
+            BranchProfile &site = dense.counts[site_of[i]];
+            ++site.executed;
+            site.taken += taken ? 1 : 0;
+            ++site.predicted;
+            site.correct += correct ? 1 : 0;
+            site.collisions += lookup_collisions;
+        }
+    }
+}
+
+/**
+ * One participant of a fused pass's shared block walk: a single sim
+ * (FusedStepper) or a gang of same-type sims (GangStepper).
+ */
+class FusedExec
+{
+  public:
+    virtual ~FusedExec() = default;
+
+    /** One past the last record this exec consumes. */
+    virtual Count end() const = 0;
+
+    /** Step through records [from, to) of the shared walk. */
+    virtual void step(Count from, Count to) = 0;
+
+    /** Finalize stats and run-level counters after the pass. */
+    virtual void finish() = 0;
+};
+
+/**
+ * Per-sim driver of a fused pass: owns this sim's warmup/measurement
+ * window over the shared block walk and forwards each visited span to
+ * the right replay loop. One subclass per dispatch outcome (kernel vs
+ * virtual), mirroring simulateReplay()'s per-cell dispatch.
+ */
+class FusedStepper : public FusedExec
+{
+  public:
+    FusedStepper(FusedSim &sim, const ReplayBuffer &buffer)
+        : sim(sim), buffer(buffer)
+    {
+        const Count total = buffer.size();
+        warmupEnd = std::min(sim.options.warmupBranches, total);
+        const Count limit = sim.options.maxBranches == 0
+                                ? ~Count{0}
+                                : sim.options.maxBranches;
+        lastRecord = warmupEnd + std::min(limit, total - warmupEnd);
+    }
+
+    /** One past the last record this sim consumes. */
+    Count end() const override { return lastRecord; }
+
+    /** Step the sim through records [from, to). */
+    void
+    step(Count from, Count to) override
+    {
+        if (from < warmupEnd) {
+            const Count warm_to = std::min(to, warmupEnd);
+            runSegment(from, warm_to, false);
+            // Collision state accumulated during warmup is discarded
+            // exactly once, at the warmup/measurement boundary — the
+            // same schedule the per-cell paths follow.
+            if (warm_to == warmupEnd)
+                sim.predictor->clearCollisionStats();
+            from = warm_to;
+        }
+        if (from < to)
+            runSegment(from, to, true);
+    }
+
+  protected:
+    /** Replay [from, to); @p measured picks warmup vs measurement. */
+    virtual void runSegment(Count from, Count to, bool measured) = 0;
+
+    FusedSim &sim;
+    const ReplayBuffer &buffer;
+    Count warmupEnd = 0;
+    Count lastRecord = 0;
+    SimStats warmupStats; // discarded, as per-cell warmup stats are
+};
+
+/**
+ * Fused stepper running the devirtualized kernels for concrete
+ * predictor type @p P. With a SiteIndex available it additionally
+ * flattens hint lookups (combined sims) or profile accumulation
+ * (profiling sims) onto dense site arrays; both are pure
+ * accelerations with bit-identical results.
+ */
+template <typename P>
+class KernelStepper final : public FusedStepper
+{
+  public:
+    KernelStepper(FusedSim &sim, const ReplayBuffer &buffer,
+                  P &concrete, const HintDb *hints, ShiftPolicy policy,
+                  const SiteIndex *sites)
+        : FusedStepper(sim, buffer), concrete(concrete), hints(hints),
+          policy(policy), sites(sites)
+    {
+        if (sites != nullptr && hints != nullptr) {
+            siteOf = sites->siteData();
+            hintCode.assign(sites->siteCount(), 0);
+            for (std::uint32_t s = 0; s < sites->siteCount(); ++s) {
+                bool taken = false;
+                if (hints->lookup(sites->sitePc(s), taken))
+                    hintCode[s] = hintPresentBit |
+                                  (taken ? hintTakenBit : 0);
+            }
+        } else if (sites != nullptr && hints == nullptr &&
+                   sim.options.profile != nullptr) {
+            siteOf = sites->siteData();
+            dense.counts.assign(sites->siteCount(), BranchProfile{});
+            useDense = true;
+        }
+    }
+
+    void
+    finish() override
+    {
+        if (useDense) {
+            for (std::uint32_t s = 0; s < sites->siteCount(); ++s)
+                if (dense.counts[s].executed > 0)
+                    sim.options.profile->addCounts(sites->sitePc(s),
+                                                   dense.counts[s]);
+        }
+        sim.stats.collisions = sim.predictor->collisionStats();
+        sim.usedFastPath = true;
+        if (sim.options.counters != nullptr) {
+            sim.options.counters->add("engine.kernel_runs");
+            sim.options.counters->add("engine.branches",
+                                      sim.stats.branches);
+            const Count warmup_run =
+                std::min(sim.options.warmupBranches, buffer.size());
+            if (warmup_run > 0)
+                sim.options.counters->add("engine.warmup_branches",
+                                          warmup_run);
+        }
+    }
+
+  protected:
+    void
+    runSegment(Count from, Count to, bool measured) override
+    {
+        SimStats &stats = measured ? sim.stats : warmupStats;
+        ProfileDb *profile =
+            measured ? sim.options.profile : nullptr;
+        const bool with_profile = profile != nullptr;
+        const bool track = sim.options.trackCollisions;
+
+        const auto run = [&](auto profile_tag, auto track_tag) {
+            constexpr bool kWithProfile =
+                decltype(profile_tag)::value;
+            constexpr bool kTrack = decltype(track_tag)::value;
+            if (hints != nullptr) {
+                if (!hintCode.empty()) {
+                    runSites<kWithProfile, kTrack>(from, to, stats,
+                                                   profile);
+                } else {
+                    runReplayCombined<kWithProfile, kTrack>(
+                        concrete, *hints, policy, buffer, from, to,
+                        stats, profile);
+                }
+            } else if constexpr (kWithProfile) {
+                if (useDense) {
+                    runReplayDynamicDense<kTrack>(
+                        concrete, siteOf, buffer, from, to, stats,
+                        dense);
+                } else {
+                    runReplayDynamic<true, kTrack>(
+                        concrete, buffer, from, to, stats, profile);
+                }
+            } else {
+                runReplayDynamic<false, kTrack>(
+                    concrete, buffer, from, to, stats, profile);
+            }
+        };
+
+        if (with_profile && track)
+            run(std::true_type{}, std::true_type{});
+        else if (with_profile)
+            run(std::true_type{}, std::false_type{});
+        else if (track)
+            run(std::false_type{}, std::true_type{});
+        else
+            run(std::false_type{}, std::false_type{});
+    }
+
+  private:
+    template <bool WithProfile, bool Track>
+    void
+    runSites(Count from, Count to, SimStats &stats,
+             ProfileDb *profile)
+    {
+        switch (policy) {
+          case ShiftPolicy::NoShift:
+            runReplayCombinedSites<WithProfile, Track,
+                                   ShiftPolicy::NoShift>(
+                concrete, hintCode.data(), siteOf, buffer, from, to,
+                stats, profile);
+            break;
+          case ShiftPolicy::ShiftOutcome:
+            runReplayCombinedSites<WithProfile, Track,
+                                   ShiftPolicy::ShiftOutcome>(
+                concrete, hintCode.data(), siteOf, buffer, from, to,
+                stats, profile);
+            break;
+          case ShiftPolicy::ShiftPrediction:
+            runReplayCombinedSites<WithProfile, Track,
+                                   ShiftPolicy::ShiftPrediction>(
+                concrete, hintCode.data(), siteOf, buffer, from, to,
+                stats, profile);
+            break;
+        }
+    }
+
+    P &concrete;
+    const HintDb *hints;
+    ShiftPolicy policy;
+    const SiteIndex *sites;
+    const std::uint32_t *siteOf = nullptr;
+    std::vector<std::uint8_t> hintCode;
+    DenseProfile dense;
+    bool useDense = false;
+};
+
+/**
+ * Fused stepper for predictors outside the devirtualized set: the
+ * virtual-dispatch loop of simulate()/runMeasured(), segmented over
+ * the shared block walk. Bit-identical to the per-cell fallback.
+ */
+class VirtualStepper final : public FusedStepper
+{
+  public:
+    VirtualStepper(FusedSim &sim, const ReplayBuffer &buffer)
+        : FusedStepper(sim, buffer),
+          combined(dynamic_cast<CombinedPredictor *>(sim.predictor))
+    {
+    }
+
+    void
+    finish() override
+    {
+        sim.stats.collisions = sim.predictor->collisionStats();
+        sim.usedFastPath = false;
+        if (sim.options.counters != nullptr) {
+            sim.options.counters->add("engine.virtual_runs");
+            sim.options.counters->add("engine.branches",
+                                      sim.stats.branches);
+            if (warmupRun > 0)
+                sim.options.counters->add("engine.warmup_branches",
+                                          warmupRun);
+        }
+    }
+
+  protected:
+    void
+    runSegment(Count from, Count to, bool measured) override
+    {
+        BranchPredictor &predictor = *sim.predictor;
+        BranchRecord record;
+        if (!measured) {
+            for (Count i = from; i < to; ++i) {
+                buffer.get(i, record);
+                predictor.predict(record.pc);
+                predictor.update(record.pc, record.taken);
+                predictor.updateHistory(record.taken);
+            }
+            warmupRun += to - from;
+            return;
+        }
+
+        ProfileDb *profile = sim.options.profile;
+        const bool with_profile = profile != nullptr;
+        SimStats &stats = sim.stats;
+        for (Count i = from; i < to; ++i) {
+            buffer.get(i, record);
+            const bool prediction = predictor.predict(record.pc);
+            const bool correct = prediction == record.taken;
+            // Must be sampled between predict() and update():
+            // update() classifies and clears the pending state.
+            Count lookup_collisions = 0;
+            if (with_profile)
+                lookup_collisions = predictor.lastPredictCollisions();
+
+            predictor.update(record.pc, record.taken);
+            predictor.updateHistory(record.taken);
+
+            ++stats.branches;
+            stats.instructions += record.instGap;
+            if (!correct)
+                ++stats.mispredictions;
+
+            bool was_static = false;
+            if (combined != nullptr) {
+                was_static = combined->lastWasStatic();
+                if (was_static) {
+                    ++stats.staticPredicted;
+                    if (!correct)
+                        ++stats.staticMispredictions;
+                }
+            }
+
+            if (with_profile) {
+                profile->recordOutcome(record.pc, record.taken);
+                // Accuracy counts describe the *dynamic* predictor,
+                // so statically resolved branches do not contribute.
+                if (!was_static) {
+                    profile->recordPrediction(record.pc, correct);
+                    if (lookup_collisions > 0)
+                        profile->recordCollisions(record.pc,
+                                                  lookup_collisions);
+                }
+            }
+        }
+    }
+
+  private:
+    CombinedPredictor *combined;
+    Count warmupRun = 0;
+};
+
+/**
+ * Record-major gang kernel: advance @p n same-type predictors through
+ * each record before moving to the next one. The members' dependent
+ * chains (history -> index -> table load -> update) are mutually
+ * independent, so the out-of-order window overlaps them — the main
+ * single-core speedup of fusing. Per member the record-level operation
+ * sequence is exactly runReplayCombinedSites', so results are
+ * bit-identical to a private pass (an all-zero hint-code array makes
+ * that sequence identical to runReplayDynamic's).
+ */
+template <bool Track, ShiftPolicy Policy, std::size_t N, typename P>
+void
+runReplayGang(P *const *predictors,
+              const std::uint8_t *const *hint_codes,
+              SimStats *const *stats, const std::uint32_t *site_of,
+              const ReplayBuffer &buffer, Count start, Count end)
+{
+    const Addr *pcs = buffer.pcData();
+    const std::uint32_t *packed = buffer.packedData();
+
+    // Hoist the member state and keep the counters in locals: with N
+    // a compile-time constant the member loop fully unrolls and the
+    // accumulators stay register-resident instead of round-tripping
+    // through SimStats memory on every record.
+    P *preds[N];
+    const std::uint8_t *codes[N];
+    for (std::size_t k = 0; k < N; ++k) {
+        preds[k] = predictors[k];
+        codes[k] = hint_codes[k];
+    }
+    Count branches = 0;
+    Count instructions = 0;
+    Count mispredictions[N]{};
+    Count static_predicted[N]{};
+    Count static_mispredicted[N]{};
+
+    for (Count i = start; i < end; ++i) {
+        const Addr pc = pcs[i];
+        const std::uint32_t word = packed[i];
+        const bool taken = (word & ReplayBuffer::packedTakenBit) != 0;
+        const std::uint32_t gap = word & ~ReplayBuffer::packedTakenBit;
+        const std::uint32_t site = site_of[i];
+        ++branches;
+        instructions += gap;
+
+        for (std::size_t k = 0; k < N; ++k) {
+            P &predictor = *preds[k];
+
+            const std::uint8_t code = codes[k][site];
+            bool correct;
+            if ((code & hintPresentBit) != 0) {
+                const bool hint_direction =
+                    (code & hintTakenBit) != 0;
+                correct = hint_direction == taken;
+                if constexpr (Policy == ShiftPolicy::ShiftOutcome)
+                    predictor.historyStep(taken);
+                else if constexpr (Policy ==
+                                   ShiftPolicy::ShiftPrediction)
+                    predictor.historyStep(hint_direction);
+                ++static_predicted[k];
+                if (!correct)
+                    ++static_mispredicted[k];
+            } else {
+                const bool prediction =
+                    predictor.template predictStep<Track>(pc);
+                correct = prediction == taken;
+                predictor.template updateStep<Track>(pc, taken);
+                predictor.historyStep(taken);
+            }
+
+            if (!correct)
+                ++mispredictions[k];
+        }
+    }
+
+    // Pure integer sums flushed once per segment: the totals equal
+    // the per-record increments of a private pass exactly.
+    for (std::size_t k = 0; k < N; ++k) {
+        SimStats &st = *stats[k];
+        st.branches += branches;
+        st.instructions += instructions;
+        st.mispredictions += mispredictions[k];
+        st.staticPredicted += static_predicted[k];
+        st.staticMispredictions += static_mispredicted[k];
+    }
+}
+
+/**
+ * Fused driver for a gang of evaluation sims (no profiling) whose
+ * dynamic components share one concrete type, one warmup/measurement
+ * window, one collision-tracking setting and one effective shift
+ * policy. Hint sets stay per-member (dense per-site code arrays;
+ * all-zero for members without hints).
+ */
+template <typename P>
+class GangStepper final : public FusedExec
+{
+  public:
+    struct Member
+    {
+        FusedSim *sim = nullptr;
+        P *concrete = nullptr;
+        std::vector<std::uint8_t> hintCode;
+    };
+
+    GangStepper(std::vector<Member> gang_members,
+                const ReplayBuffer &buffer, const SiteIndex *sites,
+                ShiftPolicy policy, bool track)
+        : members(std::move(gang_members)), buffer(buffer),
+          siteOf(sites->siteData()), policy(policy), track(track),
+          warmupStats(members.size())
+    {
+        const Count total = buffer.size();
+        const FusedSim &first = *members.front().sim;
+        warmupEnd = std::min(first.options.warmupBranches, total);
+        const Count limit = first.options.maxBranches == 0
+                                ? ~Count{0}
+                                : first.options.maxBranches;
+        lastRecord = warmupEnd + std::min(limit, total - warmupEnd);
+        for (const Member &member : members) {
+            bpsim_assert(
+                member.sim->options.warmupBranches ==
+                        first.options.warmupBranches &&
+                    member.sim->options.maxBranches ==
+                        first.options.maxBranches,
+                "gang members must share one replay window");
+            predictors.push_back(member.concrete);
+            codes.push_back(member.hintCode.data());
+        }
+    }
+
+    Count end() const override { return lastRecord; }
+
+    void
+    step(Count from, Count to) override
+    {
+        if (from < warmupEnd) {
+            const Count warm_to = std::min(to, warmupEnd);
+            runSegment(from, warm_to, false);
+            // Same discard schedule as the per-cell paths: collision
+            // state accumulated during warmup dies at the boundary.
+            if (warm_to == warmupEnd) {
+                for (Member &member : members)
+                    member.sim->predictor->clearCollisionStats();
+            }
+            from = warm_to;
+        }
+        if (from < to)
+            runSegment(from, to, true);
+    }
+
+    void
+    finish() override
+    {
+        for (Member &member : members) {
+            FusedSim &sim = *member.sim;
+            sim.stats.collisions = sim.predictor->collisionStats();
+            sim.usedFastPath = true;
+            if (sim.options.counters != nullptr) {
+                sim.options.counters->add("engine.kernel_runs");
+                sim.options.counters->add("engine.branches",
+                                          sim.stats.branches);
+                const Count warmup_run = std::min(
+                    sim.options.warmupBranches, buffer.size());
+                if (warmup_run > 0)
+                    sim.options.counters->add(
+                        "engine.warmup_branches", warmup_run);
+            }
+        }
+    }
+
+  private:
+    void
+    runSegment(Count from, Count to, bool measured)
+    {
+        std::vector<SimStats *> stats(members.size());
+        for (std::size_t k = 0; k < members.size(); ++k) {
+            stats[k] =
+                measured ? &members[k].sim->stats : &warmupStats[k];
+        }
+        // Larger gangs run as sub-gangs of at most four members: the
+        // fixed-N kernels keep their accumulators in registers, and
+        // four independent predictor chains already saturate the
+        // out-of-order window. Each member still sees every record of
+        // [from, to) exactly once, in order.
+        std::size_t offset = 0;
+        while (offset < members.size()) {
+            const std::size_t rest = members.size() - offset;
+            const std::size_t chunk = std::min<std::size_t>(rest, 4);
+            runChunk(offset, chunk, stats.data(), from, to);
+            offset += chunk;
+        }
+    }
+
+    void
+    runChunk(std::size_t offset, std::size_t chunk, SimStats **stats,
+             Count from, Count to)
+    {
+        const auto run = [&](auto track_tag, auto n_tag) {
+            constexpr bool kTrack = decltype(track_tag)::value;
+            constexpr std::size_t kN = decltype(n_tag)::value;
+            switch (policy) {
+              case ShiftPolicy::NoShift:
+                runReplayGang<kTrack, ShiftPolicy::NoShift, kN>(
+                    predictors.data() + offset, codes.data() + offset,
+                    stats + offset, siteOf, buffer, from, to);
+                break;
+              case ShiftPolicy::ShiftOutcome:
+                runReplayGang<kTrack, ShiftPolicy::ShiftOutcome, kN>(
+                    predictors.data() + offset, codes.data() + offset,
+                    stats + offset, siteOf, buffer, from, to);
+                break;
+              case ShiftPolicy::ShiftPrediction:
+                runReplayGang<kTrack, ShiftPolicy::ShiftPrediction,
+                              kN>(predictors.data() + offset,
+                                  codes.data() + offset,
+                                  stats + offset, siteOf, buffer, from,
+                                  to);
+                break;
+            }
+        };
+        const auto dispatch = [&](auto track_tag) {
+            switch (chunk) {
+              case 1:
+                run(track_tag,
+                    std::integral_constant<std::size_t, 1>{});
+                break;
+              case 2:
+                run(track_tag,
+                    std::integral_constant<std::size_t, 2>{});
+                break;
+              case 3:
+                run(track_tag,
+                    std::integral_constant<std::size_t, 3>{});
+                break;
+              default:
+                run(track_tag,
+                    std::integral_constant<std::size_t, 4>{});
+                break;
+            }
+        };
+        if (track)
+            dispatch(std::true_type{});
+        else
+            dispatch(std::false_type{});
+    }
+
+    std::vector<Member> members;
+    const ReplayBuffer &buffer;
+    const std::uint32_t *siteOf;
+    ShiftPolicy policy;
+    bool track;
+    Count warmupEnd = 0;
+    Count lastRecord = 0;
+    std::vector<SimStats> warmupStats; // discarded, like all warmup
+    std::vector<P *> predictors;
+    std::vector<const std::uint8_t *> codes;
+};
+
 } // namespace
 
 SimStats
@@ -367,6 +1079,179 @@ simulateReplay(BranchPredictor &predictor, const ReplayBuffer &buffer,
     if (used_fast_path != nullptr)
         *used_fast_path = used;
     return stats;
+}
+
+void
+simulateReplayFused(std::vector<FusedSim> &sims,
+                    const ReplayBuffer &buffer, const SiteIndex *sites)
+{
+    if (sites != nullptr)
+        bpsim_assert(sites->size() == buffer.size(),
+                     "site index does not match the replay buffer");
+
+    // Dispatch each sim once (kernel vs virtual, hinted vs dynamic),
+    // exactly as simulateReplay() would, and reset its predictor.
+    // Evaluation sims (no profile) whose dynamic components share a
+    // concrete type, replay window, tracking setting and effective
+    // shift policy are ganged into one record-major exec; everything
+    // else gets its own stepper.
+    struct Resolved
+    {
+        const HintDb *hints = nullptr;
+        ShiftPolicy policy = ShiftPolicy::NoShift;
+        BranchPredictor *dyn = nullptr;
+    };
+    std::vector<Resolved> resolved(sims.size());
+
+    struct GangPlan
+    {
+        std::type_index type;
+        ShiftPolicy policy;
+        Count warmup = 0;
+        Count max = 0;
+        bool track = false;
+        std::vector<std::size_t> members;
+    };
+    std::vector<GangPlan> plans;
+
+    std::vector<std::unique_ptr<FusedExec>> execs;
+    execs.reserve(sims.size());
+
+    const auto makeStepper = [&](std::size_t s) {
+        FusedSim &sim = sims[s];
+        std::unique_ptr<FusedExec> stepper;
+        if (sim.options.fastPath && resolved[s].dyn != nullptr) {
+            visitPredictor(*resolved[s].dyn, [&](auto &concrete) {
+                using Concrete = std::decay_t<decltype(concrete)>;
+                stepper = std::make_unique<KernelStepper<Concrete>>(
+                    sim, buffer, concrete, resolved[s].hints,
+                    resolved[s].policy, sites);
+            });
+        }
+        if (stepper == nullptr)
+            stepper = std::make_unique<VirtualStepper>(sim, buffer);
+        execs.push_back(std::move(stepper));
+    };
+
+    for (std::size_t s = 0; s < sims.size(); ++s) {
+        FusedSim &sim = sims[s];
+        bpsim_assert(sim.predictor != nullptr,
+                     "fused sim needs a predictor");
+        sim.stats = SimStats{};
+        sim.usedFastPath = false;
+
+        auto *combined =
+            dynamic_cast<CombinedPredictor *>(sim.predictor);
+        // An empty hint database makes the combined wrapper a pure
+        // pass-through, so such sims run the cheaper dynamic kernel;
+        // the results are identical.
+        const bool hinted =
+            combined != nullptr && combined->hintDb().size() > 0;
+        resolved[s].hints = hinted ? &combined->hintDb() : nullptr;
+        resolved[s].policy =
+            hinted ? combined->policy() : ShiftPolicy::NoShift;
+        resolved[s].dyn = combined != nullptr
+                              ? &combined->dynamicComponent()
+                              : sim.predictor;
+
+        bool planned = false;
+        if (sim.options.fastPath && sites != nullptr &&
+            sim.options.profile == nullptr) {
+            visitPredictor(*resolved[s].dyn, [&](auto &concrete) {
+                const std::type_index type(typeid(concrete));
+                GangPlan *plan = nullptr;
+                for (GangPlan &candidate : plans) {
+                    if (candidate.type == type &&
+                        candidate.policy == resolved[s].policy &&
+                        candidate.warmup ==
+                            sim.options.warmupBranches &&
+                        candidate.max == sim.options.maxBranches &&
+                        candidate.track ==
+                            sim.options.trackCollisions) {
+                        plan = &candidate;
+                        break;
+                    }
+                }
+                if (plan == nullptr) {
+                    plans.push_back({type, resolved[s].policy,
+                                     sim.options.warmupBranches,
+                                     sim.options.maxBranches,
+                                     sim.options.trackCollisions,
+                                     {}});
+                    plan = &plans.back();
+                }
+                plan->members.push_back(s);
+                planned = true;
+            });
+        }
+        if (!planned)
+            makeStepper(s);
+
+        if (sim.options.resetPredictor)
+            sim.predictor->reset();
+        sim.predictor->clearCollisionStats();
+    }
+
+    for (const GangPlan &plan : plans) {
+        // A singleton gang gains nothing; run the plain kernel
+        // stepper (identical results either way).
+        if (plan.members.size() == 1) {
+            makeStepper(plan.members.front());
+            continue;
+        }
+        visitPredictor(
+            *resolved[plan.members.front()].dyn, [&](auto &first) {
+                using Concrete = std::decay_t<decltype(first)>;
+                using Gang = GangStepper<Concrete>;
+                std::vector<typename Gang::Member> members;
+                members.reserve(plan.members.size());
+                for (const std::size_t s : plan.members) {
+                    typename Gang::Member member;
+                    member.sim = &sims[s];
+                    member.concrete =
+                        &dynamic_cast<Concrete &>(*resolved[s].dyn);
+                    member.hintCode.assign(sites->siteCount(), 0);
+                    if (resolved[s].hints != nullptr) {
+                        for (std::uint32_t site = 0;
+                             site < sites->siteCount(); ++site) {
+                            bool taken = false;
+                            if (resolved[s].hints->lookup(
+                                    sites->sitePc(site), taken)) {
+                                member.hintCode[site] =
+                                    hintPresentBit |
+                                    (taken ? hintTakenBit : 0);
+                            }
+                        }
+                    }
+                    members.push_back(std::move(member));
+                }
+                execs.push_back(std::make_unique<Gang>(
+                    std::move(members), buffer, sites, plan.policy,
+                    plan.track));
+            });
+    }
+
+    // The fused walk: every sim steps through each block before the
+    // pass moves to the next one, so the trace columns are decoded
+    // from cache-resident memory once per block instead of once per
+    // sim. Block boundaries are semantically invisible — each sim's
+    // predictor state advances through the same record sequence it
+    // would see in a private pass.
+    Count max_end = 0;
+    for (const auto &stepper : execs)
+        max_end = std::max(max_end, stepper->end());
+
+    for (Count base = 0; base < max_end; base += fusedBlock) {
+        const Count block_stop = std::min(base + fusedBlock, max_end);
+        for (auto &stepper : execs) {
+            const Count to = std::min(block_stop, stepper->end());
+            if (base < to)
+                stepper->step(base, to);
+        }
+    }
+
+    for (auto &stepper : execs)
+        stepper->finish();
 }
 
 } // namespace bpsim

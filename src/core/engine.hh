@@ -12,6 +12,8 @@
 #ifndef BPSIM_CORE_ENGINE_HH
 #define BPSIM_CORE_ENGINE_HH
 
+#include <vector>
+
 #include "core/sim_stats.hh"
 #include "predictor/predictor.hh"
 #include "profile/profile_db.hh"
@@ -108,6 +110,51 @@ SimStats simulateReplay(BranchPredictor &predictor,
                         const ReplayBuffer &buffer,
                         const SimOptions &options = {},
                         bool *used_fast_path = nullptr);
+
+class SiteIndex;
+
+/**
+ * One simulation of a fused replay pass: the predictor (with any
+ * static-hint database and shift policy wrapped inside a
+ * CombinedPredictor), its options, and the result slots
+ * simulateReplayFused() fills.
+ */
+struct FusedSim
+{
+    /** The predictor to drive (not owned). */
+    BranchPredictor *predictor = nullptr;
+
+    /** Per-sim options; resetStream is ignored as in simulateReplay. */
+    SimOptions options;
+
+    /** Output: the run's statistics. */
+    SimStats stats;
+
+    /** Output: whether this sim ran a devirtualized kernel. */
+    bool usedFastPath = false;
+};
+
+/**
+ * Run every sim of @p sims over @p buffer in one fused pass: the
+ * buffer's records are visited block by block, and every sim steps
+ * through each block before the pass moves on, so N predictor
+ * configurations share one trace walk instead of N.
+ *
+ * Results are bit-identical to calling simulateReplay() once per sim:
+ * each sim advances its own predictor, history and statistics through
+ * the same record sequence, warmup and maxBranches windows are
+ * honoured per sim, and the same kernel-vs-virtual dispatch applies
+ * (per sim, reported in FusedSim::usedFastPath).
+ *
+ * @p sites optionally carries the buffer's site enumeration, letting
+ * the pass flatten per-record static-hint hash lookups and per-branch
+ * profile accumulation onto dense site-indexed arrays. Pure
+ * acceleration: results are identical with or without it. When given
+ * it must have been built from @p buffer.
+ */
+void simulateReplayFused(std::vector<FusedSim> &sims,
+                         const ReplayBuffer &buffer,
+                         const SiteIndex *sites = nullptr);
 
 } // namespace bpsim
 

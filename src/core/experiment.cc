@@ -31,17 +31,6 @@ profileOptions(const ExperimentConfig &config, ProfileDb &profile)
     return options;
 }
 
-/** Options of the evaluation-phase simulation. */
-SimOptions
-evalOptions(const ExperimentConfig &config)
-{
-    SimOptions options;
-    options.maxBranches = config.evalBranches;
-    options.warmupBranches = config.evalWarmupBranches;
-    options.counters = config.counters;
-    return options;
-}
-
 /**
  * Adapter pinning a SyntheticProgram to one input set: reset()
  * re-binds the input (which also rewinds execution), so the
@@ -125,6 +114,16 @@ finishExperiment(const ExperimentConfig &config,
 }
 
 } // namespace
+
+SimOptions
+evalSimOptions(const ExperimentConfig &config)
+{
+    SimOptions options;
+    options.maxBranches = config.evalBranches;
+    options.warmupBranches = config.evalWarmupBranches;
+    options.counters = config.counters;
+    return options;
+}
 
 Result<void>
 ExperimentConfig::validate() const
@@ -229,8 +228,74 @@ runEvaluationStreams(BranchStream &eval_stream,
         },
         [&](CombinedPredictor &combined) {
             return simulate(combined, eval_stream,
-                            evalOptions(config));
+                            evalSimOptions(config));
         });
+}
+
+PreparedEvaluation
+prepareEvaluationReplay(const ReplayBuffer *profile_buffer,
+                        const ReplayBuffer &eval_buffer,
+                        const ExperimentConfig &config,
+                        const ProfilePhase *cached_profile)
+{
+    PreparedEvaluation prepared;
+    HintDb hints;
+
+    if (config.scheme != StaticScheme::None) {
+        ProfilePhase local;
+        const ProfilePhase *phase = cached_profile;
+        if (phase == nullptr) {
+            bpsim_assert(profile_buffer != nullptr,
+                         "selection scheme needs a profile trace");
+            local = runProfilePhaseReplay(*profile_buffer, config,
+                                          &prepared.preEvalFastPath);
+            phase = &local;
+        }
+        prepared.preEvalBranches += phase->simulatedBranches;
+
+        const ProfileDb *selection_profile = &phase->profile;
+        ProfileDb filtered;
+        if (config.filterUnstable &&
+            config.profileInput != config.evalInput) {
+            // The Spike-style merge filter: gather a bias-only
+            // profile under the evaluation input and drop branches
+            // whose behaviour is input-dependent.
+            auto cursor = eval_buffer.cursor();
+            BoundedStream bounded(cursor, config.profileBranches);
+            ProfileDb eval_profile =
+                ProfileDb::collect(bounded, config.profileBranches);
+            prepared.preEvalBranches += eval_profile.totalExecuted();
+            filtered = stableSubset(*selection_profile, eval_profile,
+                                    config.stabilityThreshold);
+            selection_profile = &filtered;
+        }
+
+        hints = selectStatic(config.scheme, *selection_profile,
+                             config.selection);
+    }
+
+    prepared.hintCount = hints.size();
+    prepared.combined = std::make_unique<CombinedPredictor>(
+        makeDynamicComponent(config), std::move(hints), config.shift);
+    return prepared;
+}
+
+ExperimentResult
+finishPreparedEvaluation(const PreparedEvaluation &prepared,
+                         const ExperimentConfig &config,
+                         const SimStats &eval_stats)
+{
+    ExperimentResult result;
+    result.stats = eval_stats;
+    result.hintCount = prepared.hintCount;
+    // Warmup branches are simulated work even though they are outside
+    // the measured window; count them exactly once (streams shorter
+    // than the warmup are the caller's misconfiguration — the matrix
+    // runner sizes its buffers to cover warmup + eval).
+    result.simulatedBranches = prepared.preEvalBranches +
+                               config.evalWarmupBranches +
+                               eval_stats.branches;
+    return result;
 }
 
 ExperimentResult
@@ -239,18 +304,12 @@ runEvaluationReplay(const ReplayBuffer &eval_buffer,
                     const ProfilePhase *profile_phase,
                     bool *used_fast_path)
 {
-    return finishExperiment(
-        config, profile_phase,
-        [&] {
-            auto cursor = eval_buffer.cursor();
-            BoundedStream bounded(cursor, config.profileBranches);
-            return ProfileDb::collect(bounded, config.profileBranches);
-        },
-        [&](CombinedPredictor &combined) {
-            return simulateReplay(combined, eval_buffer,
-                                  evalOptions(config),
-                                  used_fast_path);
-        });
+    PreparedEvaluation prepared = prepareEvaluationReplay(
+        nullptr, eval_buffer, config, profile_phase);
+    const SimStats stats =
+        simulateReplay(*prepared.combined, eval_buffer,
+                       evalSimOptions(config), used_fast_path);
+    return finishPreparedEvaluation(prepared, config, stats);
 }
 
 ExperimentResult
@@ -278,23 +337,41 @@ runExperimentReplay(const ReplayBuffer *profile_buffer,
 {
     if (Result<void> valid = config.validate(); !valid.ok())
         raise(std::move(valid.error()));
-    ProfilePhase local;
-    const ProfilePhase *phase = cached_profile;
-    bool profile_fast = true;
-    if (config.scheme != StaticScheme::None && phase == nullptr) {
-        bpsim_assert(profile_buffer != nullptr,
-                     "selection scheme needs a profile trace");
-        local = runProfilePhaseReplay(*profile_buffer, config,
-                                      &profile_fast);
-        phase = &local;
+    PreparedEvaluation prepared = prepareEvaluationReplay(
+        profile_buffer, eval_buffer, config, cached_profile);
+    bool eval_fast = false;
+    const SimStats stats =
+        simulateReplay(*prepared.combined, eval_buffer,
+                       evalSimOptions(config), &eval_fast);
+    if (used_fast_path != nullptr)
+        *used_fast_path = prepared.preEvalFastPath && eval_fast;
+    return finishPreparedEvaluation(prepared, config, stats);
+}
+
+std::vector<FusedProfileOutcome>
+runProfilePhasesFusedReplay(
+    const ReplayBuffer &profile_buffer,
+    const std::vector<const ExperimentConfig *> &configs,
+    const SiteIndex *sites)
+{
+    std::vector<FusedProfileOutcome> outcomes(configs.size());
+    std::vector<std::unique_ptr<BranchPredictor>> predictors;
+    predictors.reserve(configs.size());
+    std::vector<FusedSim> sims(configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        predictors.push_back(makeDynamicComponent(*configs[i]));
+        sims[i].predictor = predictors.back().get();
+        sims[i].options =
+            profileOptions(*configs[i], outcomes[i].phase.profile);
     }
 
-    bool eval_fast = false;
-    ExperimentResult result =
-        runEvaluationReplay(eval_buffer, config, phase, &eval_fast);
-    if (used_fast_path != nullptr)
-        *used_fast_path = profile_fast && eval_fast;
-    return result;
+    simulateReplayFused(sims, profile_buffer, sites);
+
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        outcomes[i].phase.simulatedBranches = sims[i].stats.branches;
+        outcomes[i].usedFastPath = sims[i].usedFastPath;
+    }
+    return outcomes;
 }
 
 ExperimentResult

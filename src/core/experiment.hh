@@ -14,8 +14,10 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/combined_predictor.hh"
+#include "core/engine.hh"
 #include "core/sim_stats.hh"
 #include "predictor/factory.hh"
 #include "profile/profile_db.hh"
@@ -28,6 +30,7 @@ namespace bpsim
 {
 
 class ReplayBuffer;
+class SiteIndex;
 
 /** Full description of one experiment. */
 struct ExperimentConfig
@@ -144,6 +147,26 @@ ProfilePhase runProfilePhaseReplay(const ReplayBuffer &profile_buffer,
                                    const ExperimentConfig &config,
                                    bool *used_fast_path = nullptr);
 
+/** One profiling phase of a fused pass (runProfilePhasesFusedReplay). */
+struct FusedProfileOutcome
+{
+    ProfilePhase phase;
+
+    /** Whether this phase's sim ran a devirtualized kernel. */
+    bool usedFastPath = false;
+};
+
+/**
+ * Run the profiling phases of several configs over one shared buffer
+ * in a single fused pass (simulateReplayFused). Each outcome is
+ * bit-identical to runProfilePhaseReplay() of the matching config;
+ * @p sites optionally accelerates the pass (see SiteIndex).
+ */
+std::vector<FusedProfileOutcome> runProfilePhasesFusedReplay(
+    const ReplayBuffer &profile_buffer,
+    const std::vector<const ExperimentConfig *> &configs,
+    const SiteIndex *sites = nullptr);
+
 /** Outcome of one experiment. */
 struct ExperimentResult
 {
@@ -199,6 +222,53 @@ ExperimentResult runEvaluationReplay(const ReplayBuffer &eval_buffer,
                                      const ExperimentConfig &config,
                                      const ProfilePhase *profile_phase,
                                      bool *used_fast_path = nullptr);
+
+/**
+ * An experiment's evaluation, ready to run: everything up to (but not
+ * including) the evaluation simulation — profiling, the §5.1 merge
+ * filter, static selection, and construction of the combined
+ * predictor. Splitting here lets the fused executor batch the
+ * expensive evaluation sims of many prepared cells into one pass.
+ */
+struct PreparedEvaluation
+{
+    /** The combined predictor to evaluate. */
+    std::unique_ptr<CombinedPredictor> combined;
+
+    /** Number of branches given static hints. */
+    std::size_t hintCount = 0;
+
+    /** Branches simulated before evaluation (profiling + filtering). */
+    Count preEvalBranches = 0;
+
+    /** Whether pre-evaluation simulation work (a profiling phase run
+     * here, if any) took the devirtualized path. */
+    bool preEvalFastPath = true;
+};
+
+/**
+ * Run everything of runExperimentReplay() up to the evaluation
+ * simulation. Uses @p cached_profile when given; otherwise runs the
+ * profiling phase from @p profile_buffer (which may be null only when
+ * the config needs no profile). Does not validate the config — the
+ * experiment entry points and the matrix runner validate upstream.
+ */
+PreparedEvaluation prepareEvaluationReplay(
+    const ReplayBuffer *profile_buffer, const ReplayBuffer &eval_buffer,
+    const ExperimentConfig &config, const ProfilePhase *cached_profile);
+
+/** Evaluation-phase SimOptions of @p config (for executing a
+ * PreparedEvaluation, fused or otherwise). */
+SimOptions evalSimOptions(const ExperimentConfig &config);
+
+/**
+ * Assemble the ExperimentResult of an executed evaluation:
+ * @p eval_stats from simulating prepared.combined under
+ * evalSimOptions(config) over the evaluation buffer.
+ */
+ExperimentResult finishPreparedEvaluation(
+    const PreparedEvaluation &prepared, const ExperimentConfig &config,
+    const SimStats &eval_stats);
 
 /**
  * Full experiment over materialized traces. Uses @p cached_profile

@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <deque>
 #include <limits>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
@@ -17,6 +18,7 @@
 #include "support/fault.hh"
 #include "support/json.hh"
 #include "support/logging.hh"
+#include "trace/replay_buffer.hh"
 
 namespace bpsim
 {
@@ -91,6 +93,101 @@ attemptWithRetries(unsigned retries, unsigned &attempts,
                              failure.what());
         }
     }
+}
+
+/** Short input-set name for fused-group labels. */
+const char *
+inputSetName(InputSet input)
+{
+    return input == InputSet::Train ? "train" : "ref";
+}
+
+/** Comma-joined index list ("3,4,7") for journal payloads. */
+std::string
+joinIndexList(const std::vector<Count> &values)
+{
+    std::string out;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i > 0)
+            out += ",";
+        out += std::to_string(values[i]);
+    }
+    return out;
+}
+
+/**
+ * One planned fused pass: work items (cell or profile-phase indices)
+ * that share a replay buffer, stepped together by one worker.
+ */
+struct FusedGroupPlan
+{
+    std::size_t programIndex = 0;
+    InputSet input = InputSet::Ref;
+    std::vector<std::size_t> members;
+};
+
+/**
+ * Group @p items by their shared buffer, in first-seen item order so
+ * the plan — and with it every result — is independent of the thread
+ * count. @p key maps an item to its (program index, input) pair. The
+ * group count is small (programs × inputs), so the linear scan beats
+ * a map.
+ */
+template <typename Key>
+std::vector<FusedGroupPlan>
+groupForFusion(const std::vector<std::size_t> &items, const Key &key)
+{
+    std::vector<FusedGroupPlan> groups;
+    for (const std::size_t item : items) {
+        const auto [program, input] = key(item);
+        FusedGroupPlan *group = nullptr;
+        for (FusedGroupPlan &candidate : groups) {
+            if (candidate.programIndex == program &&
+                candidate.input == input) {
+                group = &candidate;
+                break;
+            }
+        }
+        if (group == nullptr) {
+            groups.push_back({program, input, {}});
+            group = &groups.back();
+        }
+        group->members.push_back(item);
+    }
+    return groups;
+}
+
+/**
+ * Split each group's member list into near-equal contiguous chunks so
+ * a sweep with fewer groups than workers still spreads across the
+ * pool. Chunking never changes results — each member still steps
+ * through its own records — only which worker steps it.
+ */
+std::vector<FusedGroupPlan>
+chunkGroups(std::vector<FusedGroupPlan> groups, unsigned threads)
+{
+    const std::size_t per_group =
+        groups.empty() ? 1
+                       : (threads + groups.size() - 1) / groups.size();
+    std::vector<FusedGroupPlan> chunks;
+    for (FusedGroupPlan &group : groups) {
+        const std::size_t parts = std::clamp<std::size_t>(
+            per_group, 1, group.members.size());
+        const std::size_t base = group.members.size() / parts;
+        const std::size_t extra = group.members.size() % parts;
+        std::size_t at = 0;
+        for (std::size_t c = 0; c < parts; ++c) {
+            const std::size_t len = base + (c < extra ? 1 : 0);
+            FusedGroupPlan chunk;
+            chunk.programIndex = group.programIndex;
+            chunk.input = group.input;
+            chunk.members.assign(group.members.begin() + at,
+                                 group.members.begin() + at + len);
+            at += len;
+            chunks.push_back(std::move(chunk));
+        }
+    }
+    return chunks;
 }
 
 } // namespace
@@ -505,6 +602,7 @@ ExperimentRunner::run()
     MatrixResult result;
     result.cells.resize(cells.size());
     result.threads = taskPool.threadCount();
+    result.fused = options.fused;
 
     // Per-cell validation up front: an invalid cell becomes a failed
     // result without executing anything — crucially it also stays
@@ -595,12 +693,145 @@ ExperimentRunner::run()
     std::vector<std::optional<Error>> phase_errors(
         profile_tasks.size());
     std::atomic<bool> abortRun{false};
+    std::atomic<Count> fused_group_count{0};
+
+    // One lazily built SiteIndex per materialized buffer, shared
+    // read-only by every fused pass over that buffer. call_once makes
+    // the concurrent chunks of one group race-free; a site index is
+    // pure acceleration, so results do not depend on who built it.
+    struct SiteSlot
+    {
+        std::once_flag once;
+        std::unique_ptr<SiteIndex> index;
+    };
+    std::vector<std::array<SiteSlot, numInputSets>> site_slots(
+        programs.size());
+    const auto siteFor = [&](std::size_t program_index,
+                             InputSet input) -> const SiteIndex * {
+        SiteSlot &slot =
+            site_slots[program_index][static_cast<unsigned>(input)];
+        std::call_once(slot.once, [&] {
+            ScopedTimer timer(timers, "runner.site_index");
+            slot.index = std::make_unique<SiteIndex>(
+                SiteIndex::build(buffer(program_index, input)));
+        });
+        return slot.index.get();
+    };
+    const auto groupLabel = [&](const FusedGroupPlan &chunk) {
+        return programs[chunk.programIndex].name() + "/" +
+               inputSetName(chunk.input);
+    };
+
+    // One fused profiling chunk: gate each member through its own
+    // abort/fault checks (so an injected fault fails exactly that
+    // member and leaves the rest of the group unaffected), then run
+    // the survivors' profiling sims in a single pass over the shared
+    // buffer.
+    const auto runFusedProfileChunk = [&](const FusedGroupPlan
+                                              &chunk) {
+        const std::string &program_name =
+            programs[chunk.programIndex].name();
+        std::vector<std::size_t> live;
+        for (const std::size_t j : chunk.members) {
+            if (abortRun.load(std::memory_order_relaxed)) {
+                phase_errors[j] = Error(
+                    ErrorCode::CellFailed,
+                    "skipped: fail-fast after an earlier failure");
+                continue;
+            }
+            unsigned attempts = 0;
+            std::optional<Error> failure = attemptWithRetries(
+                options.retries, attempts, [&] {
+                    faultPoint(fault_points::profilePhase,
+                               program_name);
+                });
+            if (failure.has_value()) {
+                phase_errors[j] = std::move(*failure).withContext(
+                    "in shared profiling phase (" + program_name +
+                    ")");
+                if (options.failFast)
+                    abortRun.store(true, std::memory_order_relaxed);
+                continue;
+            }
+            live.push_back(j);
+        }
+        if (live.empty())
+            return;
+
+        ScopedTimer timer(timers, "runner.profile_phase");
+        std::vector<const ExperimentConfig *> configs;
+        configs.reserve(live.size());
+        for (const std::size_t j : live)
+            configs.push_back(profile_tasks[j].config);
+        std::vector<FusedProfileOutcome> outcomes;
+        unsigned pass_attempts = 0;
+        std::optional<Error> pass_failure = attemptWithRetries(
+            options.retries, pass_attempts, [&] {
+                outcomes = runProfilePhasesFusedReplay(
+                    buffer(chunk.programIndex, chunk.input), configs,
+                    siteFor(chunk.programIndex, chunk.input));
+            });
+        const double wall = timer.stop();
+        if (pass_failure.has_value()) {
+            for (const std::size_t j : live) {
+                Error failure = *pass_failure;
+                phase_errors[j] = std::move(failure).withContext(
+                    "in shared profiling phase (" + program_name +
+                    ")");
+            }
+            if (options.failFast)
+                abortRun.store(true, std::memory_order_relaxed);
+            return;
+        }
+
+        Count total_branches = 0;
+        for (const FusedProfileOutcome &outcome : outcomes)
+            total_branches += outcome.phase.simulatedBranches;
+        std::vector<Count> member_phases;
+        for (std::size_t k = 0; k < live.size(); ++k) {
+            const std::size_t j = live[k];
+            phases[j] = std::move(outcomes[k].phase);
+            phase_branches[j] = phases[j].simulatedBranches;
+            phase_kernel[j] = outcomes[k].usedFastPath ? 1 : 0;
+            // Prorate the pass wall over members by branch share so
+            // the serial estimate stays comparable to per-cell runs.
+            phase_walls[j] =
+                total_branches > 0
+                    ? wall * static_cast<double>(phase_branches[j]) /
+                          static_cast<double>(total_branches)
+                    : wall / static_cast<double>(live.size());
+            member_phases.push_back(j);
+            if (journal != nullptr) {
+                journal->record(
+                    obs::EventKind::ProfilePhase,
+                    TaskPool::currentWorkerIndex(), program_name,
+                    {obs::Field::u64("phase", j),
+                     obs::Field::f64("seconds", phase_walls[j]),
+                     obs::Field::boolean("kernel",
+                                         outcomes[k].usedFastPath),
+                     obs::Field::u64("branches",
+                                     phase_branches[j])});
+            }
+        }
+        if (journal != nullptr) {
+            journal->record(
+                obs::EventKind::FusedGroup,
+                TaskPool::currentWorkerIndex(), groupLabel(chunk),
+                {obs::Field::str("phase", "profile"),
+                 obs::Field::u64("members", live.size()),
+                 obs::Field::str("cells",
+                                 joinIndexList(member_phases)),
+                 obs::Field::f64("seconds", wall),
+                 obs::Field::u64("branches", total_branches)});
+        }
+        fused_group_count.fetch_add(1, std::memory_order_relaxed);
+    };
 
     if (journal != nullptr && !phase_exec.empty())
         journal->record(obs::EventKind::PhaseBegin,
                         TaskPool::currentWorkerIndex(), "profile");
-    taskPool.parallelFor(phase_exec.size(), [&](std::size_t k) {
-        const std::size_t j = phase_exec[k];
+    // One standalone profiling phase (the non-fused path).
+    const auto runProfilePhaseSolo = [&](std::size_t j) {
         const ProfileTask &task = profile_tasks[j];
         const std::string &program_name =
             programs[task.programIndex].name();
@@ -640,7 +871,31 @@ ExperimentRunner::run()
                  obs::Field::u64("branches",
                                  phases[j].simulatedBranches)});
         }
-    });
+    };
+
+    if (options.fused) {
+        // Fused profiling: group the executable phases by their
+        // shared profile buffer and run each chunk's predictors in
+        // one pass over it.
+        const std::vector<FusedGroupPlan> profile_chunks =
+            chunkGroups(groupForFusion(
+                            phase_exec,
+                            [&](std::size_t j) {
+                                return std::pair(
+                                    profile_tasks[j].programIndex,
+                                    profile_tasks[j].input);
+                            }),
+                        taskPool.threadCount());
+        taskPool.parallelFor(profile_chunks.size(),
+                             [&](std::size_t c) {
+                                 runFusedProfileChunk(
+                                     profile_chunks[c]);
+                             });
+    } else {
+        taskPool.parallelFor(phase_exec.size(), [&](std::size_t k) {
+            runProfilePhaseSolo(phase_exec[k]);
+        });
+    }
     for (const double wall : phase_walls)
         result.profileSeconds += wall;
     if (journal != nullptr && !phase_exec.empty())
@@ -649,13 +904,109 @@ ExperimentRunner::run()
                         {obs::Field::f64("seconds",
                                          result.profileSeconds)});
 
-    // Phase B: the cells. Each worker owns its predictor and profile
-    // state; buffers and cached phases are shared read-only, so the
-    // hot path takes no locks.
-    if (journal != nullptr)
-        journal->record(obs::EventKind::PhaseBegin,
-                        TaskPool::currentWorkerIndex(), "cells");
-    taskPool.parallelFor(cells.size(), [&](std::size_t i) {
+    // Phase B plumbing, shared by the per-cell and fused paths so
+    // both emit byte-identical journal events and checkpoint records.
+
+    // Close a cell's journal bracket with a cell_error and set its
+    // failure slot; with failFast, wave the rest of the sweep off.
+    const auto failCell = [&](std::size_t i, Error error,
+                              unsigned attempts) {
+        CellResult &out = result.cells[i];
+        out.error = std::move(error);
+        out.attempts = attempts;
+        if (options.failFast)
+            abortRun.store(true, std::memory_order_relaxed);
+        if (journal != nullptr) {
+            journal->record(
+                obs::EventKind::CellError,
+                TaskPool::currentWorkerIndex(), cells[i].label,
+                {obs::Field::u64("cell", i),
+                 obs::Field::str("code",
+                                 errorCodeName(out.error->code())),
+                 obs::Field::str("message", out.error->message()),
+                 obs::Field::u64("attempts", attempts)});
+        }
+    };
+
+    const auto emitCellEnd = [&](std::size_t i) {
+        if (journal == nullptr)
+            return;
+        const CellResult &out = result.cells[i];
+        const SimStats &stats = out.result.stats;
+        const Count classified = stats.collisions.constructive +
+                                 stats.collisions.destructive;
+        const Count neutral =
+            stats.collisions.collisions > classified
+                ? stats.collisions.collisions - classified
+                : 0;
+        journal->record(
+            obs::EventKind::CellEnd,
+            TaskPool::currentWorkerIndex(), cells[i].label,
+            {obs::Field::u64("cell", i),
+             obs::Field::f64("seconds", out.wallSeconds),
+             obs::Field::boolean("kernel", out.usedKernel),
+             obs::Field::boolean("profile_cached",
+                                 out.profileCached),
+             obs::Field::boolean("restored", out.restored),
+             obs::Field::u64("branches", stats.branches),
+             obs::Field::u64("simulated_branches",
+                             out.result.simulatedBranches),
+             obs::Field::u64("instructions", stats.instructions),
+             obs::Field::u64("mispredictions",
+                             stats.mispredictions),
+             obs::Field::f64("misp_ki", stats.mispKi()),
+             obs::Field::u64("hints", out.result.hintCount),
+             obs::Field::u64("static_predicted",
+                             stats.staticPredicted),
+             obs::Field::u64("lookups", stats.collisions.lookups),
+             obs::Field::u64("collisions",
+                             stats.collisions.collisions),
+             obs::Field::u64("constructive",
+                             stats.collisions.constructive),
+             obs::Field::u64("destructive",
+                             stats.collisions.destructive),
+             obs::Field::u64("neutral", neutral)});
+    };
+
+    // Persist before the journal event: a kill between the two can
+    // only lose the cell (re-run on resume), never record it twice.
+    // A failed checkpoint write degrades durability, not
+    // correctness, so it warns instead of failing the cell.
+    const auto writeCheckpoint = [&](std::size_t i) {
+        if (checkpoint == nullptr || fingerprints[i].empty())
+            return;
+        const CellResult &out = result.cells[i];
+        try {
+            faultPoint(fault_points::checkpointWrite, cells[i].label);
+            CheckpointRecord record;
+            record.fingerprint = fingerprints[i];
+            record.label = cells[i].label;
+            record.result = out.result;
+            record.usedKernel = out.usedKernel;
+            record.phaseBranches =
+                out.profileCached ? phase_branches[cell_phase[i]]
+                                  : 0;
+            const Result<void> recorded =
+                checkpoint->record(std::move(record));
+            if (!recorded.ok()) {
+                std::fprintf(stderr,
+                             "bpsim: warning: checkpoint write "
+                             "failed for '%s': %s\n",
+                             cells[i].label.c_str(),
+                             recorded.error().describe().c_str());
+            }
+        } catch (const ErrorException &write_failure) {
+            std::fprintf(stderr,
+                         "bpsim: warning: checkpoint write "
+                         "failed for '%s': %s\n",
+                         cells[i].label.c_str(),
+                         write_failure.what());
+        }
+    };
+
+    // One complete cell (the non-fused path; the fused path reuses
+    // it for the no-simulation invalid/restored cases).
+    const auto runCell = [&](std::size_t i) {
         const MatrixCell &cell = cells[i];
         const ExperimentConfig &config = cell.config;
         CellResult &out = result.cells[i];
@@ -664,67 +1015,8 @@ ExperimentRunner::run()
                             TaskPool::currentWorkerIndex(), cell.label,
                             {obs::Field::u64("cell", i)});
 
-        // Close the cell's journal bracket with a cell_error and set
-        // its failure slot; with failFast, wave the rest of the
-        // sweep off.
-        const auto failCell = [&](Error error, unsigned attempts) {
-            out.error = std::move(error);
-            out.attempts = attempts;
-            if (options.failFast)
-                abortRun.store(true, std::memory_order_relaxed);
-            if (journal != nullptr) {
-                journal->record(
-                    obs::EventKind::CellError,
-                    TaskPool::currentWorkerIndex(), cell.label,
-                    {obs::Field::u64("cell", i),
-                     obs::Field::str("code",
-                                     errorCodeName(out.error->code())),
-                     obs::Field::str("message", out.error->message()),
-                     obs::Field::u64("attempts", attempts)});
-            }
-        };
-
-        const auto emitCellEnd = [&] {
-            if (journal == nullptr)
-                return;
-            const SimStats &stats = out.result.stats;
-            const Count classified = stats.collisions.constructive +
-                                     stats.collisions.destructive;
-            const Count neutral =
-                stats.collisions.collisions > classified
-                    ? stats.collisions.collisions - classified
-                    : 0;
-            journal->record(
-                obs::EventKind::CellEnd,
-                TaskPool::currentWorkerIndex(), cell.label,
-                {obs::Field::u64("cell", i),
-                 obs::Field::f64("seconds", out.wallSeconds),
-                 obs::Field::boolean("kernel", out.usedKernel),
-                 obs::Field::boolean("profile_cached",
-                                     out.profileCached),
-                 obs::Field::boolean("restored", out.restored),
-                 obs::Field::u64("branches", stats.branches),
-                 obs::Field::u64("simulated_branches",
-                                 out.result.simulatedBranches),
-                 obs::Field::u64("instructions", stats.instructions),
-                 obs::Field::u64("mispredictions",
-                                 stats.mispredictions),
-                 obs::Field::f64("misp_ki", stats.mispKi()),
-                 obs::Field::u64("hints", out.result.hintCount),
-                 obs::Field::u64("static_predicted",
-                                 stats.staticPredicted),
-                 obs::Field::u64("lookups", stats.collisions.lookups),
-                 obs::Field::u64("collisions",
-                                 stats.collisions.collisions),
-                 obs::Field::u64("constructive",
-                                 stats.collisions.constructive),
-                 obs::Field::u64("destructive",
-                                 stats.collisions.destructive),
-                 obs::Field::u64("neutral", neutral)});
-        };
-
         if (invalid[i].has_value()) {
-            failCell(*invalid[i], 0);
+            failCell(i, *invalid[i], 0);
             return;
         }
 
@@ -737,12 +1029,13 @@ ExperimentRunner::run()
             out.usedKernel = restored[i]->usedKernel;
             out.profileCached = cell_phase[i] != noPhase;
             out.restored = true;
-            emitCellEnd();
+            emitCellEnd(i);
             return;
         }
 
         if (abortRun.load(std::memory_order_relaxed)) {
             failCell(
+                i,
                 Error(ErrorCode::CellFailed,
                       "skipped: fail-fast after an earlier failure"),
                 0);
@@ -752,7 +1045,8 @@ ExperimentRunner::run()
         const ProfilePhase *cached = nullptr;
         if (cell_phase[i] != noPhase) {
             if (phase_errors[cell_phase[i]].has_value()) {
-                failCell(Error(ErrorCode::CellFailed,
+                failCell(i,
+                         Error(ErrorCode::CellFailed,
                                "shared profiling phase failed")
                              .withContext(
                                  phase_errors[cell_phase[i]]
@@ -781,7 +1075,8 @@ ExperimentRunner::run()
             });
         out.wallSeconds = timer.stop();
         if (failure.has_value()) {
-            failCell(std::move(*failure).withContext(
+            failCell(i,
+                     std::move(*failure).withContext(
                          "while running cell " + cell.label),
                      attempts);
             return;
@@ -792,42 +1087,215 @@ ExperimentRunner::run()
         out.usedKernel =
             fast && (cached == nullptr || phase_kernel[cell_phase[i]]);
 
-        // Persist before the journal event: a kill between the two
-        // can only lose the cell (re-run on resume), never record it
-        // twice. A failed checkpoint write degrades durability, not
-        // correctness, so it warns instead of failing the cell.
-        if (checkpoint != nullptr && !fingerprints[i].empty()) {
-            try {
-                faultPoint(fault_points::checkpointWrite, cell.label);
-                CheckpointRecord record;
-                record.fingerprint = fingerprints[i];
-                record.label = cell.label;
-                record.result = out.result;
-                record.usedKernel = out.usedKernel;
-                record.phaseBranches =
-                    out.profileCached
-                        ? phase_branches[cell_phase[i]]
-                        : 0;
-                const Result<void> recorded =
-                    checkpoint->record(std::move(record));
-                if (!recorded.ok()) {
-                    std::fprintf(stderr,
-                                 "bpsim: warning: checkpoint write "
-                                 "failed for '%s': %s\n",
-                                 cell.label.c_str(),
-                                 recorded.error().describe().c_str());
-                }
-            } catch (const ErrorException &write_failure) {
-                std::fprintf(stderr,
-                             "bpsim: warning: checkpoint write "
-                             "failed for '%s': %s\n",
-                             cell.label.c_str(),
-                             write_failure.what());
+        writeCheckpoint(i);
+        emitCellEnd(i);
+    };
+
+    // One fused evaluation chunk: prepare each member cell (its
+    // profiling, merge filter, selection and predictor construction),
+    // then step every prepared predictor through the shared eval
+    // buffer in one pass and assemble per-cell results. Per-member
+    // gates keep failure semantics identical to the per-cell path: an
+    // injected fault or failed shared phase takes down exactly that
+    // member, and the survivors' results are unaffected.
+    const auto runFusedCellChunk = [&](const FusedGroupPlan &chunk) {
+        struct LiveCell
+        {
+            std::size_t index = 0;
+            PreparedEvaluation prepared;
+            bool cached = false;
+            unsigned attempts = 0;
+            double prepareSeconds = 0.0;
+        };
+        std::vector<LiveCell> live;
+        for (const std::size_t i : chunk.members) {
+            const MatrixCell &cell = cells[i];
+            const ExperimentConfig &config = cell.config;
+            if (journal != nullptr) {
+                journal->record(obs::EventKind::CellBegin,
+                                TaskPool::currentWorkerIndex(),
+                                cell.label,
+                                {obs::Field::u64("cell", i)});
             }
+            if (abortRun.load(std::memory_order_relaxed)) {
+                failCell(i,
+                         Error(ErrorCode::CellFailed,
+                               "skipped: fail-fast after an earlier "
+                               "failure"),
+                         0);
+                continue;
+            }
+            const ProfilePhase *cached = nullptr;
+            if (cell_phase[i] != noPhase) {
+                if (phase_errors[cell_phase[i]].has_value()) {
+                    failCell(i,
+                             Error(ErrorCode::CellFailed,
+                                   "shared profiling phase failed")
+                                 .withContext(
+                                     phase_errors[cell_phase[i]]
+                                         ->describe()),
+                             0);
+                    continue;
+                }
+                cached = &phases[cell_phase[i]];
+            }
+            const ReplayBuffer *profile_buffer =
+                config.scheme != StaticScheme::None &&
+                        cached == nullptr
+                    ? &buffer(cell.programIndex, config.profileInput)
+                    : nullptr;
+
+            ScopedTimer timer(timers, "runner.cell");
+            LiveCell entry;
+            entry.index = i;
+            entry.cached = cached != nullptr;
+            std::optional<Error> failure = attemptWithRetries(
+                options.retries, entry.attempts, [&] {
+                    faultPoint(fault_points::cell, cell.label);
+                    entry.prepared = prepareEvaluationReplay(
+                        profile_buffer,
+                        buffer(cell.programIndex, config.evalInput),
+                        config, cached);
+                });
+            entry.prepareSeconds = timer.stop();
+            if (failure.has_value()) {
+                result.cells[i].wallSeconds = entry.prepareSeconds;
+                failCell(i,
+                         std::move(*failure).withContext(
+                             "while running cell " + cell.label),
+                         entry.attempts);
+                continue;
+            }
+            live.push_back(std::move(entry));
+        }
+        if (live.empty())
+            return;
+
+        const ReplayBuffer &eval_buffer =
+            buffer(chunk.programIndex, chunk.input);
+        std::vector<FusedSim> sims(live.size());
+        for (std::size_t k = 0; k < live.size(); ++k) {
+            sims[k].predictor = live[k].prepared.combined.get();
+            sims[k].options =
+                evalSimOptions(cells[live[k].index].config);
+        }
+        ScopedTimer pass_timer(timers, "runner.fused_pass");
+        unsigned pass_attempts = 0;
+        std::optional<Error> pass_failure = attemptWithRetries(
+            options.retries, pass_attempts, [&] {
+                simulateReplayFused(
+                    sims, eval_buffer,
+                    siteFor(chunk.programIndex, chunk.input));
+            });
+        const double pass_wall = pass_timer.stop();
+        if (pass_failure.has_value()) {
+            for (const LiveCell &entry : live) {
+                result.cells[entry.index].wallSeconds =
+                    entry.prepareSeconds;
+                Error failure = *pass_failure;
+                failCell(entry.index,
+                         std::move(failure).withContext(
+                             "while running cell " +
+                             cells[entry.index].label),
+                         entry.attempts + pass_attempts - 1);
+            }
+            return;
         }
 
-        emitCellEnd();
-    });
+        // Per-record work of each member: measured branches plus its
+        // warmup slice of the shared buffer. Used to prorate the
+        // pass wall so per-cell timings and the serial estimate stay
+        // comparable to per-cell runs.
+        double total_records = 0.0;
+        std::vector<double> member_records(live.size(), 0.0);
+        for (std::size_t k = 0; k < live.size(); ++k) {
+            member_records[k] =
+                static_cast<double>(sims[k].stats.branches) +
+                static_cast<double>(
+                    std::min<Count>(sims[k].options.warmupBranches,
+                                    eval_buffer.size()));
+            total_records += member_records[k];
+        }
+        std::vector<Count> member_cells;
+        std::vector<Count> member_branches;
+        std::vector<Count> member_misps;
+        Count group_branches = 0;
+        for (std::size_t k = 0; k < live.size(); ++k) {
+            const std::size_t i = live[k].index;
+            CellResult &out = result.cells[i];
+            out.result = finishPreparedEvaluation(
+                live[k].prepared, cells[i].config, sims[k].stats);
+            out.attempts = live[k].attempts + pass_attempts - 1;
+            out.profileCached = live[k].cached;
+            const bool fast = live[k].prepared.preEvalFastPath &&
+                              sims[k].usedFastPath;
+            out.usedKernel =
+                fast &&
+                (!live[k].cached || phase_kernel[cell_phase[i]]);
+            out.wallSeconds =
+                live[k].prepareSeconds +
+                (total_records > 0.0
+                     ? pass_wall * member_records[k] / total_records
+                     : pass_wall /
+                           static_cast<double>(live.size()));
+            writeCheckpoint(i);
+            emitCellEnd(i);
+            member_cells.push_back(i);
+            member_branches.push_back(sims[k].stats.branches);
+            member_misps.push_back(sims[k].stats.mispredictions);
+            group_branches += sims[k].stats.branches;
+        }
+        if (journal != nullptr) {
+            journal->record(
+                obs::EventKind::FusedGroup,
+                TaskPool::currentWorkerIndex(), groupLabel(chunk),
+                {obs::Field::str("phase", "cells"),
+                 obs::Field::u64("members", live.size()),
+                 obs::Field::str("cells",
+                                 joinIndexList(member_cells)),
+                 obs::Field::f64("seconds", pass_wall),
+                 obs::Field::u64("branches", group_branches),
+                 obs::Field::str("branches_per_cell",
+                                 joinIndexList(member_branches)),
+                 obs::Field::str("mispredictions_per_cell",
+                                 joinIndexList(member_misps))});
+        }
+        fused_group_count.fetch_add(1, std::memory_order_relaxed);
+    };
+
+    // Phase B: the cells. Each worker owns its predictor and profile
+    // state; buffers and cached phases are shared read-only, so the
+    // hot path takes no locks.
+    if (journal != nullptr)
+        journal->record(obs::EventKind::PhaseBegin,
+                        TaskPool::currentWorkerIndex(), "cells");
+    if (options.fused) {
+        // Invalid and restored cells need no simulation; handle them
+        // on the coordinator (via runCell's early paths) so fused
+        // chunks hold only real work.
+        std::vector<std::size_t> pending;
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (invalid[i].has_value() || restored[i].has_value())
+                runCell(i);
+            else
+                pending.push_back(i);
+        }
+        const std::vector<FusedGroupPlan> cell_chunks = chunkGroups(
+            groupForFusion(pending,
+                           [&](std::size_t i) {
+                               return std::pair(
+                                   cells[i].programIndex,
+                                   cells[i].config.evalInput);
+                           }),
+            taskPool.threadCount());
+        taskPool.parallelFor(cell_chunks.size(), [&](std::size_t c) {
+            runFusedCellChunk(cell_chunks[c]);
+        });
+    } else {
+        taskPool.parallelFor(cells.size(), runCell);
+    }
+    result.fusedGroups =
+        fused_group_count.load(std::memory_order_relaxed);
     if (journal != nullptr)
         journal->record(obs::EventKind::PhaseEnd,
                         TaskPool::currentWorkerIndex(), "cells",
@@ -890,7 +1358,9 @@ ExperimentRunner::run()
              obs::Field::u64("kernel_cells", result.kernelCells),
              obs::Field::u64("failed_cells", result.failedCells),
              obs::Field::u64("restored_cells",
-                             result.restoredCells)});
+                             result.restoredCells),
+             obs::Field::boolean("fused", result.fused),
+             obs::Field::u64("fused_groups", result.fusedGroups)});
     }
     return result;
 }
@@ -954,6 +1424,10 @@ writeRunnerJson(const std::string &path, const std::string &bench,
                      result.profileCacheMisses));
     std::fprintf(file, "  \"kernel_cells\": %llu,\n",
                  static_cast<unsigned long long>(result.kernelCells));
+    std::fprintf(file, "  \"fused\": %s,\n",
+                 result.fused ? "true" : "false");
+    std::fprintf(file, "  \"fused_groups\": %llu,\n",
+                 static_cast<unsigned long long>(result.fusedGroups));
     std::fprintf(file, "  \"failed_cells\": %llu,\n",
                  static_cast<unsigned long long>(result.failedCells));
     std::fprintf(file, "  \"restored_cells\": %llu,\n",

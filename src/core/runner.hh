@@ -158,6 +158,20 @@ struct RunnerOptions
     bool profileCache = true;
 
     /**
+     * Fused sweep execution. Cells sharing an evaluation buffer
+     * (program × eval input) — and profiling phases sharing a profile
+     * buffer — are grouped and stepped through the trace in a single
+     * pass per group (simulateReplayFused), so one trace walk serves
+     * N predictor configurations. Results are bit-identical to the
+     * per-cell path in every deterministic field, including under
+     * checkpoint/resume, retries and fault injection; only wall-time
+     * attribution differs (a cell's share of its group's fused pass
+     * is prorated by branches stepped). Groups are chunked across
+     * worker threads, so fused mode still scales with threads.
+     */
+    bool fused = true;
+
+    /**
      * Optional run journal. When set, run() records the structured
      * event stream (run/phase boundaries, per-profile-phase and
      * per-cell events with timing, path-taken flags and stat
@@ -284,6 +298,12 @@ struct MatrixResult
 
     /** Cells restored from the checkpoint instead of executed. */
     Count restoredCells = 0;
+
+    /** The run used the fused sweep executor. */
+    bool fused = false;
+
+    /** Fused passes executed (profiling-phase and cell groups). */
+    Count fusedGroups = 0;
 
     /**
      * Branches actually simulated, counting each shared profiling

@@ -48,6 +48,8 @@ eventKindName(EventKind kind)
         return "cell_end";
       case EventKind::CellError:
         return "cell_error";
+      case EventKind::FusedGroup:
+        return "fused_group";
       case EventKind::RunEnd:
         return "run_end";
     }
@@ -243,6 +245,10 @@ RunJournal::summary() const
             if (event.boolean("profile_cached"))
                 ++sum.cachedCells;
             break;
+          case EventKind::FusedGroup:
+            ++sum.fusedGroups;
+            sum.fusedMembers += event.u64("members");
+            break;
           case EventKind::RunEnd:
             sum.wallSeconds = event.f64("seconds");
             break;
@@ -354,6 +360,10 @@ RunJournal::writeMetrics(const std::string &path) const
                  static_cast<unsigned long long>(sum.kernelCells));
     std::fprintf(file, "  \"cached_cells\": %llu,\n",
                  static_cast<unsigned long long>(sum.cachedCells));
+    std::fprintf(file, "  \"fused_groups\": %llu,\n",
+                 static_cast<unsigned long long>(sum.fusedGroups));
+    std::fprintf(file, "  \"fused_members\": %llu,\n",
+                 static_cast<unsigned long long>(sum.fusedMembers));
     std::fprintf(file, "  \"branches\": %llu,\n",
                  static_cast<unsigned long long>(sum.branches));
     std::fprintf(file, "  \"collisions\": %llu,\n",

@@ -52,6 +52,8 @@ enum class EventKind
     CellBegin,    ///< a matrix cell started on some worker thread
     CellEnd,      ///< cell finished: timing, path taken, stat snapshot
     CellError,    ///< cell failed: error code, message, attempts
+    FusedGroup,   ///< one fused pass executed: membership, timing,
+                  ///< per-cell branch/misprediction snapshots
     RunEnd,       ///< last event: aggregate totals
 };
 
@@ -171,6 +173,13 @@ struct JournalSummary
 
     /** Cells that consumed a shared (cached or fresh) profile phase. */
     Count cachedCells = 0;
+
+    /** fused_group events: fused passes executed by the sweep. */
+    Count fusedGroups = 0;
+
+    /** Sum of fused_group member counts (cells + profiling phases
+     * that ran inside a fused pass). */
+    Count fusedMembers = 0;
 
     /** Sum of cell_end measured branches. */
     Count branches = 0;

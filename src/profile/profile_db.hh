@@ -51,6 +51,18 @@ class ProfileDb
         profiles[pc].collisions += n;
     }
 
+    /**
+     * Accumulate pre-aggregated counts for one branch. Equivalent to
+     * replaying the individual record*() calls the counts summarise;
+     * the fused replay kernels use this to flush their dense per-site
+     * accumulators.
+     */
+    void
+    addCounts(Addr pc, const BranchProfile &delta)
+    {
+        profiles[pc] += delta;
+    }
+
     /** Profile of @p pc, or null if the branch never executed. */
     const BranchProfile *find(Addr pc) const;
 

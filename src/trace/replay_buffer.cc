@@ -1,5 +1,7 @@
 #include "trace/replay_buffer.hh"
 
+#include <unordered_map>
+
 #include "support/logging.hh"
 
 namespace bpsim
@@ -23,6 +25,25 @@ ReplayBuffer::materialize(BranchStream &source, Count limit)
         buffer.instructions += record.instGap;
     }
     return buffer;
+}
+
+SiteIndex
+SiteIndex::build(const ReplayBuffer &buffer)
+{
+    SiteIndex index;
+    const Count n = buffer.size();
+    index.siteOf.resize(n);
+
+    const Addr *pcs = buffer.pcData();
+    std::unordered_map<Addr, std::uint32_t> ids;
+    for (Count i = 0; i < n; ++i) {
+        const auto [it, inserted] = ids.try_emplace(
+            pcs[i], static_cast<std::uint32_t>(index.pcs.size()));
+        if (inserted)
+            index.pcs.push_back(pcs[i]);
+        index.siteOf[i] = it->second;
+    }
+    return index;
 }
 
 } // namespace bpsim

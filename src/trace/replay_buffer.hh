@@ -120,6 +120,56 @@ class ReplayBuffer
     Count instructions = 0;
 };
 
+/**
+ * Dense enumeration of a buffer's distinct branch sites (static
+ * branches). Site ids are assigned in first-occurrence order, so
+ * siteData()[i] maps record i to a small integer < siteCount() and
+ * sitePc() inverts the mapping.
+ *
+ * Built once per buffer and shared read-only, a site index lets
+ * consumers that would otherwise hash the PC column per record — the
+ * fused sweep executor's static-hint lookups and per-branch profile
+ * accumulation — replace the hash with an L1-resident array load.
+ * The index is pure acceleration: it carries no information beyond
+ * the PC column itself, so results never depend on it.
+ */
+class SiteIndex
+{
+  public:
+    SiteIndex() = default;
+
+    /** Enumerate the sites of @p buffer (one pass over its records). */
+    static SiteIndex build(const ReplayBuffer &buffer);
+
+    /** Distinct branch sites seen. */
+    std::uint32_t
+    siteCount() const
+    {
+        return static_cast<std::uint32_t>(pcs.size());
+    }
+
+    /** Per-record site ids, parallel to the buffer's columns. */
+    const std::uint32_t *siteData() const { return siteOf.data(); }
+
+    /** The PC of @p site (no bounds check). */
+    Addr sitePc(std::uint32_t site) const { return pcs[site]; }
+
+    /** Records the index covers (the buffer's size at build time). */
+    Count size() const { return siteOf.size(); }
+
+    /** Bytes held by the index. */
+    std::size_t
+    memoryBytes() const
+    {
+        return siteOf.size() * sizeof(std::uint32_t) +
+               pcs.size() * sizeof(Addr);
+    }
+
+  private:
+    std::vector<std::uint32_t> siteOf;
+    std::vector<Addr> pcs;
+};
+
 } // namespace bpsim
 
 #endif // BPSIM_TRACE_REPLAY_BUFFER_HH

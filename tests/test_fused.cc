@@ -1,0 +1,329 @@
+/**
+ * @file
+ * Differential bit-identity suite for fused sweep execution: a fused
+ * run must produce exactly the per-cell path's MatrixResult in every
+ * deterministic field — at any thread count, with the journal on or
+ * off, when resuming from a mid-sweep checkpoint, and when a fault
+ * kills one member of a fused group.
+ *
+ * Like test_fault.cc, tests that arm the process-wide FaultInjector
+ * use a fixture whose TearDown disarms it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/runner.hh"
+#include "obs/run_journal.hh"
+#include "support/fault.hh"
+#include "workload/specint.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+constexpr Count testProfileBranches = 60'000;
+constexpr Count testEvalBranches = 120'000;
+
+ExperimentConfig
+testConfig(PredictorKind kind, StaticScheme scheme)
+{
+    ExperimentConfig config;
+    config.kind = kind;
+    config.sizeBytes = 2048;
+    config.scheme = scheme;
+    config.profileBranches = testProfileBranches;
+    config.evalBranches = testEvalBranches;
+    return config;
+}
+
+/**
+ * 2 programs x 2 kinds x 3 schemes = 12 cells in 2 fused cell groups
+ * (one per program), plus 4 profile runs in 2 fused profile groups.
+ * Same-kind scheme cells land in one gang; the two kinds make each
+ * group heterogeneous across gangs.
+ */
+void
+addTestCells(ExperimentRunner &runner)
+{
+    for (const auto id : {SpecProgram::Go, SpecProgram::Compress}) {
+        const std::size_t program =
+            runner.addProgram(makeSpecProgram(id, InputSet::Ref));
+        for (const auto kind :
+             {PredictorKind::Gshare, PredictorKind::Bimodal}) {
+            for (const auto scheme :
+                 {StaticScheme::None, StaticScheme::Static95,
+                  StaticScheme::StaticAcc}) {
+                runner.addCell(program, testConfig(kind, scheme));
+            }
+        }
+    }
+}
+
+MatrixResult
+runMatrix(RunnerOptions options)
+{
+    ExperimentRunner runner(options);
+    addTestCells(runner);
+    return runner.run();
+}
+
+RunnerOptions
+matrixOptions(unsigned threads, bool fused)
+{
+    RunnerOptions options;
+    options.threads = threads;
+    options.fused = fused;
+    return options;
+}
+
+/** Per-cell (non-fused) single-thread reference run. */
+const MatrixResult &
+perCellReference()
+{
+    static const MatrixResult reference =
+        runMatrix(matrixOptions(1, false));
+    return reference;
+}
+
+void
+expectSameStats(const SimStats &a, const SimStats &b)
+{
+    EXPECT_EQ(a.branches, b.branches);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.mispredictions, b.mispredictions);
+    EXPECT_EQ(a.staticPredicted, b.staticPredicted);
+    EXPECT_EQ(a.staticMispredictions, b.staticMispredictions);
+    EXPECT_EQ(a.collisions.lookups, b.collisions.lookups);
+    EXPECT_EQ(a.collisions.collisions, b.collisions.collisions);
+    EXPECT_EQ(a.collisions.constructive, b.collisions.constructive);
+    EXPECT_EQ(a.collisions.destructive, b.collisions.destructive);
+}
+
+void
+expectSameDeterministicFields(const CellResult &a, const CellResult &b)
+{
+    expectSameStats(a.result.stats, b.result.stats);
+    EXPECT_EQ(a.result.hintCount, b.result.hintCount);
+    EXPECT_EQ(a.result.simulatedBranches, b.result.simulatedBranches);
+    EXPECT_EQ(a.usedKernel, b.usedKernel);
+    EXPECT_EQ(a.profileCached, b.profileCached);
+}
+
+void
+expectSameMatrix(const MatrixResult &fused, const MatrixResult &ref)
+{
+    ASSERT_EQ(fused.cells.size(), ref.cells.size());
+    for (std::size_t i = 0; i < fused.cells.size(); ++i) {
+        ASSERT_TRUE(fused.cells[i].ok()) << "cell " << i;
+        expectSameDeterministicFields(fused.cells[i], ref.cells[i]);
+    }
+    EXPECT_EQ(fused.failedCells, ref.failedCells);
+    EXPECT_EQ(fused.profileCacheHits, ref.profileCacheHits);
+    EXPECT_EQ(fused.profileCacheMisses, ref.profileCacheMisses);
+    EXPECT_EQ(fused.kernelCells, ref.kernelCells);
+    EXPECT_EQ(fused.totalBranches, ref.totalBranches);
+    EXPECT_EQ(fused.actualBranches, ref.actualBranches);
+}
+
+std::string
+tempPath(const std::string &name)
+{
+    return ::testing::TempDir() + name;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream content;
+    content << in.rdbuf();
+    return content.str();
+}
+
+void
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << content;
+}
+
+TEST(FusedTest, BitIdenticalToPerCellAtAnyThreadCount)
+{
+    const MatrixResult &reference = perCellReference();
+    EXPECT_FALSE(reference.fused);
+    EXPECT_EQ(reference.fusedGroups, 0u);
+
+    for (const unsigned threads : {1u, 2u, 4u}) {
+        const MatrixResult fused =
+            runMatrix(matrixOptions(threads, true));
+        EXPECT_TRUE(fused.fused) << threads << " threads";
+        // 2 profile groups + 2 cell groups; spare workers may split
+        // a group into more chunks, never fewer.
+        EXPECT_GE(fused.fusedGroups, 4u) << threads << " threads";
+        expectSameMatrix(fused, reference);
+    }
+    // Serially there is nothing to split: exactly one fused pass per
+    // (program, input) pair and phase.
+    EXPECT_EQ(runMatrix(matrixOptions(1, true)).fusedGroups, 4u);
+}
+
+TEST(FusedTest, JournalDoesNotPerturbResultsAndRecordsGroups)
+{
+    const MatrixResult &reference = perCellReference();
+
+    obs::RunJournal journal("fused journal");
+    RunnerOptions options = matrixOptions(2, true);
+    options.journal = &journal;
+    const MatrixResult fused = runMatrix(options);
+    expectSameMatrix(fused, reference);
+
+    const obs::JournalSummary summary = journal.summary();
+    EXPECT_EQ(summary.fusedGroups, fused.fusedGroups);
+    // 4 profile members (2 kinds x 2 programs) + 12 cell members.
+    EXPECT_EQ(summary.fusedMembers, 16u);
+    EXPECT_EQ(summary.cellsBegun, fused.cells.size());
+    EXPECT_EQ(summary.cellsEnded, fused.cells.size());
+    EXPECT_TRUE(summary.phasesBalanced);
+}
+
+TEST(FusedTest, ProfileCacheOffStillBitIdentical)
+{
+    RunnerOptions uncached_ref = matrixOptions(1, false);
+    uncached_ref.profileCache = false;
+    const MatrixResult reference = runMatrix(uncached_ref);
+
+    RunnerOptions uncached_fused = matrixOptions(2, true);
+    uncached_fused.profileCache = false;
+    const MatrixResult fused = runMatrix(uncached_fused);
+
+    EXPECT_EQ(fused.profileCacheHits, 0u);
+    expectSameMatrix(fused, reference);
+}
+
+class FusedFaultTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override { FaultInjector::instance().disarm(); }
+};
+
+/** Cell index 1 of the matrix above: one member of go's fused cell
+ * group, gang-mate of indices 0 and 2. */
+constexpr const char *targetLabel = "go/gshare:2048/static_95";
+constexpr std::size_t targetIndex = 1;
+
+TEST_F(FusedFaultTest, FaultKillsOneMemberSurvivorsUnaffected)
+{
+    const MatrixResult &reference = perCellReference();
+    FaultInjector::instance().arm(fault_points::cell, 1,
+                                  ErrorCode::CellFailed, 1,
+                                  targetLabel);
+    const MatrixResult result = runMatrix(matrixOptions(2, true));
+
+    EXPECT_EQ(result.failedCells, 1u);
+    const CellResult &failed = result.cells[targetIndex];
+    ASSERT_FALSE(failed.ok());
+    EXPECT_EQ(failed.error->code(), ErrorCode::CellFailed);
+    EXPECT_EQ(failed.attempts, 1u);
+
+    // The dead member's gang-mates and every other cell still match
+    // the per-cell reference bit for bit.
+    for (std::size_t i = 0; i < result.cells.size(); ++i) {
+        if (i == targetIndex)
+            continue;
+        ASSERT_TRUE(result.cells[i].ok()) << "cell " << i;
+        expectSameDeterministicFields(result.cells[i],
+                                      reference.cells[i]);
+    }
+}
+
+TEST_F(FusedFaultTest, TransientMemberFaultRetriesWithinTheGroup)
+{
+    const MatrixResult &reference = perCellReference();
+    FaultInjector::instance().arm(fault_points::cell, 1,
+                                  ErrorCode::ResourceExhausted, 1,
+                                  targetLabel);
+    RunnerOptions options = matrixOptions(2, true);
+    options.retries = 1;
+    const MatrixResult result = runMatrix(options);
+
+    EXPECT_EQ(result.failedCells, 0u);
+    ASSERT_TRUE(result.cells[targetIndex].ok());
+    EXPECT_EQ(result.cells[targetIndex].attempts, 2u);
+    expectSameMatrix(result, reference);
+}
+
+TEST_F(FusedFaultTest, ResumeFromMidSweepCheckpointIsBitIdentical)
+{
+    const MatrixResult &reference = perCellReference();
+    const std::string path = tempPath("fused_resume.jsonl");
+    std::remove(path.c_str());
+
+    // Interrupted first attempt: the fault kills one cell, so the
+    // checkpoint holds every cell except the target — a mid-sweep
+    // snapshot.
+    FaultInjector::instance().arm(fault_points::cell, 1,
+                                  ErrorCode::CellFailed, 1,
+                                  targetLabel);
+    RunnerOptions first = matrixOptions(2, true);
+    first.checkpointPath = path;
+    const MatrixResult interrupted = runMatrix(first);
+    EXPECT_EQ(interrupted.failedCells, 1u);
+    FaultInjector::instance().disarm();
+    const std::string snapshot = readFile(path);
+
+    for (const unsigned threads : {1u, 2u, 4u}) {
+        // A successful resume appends the re-run cell to the
+        // checkpoint; restore the mid-sweep snapshot so every thread
+        // count resumes from the same partial state.
+        writeFile(path, snapshot);
+
+        obs::RunJournal journal("fused resume");
+        RunnerOptions resume = matrixOptions(threads, true);
+        resume.checkpointPath = path;
+        resume.resume = true;
+        resume.journal = &journal;
+        const MatrixResult resumed = runMatrix(resume);
+
+        EXPECT_EQ(resumed.failedCells, 0u) << threads << " threads";
+        EXPECT_EQ(resumed.restoredCells, resumed.cells.size() - 1)
+            << threads << " threads";
+        EXPECT_FALSE(resumed.cells[targetIndex].restored);
+        expectSameMatrix(resumed, reference);
+
+        EXPECT_EQ(journal.summary().cellsRestored,
+                  resumed.cells.size() - 1);
+    }
+}
+
+TEST_F(FusedFaultTest, FusedAndPerCellResumeSeeTheSameCheckpoint)
+{
+    // Cross-path checkpoint compatibility: a checkpoint recorded by a
+    // fused sweep restores under --no-fused, and vice versa.
+    const MatrixResult &reference = perCellReference();
+    const std::string path = tempPath("fused_cross_resume.jsonl");
+    std::remove(path.c_str());
+
+    RunnerOptions record = matrixOptions(2, true);
+    record.checkpointPath = path;
+    const MatrixResult original = runMatrix(record);
+    EXPECT_EQ(original.failedCells, 0u);
+
+    for (const bool fused : {false, true}) {
+        RunnerOptions resume = matrixOptions(2, fused);
+        resume.checkpointPath = path;
+        resume.resume = true;
+        const MatrixResult resumed = runMatrix(resume);
+        EXPECT_EQ(resumed.restoredCells, resumed.cells.size())
+            << "fused " << fused;
+        expectSameMatrix(resumed, reference);
+    }
+}
+
+} // namespace
+} // namespace bpsim

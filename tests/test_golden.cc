@@ -25,6 +25,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <functional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -200,25 +201,23 @@ formatDouble(double value)
 }
 
 std::string
-goldenPath(PredictorKind kind)
+goldenPath(const std::string &name)
 {
-    return std::string(BPSIM_GOLDEN_DIR) + "/" +
-           predictorKindName(kind) + ".json";
+    return std::string(BPSIM_GOLDEN_DIR) + "/" + name + ".json";
 }
 
 void
-writeGoldenFile(PredictorKind kind,
+writeGoldenFile(const std::string &name,
                 const std::vector<GoldenStats> &cells)
 {
-    const std::string path = goldenPath(kind);
+    const std::string path = goldenPath(name);
     // Rendered into memory and written atomically (temp + rename), so
     // an interrupted regeneration can never leave a truncated golden
     // behind for the next test run to diff against.
     std::ostringstream out;
     out << "{\n";
     out << "  \"schema\": \"bpsim-golden-v1\",\n";
-    out << "  \"predictor\": \"" << predictorKindName(kind)
-        << "\",\n";
+    out << "  \"predictor\": \"" << name << "\",\n";
     out << "  \"size_bytes\": " << goldenSizeBytes << ",\n";
     out << "  \"profile_branches\": " << goldenProfileBranches
         << ",\n";
@@ -259,13 +258,20 @@ writeGoldenFile(PredictorKind kind,
 }
 
 /**
- * Run every scheme for @p kind through BOTH simulation paths — the
- * devirtualized replay kernels and the virtual stream interface —
- * and compare each against the same checked-in values. Pinning both
- * paths to one golden also pins them to each other.
+ * Run every scheme through BOTH simulation paths — the replay entry
+ * point (devirtualized kernels where the predictor is one of the
+ * paper's five kinds, virtual fallback otherwise) and the virtual
+ * stream interface — and compare each against the same checked-in
+ * values under tests/golden/@p name.json. Pinning both paths to one
+ * golden also pins them to each other. @p configure adapts the base
+ * config per predictor (factory kind or makeDynamic extension);
+ * @p expect_kernel asserts the replay run actually took the
+ * devirtualized path.
  */
 void
-runGoldenKind(PredictorKind kind)
+runGolden(const std::string &name,
+          const std::function<void(ExperimentConfig &)> &configure,
+          bool expect_kernel)
 {
     SyntheticProgram source =
         buildProgram(goldenProgramConfig(), InputSet::Ref);
@@ -277,16 +283,18 @@ runGoldenKind(PredictorKind kind)
     std::vector<GoldenStats> kernel_stats;
     std::vector<GoldenStats> virtual_stats;
     for (const StaticScheme scheme : goldenSchemes) {
-        const ExperimentConfig config =
-            goldenExperimentConfig(kind, scheme);
+        ExperimentConfig config = goldenExperimentConfig(
+            PredictorKind::Gshare, scheme);
+        configure(config);
 
         bool used_kernel = false;
         const ExperimentResult replayed = runExperimentReplay(
             &buffer, buffer, config, nullptr, &used_kernel);
-        EXPECT_TRUE(used_kernel)
-            << predictorKindName(kind) << "/"
-            << staticSchemeName(scheme)
-            << " fell off the devirtualized path";
+        if (expect_kernel) {
+            EXPECT_TRUE(used_kernel)
+                << name << "/" << staticSchemeName(scheme)
+                << " fell off the devirtualized path";
+        }
         kernel_stats.push_back(fromResult(replayed));
 
         ReplayBuffer::Cursor profile_stream = buffer.cursor();
@@ -297,7 +305,7 @@ runGoldenKind(PredictorKind kind)
     }
 
     if (std::getenv("BPSIM_WRITE_GOLDEN") != nullptr) {
-        writeGoldenFile(kind, kernel_stats);
+        writeGoldenFile(name, kernel_stats);
         // Even while regenerating, the two paths must agree.
         for (std::size_t i = 0; i < goldenSchemes.size(); ++i)
             expectMatchesGolden(
@@ -306,13 +314,12 @@ runGoldenKind(PredictorKind kind)
         return;
     }
 
-    const std::string path = goldenPath(kind);
+    const std::string path = goldenPath(name);
     ASSERT_TRUE(std::ifstream(path).good())
         << path << " missing; regenerate with BPSIM_WRITE_GOLDEN=1";
     const JsonValue golden = JsonValue::parseFile(path);
     EXPECT_EQ(golden.at("schema").asString(), "bpsim-golden-v1");
-    EXPECT_EQ(golden.at("predictor").asString(),
-              predictorKindName(kind));
+    EXPECT_EQ(golden.at("predictor").asString(), name);
     EXPECT_EQ(jsonCount(golden, "size_bytes"), goldenSizeBytes);
     EXPECT_EQ(jsonCount(golden, "profile_branches"),
               goldenProfileBranches);
@@ -333,6 +340,36 @@ runGoldenKind(PredictorKind kind)
     }
 }
 
+/** A paper kind: the factory path, devirtualized kernels required. */
+void
+runGoldenKind(PredictorKind kind)
+{
+    runGolden(
+        predictorKindName(kind),
+        [kind](ExperimentConfig &config) { config.kind = kind; },
+        /*expect_kernel=*/true);
+}
+
+/**
+ * An extension predictor via the makeDynamic factory hook. Extensions
+ * are outside visitPredictor's five paper kinds, so the replay entry
+ * point exercises its virtual fallback — pinned to the same golden as
+ * the stream path.
+ */
+void
+runGoldenExtension(const std::string &file, const std::string &spec)
+{
+    runGolden(
+        file,
+        [spec](ExperimentConfig &config) {
+            config.makeDynamic = [spec] {
+                return makePredictor(spec);
+            };
+            config.dynamicKey = spec;
+        },
+        /*expect_kernel=*/false);
+}
+
 TEST(GoldenTest, Bimodal) { runGoldenKind(PredictorKind::Bimodal); }
 TEST(GoldenTest, Ghist) { runGoldenKind(PredictorKind::Ghist); }
 TEST(GoldenTest, Gshare) { runGoldenKind(PredictorKind::Gshare); }
@@ -341,6 +378,24 @@ TEST(GoldenTest, BiMode) { runGoldenKind(PredictorKind::BiMode); }
 TEST(GoldenTest, TwoBcGskew)
 {
     runGoldenKind(PredictorKind::TwoBcGskew);
+}
+
+TEST(GoldenTest, Agree) { runGoldenExtension("agree", "agree:2048"); }
+TEST(GoldenTest, Yags) { runGoldenExtension("yags", "yags:2048"); }
+
+TEST(GoldenTest, Gselect)
+{
+    runGoldenExtension("gselect", "gselect:2048");
+}
+
+TEST(GoldenTest, Tournament)
+{
+    runGoldenExtension("tournament", "tournament:2048");
+}
+
+TEST(GoldenTest, IdealGshare)
+{
+    runGoldenExtension("ideal_gshare", "ideal:2048");
 }
 
 } // namespace

@@ -403,6 +403,12 @@ cmdSweep(int argc, char **argv)
                    "(resource_exhausted) cell failures");
     args.addFlag("fail-fast",
                  "abort the sweep at the first failed cell");
+    args.addFlag("fused",
+                 "fuse cells sharing a replay buffer into one pass "
+                 "(default; results are bit-identical either way)");
+    args.addFlag("no-fused",
+                 "run every cell's evaluation as its own pass "
+                 "(overrides --fused)");
     args.parse(argc, argv, 2);
 
     const PredictorKind kind =
@@ -431,6 +437,7 @@ cmdSweep(int argc, char **argv)
     options.failFast = args.getFlag("fail-fast");
     options.checkpointPath = args.get("checkpoint");
     options.resume = args.getFlag("resume");
+    options.fused = !args.getFlag("no-fused");
 
     ExperimentRunner runner(options);
     const std::size_t program_index =

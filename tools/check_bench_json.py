@@ -33,6 +33,8 @@ TOP_LEVEL_REQUIRED = {
     "profile_cache_hits": int,
     "profile_cache_misses": int,
     "kernel_cells": int,
+    "fused": bool,
+    "fused_groups": int,
     "failed_cells": int,
     "restored_cells": int,
     "run_seconds": (int, float),
@@ -80,6 +82,7 @@ EVENT_KINDS = {
     "phase_end",
     "materialize",
     "profile_phase",
+    "fused_group",
     "cell_begin",
     "cell_end",
     "cell_error",
@@ -112,6 +115,26 @@ CELL_ERROR_REQUIRED = {
     "attempts": int,
 }
 
+# One fused_group event per fused pass (profile or cells phase);
+# 'cells' is the comma-joined member list, so its element count must
+# equal 'members'.
+FUSED_GROUP_REQUIRED = {
+    "phase": str,
+    "members": int,
+    "cells": str,
+    "seconds": (int, float),
+    "branches": int,
+}
+
+FUSED_GROUP_PHASES = {"profile", "cells"}
+
+# Cells-phase groups additionally carry per-member stat breakdowns as
+# comma-joined lists aligned with 'cells'.
+FUSED_CELLS_PHASE_REQUIRED = {
+    "branches_per_cell": str,
+    "mispredictions_per_cell": str,
+}
+
 METRICS_REQUIRED = {
     "schema": str,
     "run": str,
@@ -131,6 +154,8 @@ METRICS_REQUIRED = {
     "wall_seconds": (int, float),
     "kernel_cells": int,
     "cached_cells": int,
+    "fused_groups": int,
+    "fused_members": int,
     "branches": int,
     "collisions": int,
     "constructive": int,
@@ -364,6 +389,34 @@ def check_journal_file(path):
     # Every cell_begin is closed by exactly one cell_end (success or
     # checkpoint restore) or cell_error (failure), and a cell_end
     # carries a consistent stat snapshot.
+    # Fused passes journal one fused_group event per group chunk with
+    # a consistent member roster.
+    fused_groups = []
+    for index, event in enumerate(events):
+        if event["event"] != "fused_group":
+            continue
+        where = f"line {index + 1}"
+        check_fields(path, event, FUSED_GROUP_REQUIRED, where)
+        if event["phase"] not in FUSED_GROUP_PHASES:
+            fail(path, f"{where}: unknown fused phase "
+                       f"'{event['phase']}'")
+        roster = event["cells"].split(",")
+        if len(roster) != event["members"]:
+            fail(path, f"{where}: members {event['members']} != "
+                       f"{len(roster)} entries in cells list")
+        if event["phase"] == "cells":
+            check_fields(path, event, FUSED_CELLS_PHASE_REQUIRED,
+                         where)
+            for key in FUSED_CELLS_PHASE_REQUIRED:
+                values = event[key].split(",")
+                if len(values) != event["members"]:
+                    fail(path, f"{where}: {key} has {len(values)} "
+                               f"entries, expected {event['members']}")
+                if not all(v.isdigit() for v in values):
+                    fail(path, f"{where}: {key} entries must be "
+                               f"unsigned integers")
+        fused_groups.append(event)
+
     begun = set()
     closed = set()
     cell_ends = []
@@ -415,6 +468,14 @@ def check_journal_file(path):
         fail(path, f"run_end restored_cells "
                    f"{run_end['restored_cells']} != {restored} "
                    f"restored cell_end events")
+    if "fused_groups" in run_end and \
+            run_end["fused_groups"] != len(fused_groups):
+        fail(path, f"run_end fused_groups "
+                   f"{run_end['fused_groups']} != "
+                   f"{len(fused_groups)} fused_group events")
+    if fused_groups and run_end.get("fused") is False:
+        fail(path, "fused_group events present but run_end says "
+                   "fused is false")
     if "kernel_cells" in run_end:
         kernel = sum(1 for e in cell_ends if e.get("kernel") is True)
         if kernel != run_end["kernel_cells"]:
@@ -459,6 +520,7 @@ def check_journal_file(path):
 
     print(f"{path}: ok ({len(events)} events, {len(cell_ends)} cells, "
           f"{len(cell_errors)} failed, {restored} restored, "
+          f"{len(fused_groups)} fused groups, "
           f"{len(set(e['thread'] for e in events))} threads)")
 
 
@@ -499,6 +561,18 @@ def check_metrics_file(path):
     if data["cells_restored"] > data["cells_ended"]:
         fail(path, f"cells_restored {data['cells_restored']} > "
                    f"cells_ended {data['cells_ended']}")
+    fused_events = data["events_by_kind"].get("fused_group", 0)
+    if data["fused_groups"] != fused_events:
+        fail(path, f"fused_groups {data['fused_groups']} != "
+                   f"{fused_events} fused_group events")
+    if data["fused_groups"] > 0 and \
+            data["fused_members"] < data["fused_groups"]:
+        fail(path, f"fused_members {data['fused_members']} < "
+                   f"fused_groups {data['fused_groups']} (every "
+                   f"group has at least one member)")
+    if data["fused_groups"] == 0 and data["fused_members"] != 0:
+        fail(path, f"fused_members {data['fused_members']} without "
+                   f"any fused groups")
     if not data["phases_balanced"]:
         fail(path, "phases_balanced is false")
     if data["phase_begins"] != data["phase_ends"]:
