@@ -13,6 +13,7 @@
 
 #include "core/experiment.hh"
 #include "core/runner.hh"
+#include "core/simd.hh"
 #include "obs/run_journal.hh"
 #include "support/args.hh"
 #include "workload/specint.hh"
@@ -91,6 +92,13 @@ struct BenchOptions
      * Cells sharing a replay buffer are stepped in one pass; results
      * are bit-identical either way. */
     bool fused = true;
+
+    /** Batched SIMD-dispatch kernels (--simd / --no-simd; on by
+     * default). Results are bit-identical either way; --no-simd runs
+     * the record-at-a-time reference kernels for differential
+     * comparison. BPSIM_SIMD=off|scalar|avx2|neon further overrides
+     * the resolved level at engine dispatch time. */
+    bool simd = true;
 };
 
 /**
@@ -143,6 +151,12 @@ parseBenchOptions(int argc, char **argv, const char *tool,
     args.addFlag("no-fused",
                  "run every cell's evaluation as its own pass "
                  "(overrides --fused)");
+    args.addFlag("simd",
+                 "run the batched SIMD-dispatch kernels (default; "
+                 "results are bit-identical either way)");
+    args.addFlag("no-simd",
+                 "run the record-at-a-time reference kernels "
+                 "(overrides --simd)");
     args.parse(argc, argv);
 
     BenchOptions options;
@@ -156,6 +170,7 @@ parseBenchOptions(int argc, char **argv, const char *tool,
     options.retries = static_cast<unsigned>(args.getUint("retries"));
     options.failFast = args.getFlag("fail-fast");
     options.fused = !args.getFlag("no-fused");
+    options.simd = !args.getFlag("no-simd");
     if (options.resume && options.checkpointPath.empty()) {
         std::fprintf(stderr,
                      "%s: error [config_invalid] --resume needs "
@@ -194,6 +209,7 @@ runnerOptions(const BenchOptions &options,
     runner.checkpointPath = options.checkpointPath;
     runner.resume = options.resume;
     runner.fused = options.fused;
+    runner.simd = options.simd;
     return runner;
 }
 
@@ -228,9 +244,12 @@ class BenchJournal
             return;
         journal =
             std::make_unique<obs::RunJournal>(std::move(label));
+        const SimdLevel level = resolveSimdLevel(options.simd);
         journal->record(
             obs::EventKind::RunBegin, 0, journal->runLabel(),
-            {obs::Field::u64("threads", options.threads)});
+            {obs::Field::u64("threads", options.threads),
+             obs::Field::str("dispatch", simdLevelName(level)),
+             obs::Field::u64("simd_width", simdWidth(level))});
     }
 
     /** The journal, null when --journal was not given. */

@@ -1,23 +1,46 @@
 /**
  * @file
  * google-benchmark microbenchmarks for the simulation engine itself:
- * virtual-dispatch replay vs the devirtualized block kernels, per
- * predictor kind, over one materialized trace. Items processed are
- * simulated branches, so the reported rate is branches/second.
+ * virtual-dispatch replay vs the devirtualized block kernels vs the
+ * batched SIMD-dispatch kernels, per predictor kind, over one
+ * materialized trace. Items processed are simulated branches, so the
+ * reported rate is branches/second.
  *
- * Three variants per kind:
- *  - virtual:   simulate() over a replay cursor (fastPath off)
- *  - kernel:    simulateReplay() with collision tracking (what the
- *               experiment runner executes)
- *  - kernel_nt: simulateReplay() with trackCollisions off — the
- *               tag bookkeeping compiled out, an upper bound for
- *               runs that don't need collision numbers
+ * Plain-shape variants per kind (simulateReplay, no hints/profile):
+ *  - virtual:       simulate() over a replay cursor (fastPath off)
+ *  - kernel:        record-at-a-time kernels (options.simd off)
+ *  - kernel_simd:   batched SIMD-dispatch kernels (options.simd on)
+ *  - kernel_nt:     record-at-a-time, trackCollisions off
+ *  - kernel_nt_simd batched, trackCollisions off
+ *
+ * Fused-shape variants per kind (simulateReplayFused over a site
+ * index, the experiment runner's hot path):
+ *  - gang:      1 unhinted + 3 Static_95 members, record-at-a-time
+ *  - gang_simd: the same gang through the batched kernels
+ *  - dense:     profile collection onto dense site arrays
+ *  - dense_simd the same through the batched kernels
+ *
+ * Invoked as `microbench_engine --batch-gate` the binary instead runs
+ * the CI throughput gate: it times the record-at-a-time and batched
+ * kernels side by side over every kind for the plain and gang shapes
+ * and exits nonzero when the batched path regresses below the
+ * record-at-a-time one (per-shape aggregate over the five kinds, 5%
+ * noise tolerance, best of three runs).
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "core/combined_predictor.hh"
 #include "core/engine.hh"
 #include "predictor/factory.hh"
+#include "profile/profile_db.hh"
+#include "staticsel/selection.hh"
 #include "trace/replay_buffer.hh"
 #include "workload/specint.hh"
 
@@ -41,11 +64,40 @@ trace()
     return buffer;
 }
 
+/** The trace's site enumeration (fused-path acceleration input). */
+const SiteIndex &
+sites()
+{
+    static const SiteIndex index = SiteIndex::build(trace());
+    return index;
+}
+
+/** Bias-only profile of the trace (feeds Static_95 selection). */
+const ProfileDb &
+biasProfile()
+{
+    static const ProfileDb profile = [] {
+        auto cursor = trace().cursor();
+        return ProfileDb::collect(cursor, traceBranches);
+    }();
+    return profile;
+}
+
+/** Static_95 hint database over the trace (kind-independent). */
+const HintDb &
+static95Hints()
+{
+    static const HintDb hints = selectStatic95(biasProfile());
+    return hints;
+}
+
 enum class Mode
 {
     Virtual,
     Kernel,
+    KernelSimd,
     KernelNoTrack,
+    KernelNoTrackSimd,
 };
 
 void
@@ -56,7 +108,10 @@ engineThroughput(benchmark::State &state, PredictorKind kind, Mode mode)
 
     SimOptions options;
     options.fastPath = mode != Mode::Virtual;
-    options.trackCollisions = mode != Mode::KernelNoTrack;
+    options.trackCollisions = mode != Mode::KernelNoTrack &&
+                              mode != Mode::KernelNoTrackSimd;
+    options.simd =
+        mode == Mode::KernelSimd || mode == Mode::KernelNoTrackSimd;
 
     for (auto _ : state) {
         bool used_fast = false;
@@ -70,6 +125,175 @@ engineThroughput(benchmark::State &state, PredictorKind kind, Mode mode)
         state.iterations() * buffer.size()));
 }
 
+/**
+ * The experiment runner's evaluation shape: one unhinted member and
+ * three Static_95 members of the same kind, fused over one trace
+ * walk. The hinted members share a gang; the unhinted one runs the
+ * gang-of-one (or record-at-a-time) kernel.
+ */
+struct GangFixture
+{
+    GangFixture(PredictorKind kind, bool simd)
+    {
+        for (int member = 0; member < 4; ++member) {
+            const bool hinted = member != 0;
+            predictors.push_back(std::make_unique<CombinedPredictor>(
+                makePredictor(kind, sizeBytes),
+                hinted ? static95Hints() : HintDb{},
+                ShiftPolicy::NoShift));
+            FusedSim sim;
+            sim.predictor = predictors.back().get();
+            sim.options.simd = simd;
+            sims.push_back(sim);
+        }
+    }
+
+    std::vector<std::unique_ptr<BranchPredictor>> predictors;
+    std::vector<FusedSim> sims;
+};
+
+void
+fusedGangThroughput(benchmark::State &state, PredictorKind kind,
+                    bool simd)
+{
+    GangFixture fixture(kind, simd);
+    for (auto _ : state) {
+        simulateReplayFused(fixture.sims, trace(), &sites());
+        for (const FusedSim &sim : fixture.sims) {
+            if (!sim.usedFastPath)
+                state.SkipWithError("unexpected dispatch path");
+            if (sim.usedSimd != simd)
+                state.SkipWithError("unexpected simd path");
+        }
+        benchmark::DoNotOptimize(
+            fixture.sims.front().stats.mispredictions);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * trace().size() * fixture.sims.size()));
+}
+
+/** The profile phase's dense shape: outcome and prediction counts
+ * accumulated onto site-indexed arrays during the replay. */
+void
+fusedDenseThroughput(benchmark::State &state, PredictorKind kind,
+                     bool simd)
+{
+    auto predictor = makePredictor(kind, sizeBytes);
+    ProfileDb profile;
+    std::vector<FusedSim> sims(1);
+    sims[0].predictor = predictor.get();
+    sims[0].options.profile = &profile;
+    sims[0].options.simd = simd;
+
+    for (auto _ : state) {
+        simulateReplayFused(sims, trace(), &sites());
+        if (!sims[0].usedFastPath)
+            state.SkipWithError("unexpected dispatch path");
+        if (sims[0].usedSimd != simd)
+            state.SkipWithError("unexpected simd path");
+        benchmark::DoNotOptimize(sims[0].stats.mispredictions);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * trace().size()));
+}
+
+/** All five paper schemes, for the gate loop. */
+constexpr PredictorKind gateKinds[] = {
+    PredictorKind::Bimodal, PredictorKind::Ghist,
+    PredictorKind::Gshare, PredictorKind::BiMode,
+    PredictorKind::TwoBcGskew,
+};
+
+/** Seconds of wall time for one full pass of @p body. */
+template <typename Body>
+double
+timeOnce(const Body &body)
+{
+    const auto begin = std::chrono::steady_clock::now();
+    body();
+    const auto end = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(end - begin).count();
+}
+
+/** Best (smallest) wall time of three passes. */
+template <typename Body>
+double
+bestOfThree(const Body &body)
+{
+    double best = timeOnce(body);
+    for (int run = 0; run < 2; ++run)
+        best = std::min(best, timeOnce(body));
+    return best;
+}
+
+/**
+ * The CI throughput gate: batched kernels must not regress below the
+ * record-at-a-time kernels on either engine shape (aggregate over the
+ * five kinds; 5% tolerance absorbs machine noise).
+ *
+ * @return the process exit code
+ */
+int
+runBatchGate()
+{
+    constexpr double tolerance = 0.95;
+    const Count records = trace().size();
+    bool pass = true;
+
+    const auto report = [&](const char *shape, double scalar_seconds,
+                            double simd_seconds, Count branches) {
+        const double scalar_rate = branches / scalar_seconds;
+        const double simd_rate = branches / simd_seconds;
+        const bool ok = simd_rate >= scalar_rate * tolerance;
+        std::printf("%-6s scalar %8.1fM/s   simd %8.1fM/s   "
+                    "%5.2fx  %s\n",
+                    shape, scalar_rate / 1e6, simd_rate / 1e6,
+                    simd_rate / scalar_rate, ok ? "ok" : "REGRESSED");
+        pass = pass && ok;
+    };
+
+    std::printf("batch-kernel throughput gate "
+                "(aggregate over %zu kinds, best of 3)\n",
+                std::size(gateKinds));
+
+    // Plain shape: simulateReplay, no hints or profile. The scalar
+    // and batched timings of each kind run back to back so slow
+    // frequency drift on the host biases both sides equally.
+    double plain_seconds[2] = {};
+    for (const PredictorKind kind : gateKinds) {
+        for (const bool simd : {false, true}) {
+            auto predictor = makePredictor(kind, sizeBytes);
+            SimOptions options;
+            options.simd = simd;
+            plain_seconds[simd] += bestOfThree([&] {
+                benchmark::DoNotOptimize(
+                    simulateReplay(*predictor, trace(), options)
+                        .mispredictions);
+            });
+        }
+    }
+    report("plain", plain_seconds[0], plain_seconds[1],
+           records * std::size(gateKinds));
+
+    // Gang shape: the fused evaluation pass.
+    double gang_seconds[2] = {};
+    Count gang_branches = 0;
+    for (const PredictorKind kind : gateKinds) {
+        for (const bool simd : {false, true}) {
+            GangFixture fixture(kind, simd);
+            gang_seconds[simd] += bestOfThree([&] {
+                simulateReplayFused(fixture.sims, trace(), &sites());
+            });
+            if (!simd)
+                gang_branches += records * fixture.sims.size();
+        }
+    }
+    report("gang", gang_seconds[0], gang_seconds[1], gang_branches);
+
+    std::printf("gate: %s\n", pass ? "pass" : "FAIL");
+    return pass ? 0 : 1;
+}
+
 } // namespace
 
 #define BPSIM_ENGINE_BENCH(name, kind)                                 \
@@ -79,8 +303,26 @@ engineThroughput(benchmark::State &state, PredictorKind kind, Mode mode)
     BENCHMARK_CAPTURE(engineThroughput, name##_kernel,                 \
                       PredictorKind::kind, Mode::Kernel)               \
         ->Unit(benchmark::kMillisecond);                               \
+    BENCHMARK_CAPTURE(engineThroughput, name##_kernel_simd,            \
+                      PredictorKind::kind, Mode::KernelSimd)           \
+        ->Unit(benchmark::kMillisecond);                               \
     BENCHMARK_CAPTURE(engineThroughput, name##_kernel_nt,              \
                       PredictorKind::kind, Mode::KernelNoTrack)        \
+        ->Unit(benchmark::kMillisecond);                               \
+    BENCHMARK_CAPTURE(engineThroughput, name##_kernel_nt_simd,         \
+                      PredictorKind::kind, Mode::KernelNoTrackSimd)    \
+        ->Unit(benchmark::kMillisecond);                               \
+    BENCHMARK_CAPTURE(fusedGangThroughput, name##_gang,                \
+                      PredictorKind::kind, false)                      \
+        ->Unit(benchmark::kMillisecond);                               \
+    BENCHMARK_CAPTURE(fusedGangThroughput, name##_gang_simd,           \
+                      PredictorKind::kind, true)                       \
+        ->Unit(benchmark::kMillisecond);                               \
+    BENCHMARK_CAPTURE(fusedDenseThroughput, name##_dense,              \
+                      PredictorKind::kind, false)                      \
+        ->Unit(benchmark::kMillisecond);                               \
+    BENCHMARK_CAPTURE(fusedDenseThroughput, name##_dense_simd,         \
+                      PredictorKind::kind, true)                       \
         ->Unit(benchmark::kMillisecond)
 
 BPSIM_ENGINE_BENCH(bimodal, Bimodal);
@@ -89,4 +331,17 @@ BPSIM_ENGINE_BENCH(gshare, Gshare);
 BPSIM_ENGINE_BENCH(bimode, BiMode);
 BPSIM_ENGINE_BENCH(gskew2bc, TwoBcGskew);
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--batch-gate") == 0)
+            return runBatchGate();
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,9 @@
+/**
+ * @file
+ * Baseline-target instantiation of the batch replay kernels. Compiled
+ * with the project's default flags: portable scalar code on x86-64,
+ * NEON-autovectorized on aarch64 (NEON is baseline there).
+ */
+
+#define BPSIM_BATCH_NS kernels_scalar
+#include "core/batch_kernels_impl.hh"

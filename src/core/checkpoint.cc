@@ -143,6 +143,11 @@ SweepCheckpoint::load()
         record.result.simulatedBranches =
             countField(object, "simulated_branches");
         record.usedKernel = object.at("kernel").asBool();
+        // Absent in checkpoints written before the batch kernels
+        // existed; treat those as "did not run them".
+        const JsonValue *simd = object.find("simd");
+        record.usedSimd =
+            simd != nullptr && simd->isBool() && simd->asBool();
         record.phaseBranches = countField(object, "phase_branches");
 
         const auto [it, inserted] =
@@ -177,6 +182,7 @@ SweepCheckpoint::renderLine(const CheckpointRecord &record)
        << ", \"simulated_branches\": "
        << record.result.simulatedBranches
        << ", \"kernel\": " << (record.usedKernel ? "true" : "false")
+       << ", \"simd\": " << (record.usedSimd ? "true" : "false")
        << ", \"phase_branches\": " << record.phaseBranches << "}";
     return os.str();
 }

@@ -52,6 +52,13 @@ struct CheckpointRecord
     /** Every simulation of the cell ran the devirtualized kernels. */
     bool usedKernel = false;
 
+    /** Every simulation of the cell ran the batched SIMD-dispatch
+     * kernels. Observability only (results are bit-identical across
+     * dispatch levels), so it is persisted but — like usedKernel —
+     * never part of the fingerprint: a sweep checkpointed under one
+     * dispatch level resumes cleanly under another. */
+    bool usedSimd = false;
+
     /**
      * simulatedBranches of the shared profiling phase the cell
      * consumed (0 = ran its own or needed none). Lets a resumed run

@@ -6,7 +6,9 @@
 #include <typeindex>
 #include <vector>
 
+#include "core/batch_kernels.hh"
 #include "core/combined_predictor.hh"
+#include "core/simd.hh"
 #include "predictor/factory.hh"
 #include "support/logging.hh"
 #include "trace/replay_buffer.hh"
@@ -225,7 +227,7 @@ template <typename P>
 SimStats
 runReplay(P &concrete, BranchPredictor &outer, const HintDb *hints,
           ShiftPolicy policy, const ReplayBuffer &buffer,
-          const SimOptions &options)
+          const SimOptions &options, bool *used_simd = nullptr)
 {
     const Count total = buffer.size();
     const Count warmup_end = std::min(options.warmupBranches, total);
@@ -237,6 +239,17 @@ runReplay(P &concrete, BranchPredictor &outer, const HintDb *hints,
     const bool with_profile = options.profile != nullptr;
     const bool track = options.trackCollisions;
 
+    // The batched kernels cover the plain dynamic shape here; hinted
+    // (hash-lookup) and profiling runs keep the record-at-a-time
+    // kernels. Bit-identical either way.
+    const BatchKernelSet<P> kernels =
+        batchKernelsFor<P>(resolveSimdLevel(options.simd));
+    if (used_simd != nullptr) {
+        *used_simd =
+            kernels.plain != nullptr && hints == nullptr &&
+            !with_profile;
+    }
+
     const auto run = [&](auto with_profile_tag, auto track_tag,
                          Count from, Count to, SimStats &stats,
                          ProfileDb *profile) {
@@ -246,6 +259,15 @@ runReplay(P &concrete, BranchPredictor &outer, const HintDb *hints,
             runReplayCombined<kWithProfile, kTrack>(
                 concrete, *hints, policy, buffer, from, to, stats,
                 profile);
+        } else if (!kWithProfile && kernels.plain != nullptr) {
+            batch::PlainArgs<P> args;
+            args.predictor = &concrete;
+            args.stats = &stats;
+            args.buffer = &buffer;
+            args.from = from;
+            args.to = to;
+            args.track = kTrack;
+            kernels.plain(args);
         } else {
             runReplayDynamic<kWithProfile, kTrack>(
                 concrete, buffer, from, to, stats, profile);
@@ -284,9 +306,10 @@ runReplay(P &concrete, BranchPredictor &outer, const HintDb *hints,
     return stats;
 }
 
-/** Dense hint-code bits (0 = no hint for the site). */
-constexpr std::uint8_t hintPresentBit = 2;
-constexpr std::uint8_t hintTakenBit = 1;
+// Dense hint-code bits (0 = no hint for the site); shared with the
+// batch kernels, which consume the same per-site code arrays.
+using batch::hintPresentBit;
+using batch::hintTakenBit;
 
 /**
  * Dense-hint variant of runReplayCombined for the fused executor: the
@@ -498,7 +521,9 @@ class KernelStepper final : public FusedStepper
                   P &concrete, const HintDb *hints, ShiftPolicy policy,
                   const SiteIndex *sites)
         : FusedStepper(sim, buffer), concrete(concrete), hints(hints),
-          policy(policy), sites(sites)
+          policy(policy), sites(sites),
+          kernels(batchKernelsFor<P>(
+              resolveSimdLevel(sim.options.simd)))
     {
         if (sites != nullptr && hints != nullptr) {
             siteOf = sites->siteData();
@@ -515,6 +540,23 @@ class KernelStepper final : public FusedStepper
             dense.counts.assign(sites->siteCount(), BranchProfile{});
             useDense = true;
         }
+        // Which batched kernel covers the *measured* segments of this
+        // sim, if any. Hinted sims batch through the gang kernel
+        // (gang of one) when the dense hint codes exist and no
+        // profile is attached; profiling sims batch only in dense
+        // (site-indexed) form; plain dynamic sims always batch.
+        if (kernels.gang != nullptr) {
+            if (hints != nullptr) {
+                usedSimdFlag = !hintCode.empty() &&
+                               sim.options.profile == nullptr;
+            } else {
+                usedSimdFlag =
+                    sim.options.profile == nullptr || useDense;
+            }
+        }
+        if (usedSimdFlag && sites != nullptr &&
+            (useDense || !hintCode.empty()))
+            siteTables = batch::buildSiteTables(concrete, *sites);
     }
 
     void
@@ -528,6 +570,7 @@ class KernelStepper final : public FusedStepper
         }
         sim.stats.collisions = sim.predictor->collisionStats();
         sim.usedFastPath = true;
+        sim.usedSimd = usedSimdFlag;
         if (sim.options.counters != nullptr) {
             sim.options.counters->add("engine.kernel_runs");
             sim.options.counters->add("engine.branches",
@@ -556,15 +599,31 @@ class KernelStepper final : public FusedStepper
             constexpr bool kTrack = decltype(track_tag)::value;
             if (hints != nullptr) {
                 if (!hintCode.empty()) {
-                    runSites<kWithProfile, kTrack>(from, to, stats,
-                                                   profile);
+                    if (!kWithProfile && usedSimdFlag) {
+                        runGangOfOne<kTrack>(from, to, stats);
+                    } else {
+                        runSites<kWithProfile, kTrack>(from, to,
+                                                       stats, profile);
+                    }
                 } else {
                     runReplayCombined<kWithProfile, kTrack>(
                         concrete, *hints, policy, buffer, from, to,
                         stats, profile);
                 }
             } else if constexpr (kWithProfile) {
-                if (useDense) {
+                if (useDense && usedSimdFlag) {
+                    batch::DenseArgs<P> args;
+                    args.predictor = &concrete;
+                    args.siteTables = &siteTables;
+                    args.profiles = dense.counts.data();
+                    args.stats = &stats;
+                    args.buffer = &buffer;
+                    args.siteOf = siteOf;
+                    args.from = from;
+                    args.to = to;
+                    args.track = kTrack;
+                    kernels.dense(args);
+                } else if (useDense) {
                     runReplayDynamicDense<kTrack>(
                         concrete, siteOf, buffer, from, to, stats,
                         dense);
@@ -572,6 +631,15 @@ class KernelStepper final : public FusedStepper
                     runReplayDynamic<true, kTrack>(
                         concrete, buffer, from, to, stats, profile);
                 }
+            } else if (kernels.plain != nullptr) {
+                batch::PlainArgs<P> args;
+                args.predictor = &concrete;
+                args.stats = &stats;
+                args.buffer = &buffer;
+                args.from = from;
+                args.to = to;
+                args.track = kTrack;
+                kernels.plain(args);
             } else {
                 runReplayDynamic<false, kTrack>(
                     concrete, buffer, from, to, stats, profile);
@@ -589,6 +657,30 @@ class KernelStepper final : public FusedStepper
     }
 
   private:
+    /** Batched hinted evaluation: the gang kernel with one member. */
+    template <bool Track>
+    void
+    runGangOfOne(Count from, Count to, SimStats &stats)
+    {
+        P *predictor = &concrete;
+        const batch::SiteTables *tables = &siteTables;
+        const std::uint8_t *codes = hintCode.data();
+        SimStats *stats_ptr = &stats;
+        batch::GangArgs<P> args;
+        args.predictors = &predictor;
+        args.siteTables = &tables;
+        args.hintCodes = &codes;
+        args.stats = &stats_ptr;
+        args.n = 1;
+        args.buffer = &buffer;
+        args.siteOf = siteOf;
+        args.from = from;
+        args.to = to;
+        args.policy = policy;
+        args.track = Track;
+        kernels.gang(args);
+    }
+
     template <bool WithProfile, bool Track>
     void
     runSites(Count from, Count to, SimStats &stats,
@@ -624,6 +716,9 @@ class KernelStepper final : public FusedStepper
     std::vector<std::uint8_t> hintCode;
     DenseProfile dense;
     bool useDense = false;
+    BatchKernelSet<P> kernels;
+    batch::SiteTables siteTables;
+    bool usedSimdFlag = false;
 };
 
 /**
@@ -851,6 +946,18 @@ class GangStepper final : public FusedExec
             predictors.push_back(member.concrete);
             codes.push_back(member.hintCode.data());
         }
+        // All members share one simd setting (part of the gang key).
+        kernels =
+            batchKernelsFor<P>(resolveSimdLevel(first.options.simd));
+        if (kernels.gang != nullptr) {
+            memberTables.reserve(members.size());
+            for (const Member &member : members) {
+                memberTables.push_back(batch::buildSiteTables(
+                    *member.concrete, *sites));
+            }
+            for (const batch::SiteTables &tables : memberTables)
+                tablePtrs.push_back(&tables);
+        }
     }
 
     Count end() const override { return lastRecord; }
@@ -880,6 +987,7 @@ class GangStepper final : public FusedExec
             FusedSim &sim = *member.sim;
             sim.stats.collisions = sim.predictor->collisionStats();
             sim.usedFastPath = true;
+            sim.usedSimd = kernels.gang != nullptr;
             if (sim.options.counters != nullptr) {
                 sim.options.counters->add("engine.kernel_runs");
                 sim.options.counters->add("engine.branches",
@@ -902,11 +1010,31 @@ class GangStepper final : public FusedExec
             stats[k] =
                 measured ? &members[k].sim->stats : &warmupStats[k];
         }
-        // Larger gangs run as sub-gangs of at most four members: the
-        // fixed-N kernels keep their accumulators in registers, and
-        // four independent predictor chains already saturate the
-        // out-of-order window. Each member still sees every record of
-        // [from, to) exactly once, in order.
+        // Batched path: one kernel call advances every member through
+        // the segment (the batch driver walks members per batch, so
+        // the trace columns decode once regardless of gang size).
+        if (kernels.gang != nullptr) {
+            batch::GangArgs<P> args;
+            args.predictors = predictors.data();
+            args.siteTables = tablePtrs.data();
+            args.hintCodes = codes.data();
+            args.stats = stats.data();
+            args.n = members.size();
+            args.buffer = &buffer;
+            args.siteOf = siteOf;
+            args.from = from;
+            args.to = to;
+            args.policy = policy;
+            args.track = track;
+            kernels.gang(args);
+            return;
+        }
+        // Record-at-a-time path: larger gangs run as sub-gangs of at
+        // most four members; the fixed-N kernels keep their
+        // accumulators in registers, and four independent predictor
+        // chains already saturate the out-of-order window. Each
+        // member still sees every record of [from, to) exactly once,
+        // in order.
         std::size_t offset = 0;
         while (offset < members.size()) {
             const std::size_t rest = members.size() - offset;
@@ -979,6 +1107,9 @@ class GangStepper final : public FusedExec
     std::vector<SimStats> warmupStats; // discarded, like all warmup
     std::vector<P *> predictors;
     std::vector<const std::uint8_t *> codes;
+    BatchKernelSet<P> kernels;
+    std::vector<batch::SiteTables> memberTables;
+    std::vector<const batch::SiteTables *> tablePtrs;
 };
 
 } // namespace
@@ -1035,7 +1166,8 @@ simulate(BranchPredictor &predictor, BranchStream &stream,
 
 SimStats
 simulateReplay(BranchPredictor &predictor, const ReplayBuffer &buffer,
-               const SimOptions &options, bool *used_fast_path)
+               const SimOptions &options, bool *used_fast_path,
+               bool *used_simd)
 {
     SimStats stats;
     bool used = false;
@@ -1059,7 +1191,7 @@ simulateReplay(BranchPredictor &predictor, const ReplayBuffer &buffer,
                 predictor.reset();
             predictor.clearCollisionStats();
             stats = runReplay(concrete, predictor, hints, policy,
-                              buffer, options);
+                              buffer, options, used_simd);
         });
         if (used && options.counters != nullptr) {
             options.counters->add("engine.kernel_runs");
@@ -1075,6 +1207,8 @@ simulateReplay(BranchPredictor &predictor, const ReplayBuffer &buffer,
     if (!used) {
         auto cursor = buffer.cursor();
         stats = simulate(predictor, cursor, options);
+        if (used_simd != nullptr)
+            *used_simd = false;
     }
     if (used_fast_path != nullptr)
         *used_fast_path = used;
@@ -1110,6 +1244,7 @@ simulateReplayFused(std::vector<FusedSim> &sims,
         Count warmup = 0;
         Count max = 0;
         bool track = false;
+        bool simd = false;
         std::vector<std::size_t> members;
     };
     std::vector<GangPlan> plans;
@@ -1139,6 +1274,7 @@ simulateReplayFused(std::vector<FusedSim> &sims,
                      "fused sim needs a predictor");
         sim.stats = SimStats{};
         sim.usedFastPath = false;
+        sim.usedSimd = false;
 
         auto *combined =
             dynamic_cast<CombinedPredictor *>(sim.predictor);
@@ -1167,7 +1303,8 @@ simulateReplayFused(std::vector<FusedSim> &sims,
                             sim.options.warmupBranches &&
                         candidate.max == sim.options.maxBranches &&
                         candidate.track ==
-                            sim.options.trackCollisions) {
+                            sim.options.trackCollisions &&
+                        candidate.simd == sim.options.simd) {
                         plan = &candidate;
                         break;
                     }
@@ -1177,6 +1314,7 @@ simulateReplayFused(std::vector<FusedSim> &sims,
                                      sim.options.warmupBranches,
                                      sim.options.maxBranches,
                                      sim.options.trackCollisions,
+                                     sim.options.simd,
                                      {}});
                     plan = &plans.back();
                 }

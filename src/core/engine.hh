@@ -72,6 +72,16 @@ struct SimOptions
     bool trackCollisions = true;
 
     /**
+     * Let the fast path run the batched SIMD-dispatch kernels
+     * (core/batch_kernels.hh). When clear — or when BPSIM_SIMD=off
+     * overrides — the record-at-a-time kernels run instead; results
+     * are bit-identical either way. Honoured only where a batched
+     * path exists (plain dynamic, gang, and dense-profile shapes);
+     * other shapes silently use the record-at-a-time kernels.
+     */
+    bool simd = true;
+
+    /**
      * Optional run-level counter registry (observability). The
      * engine bumps engine.kernel_runs / engine.virtual_runs,
      * engine.branches and engine.warmup_branches once per simulation
@@ -105,11 +115,15 @@ SimStats simulate(BranchPredictor &predictor, BranchStream &stream,
  *
  * @param used_fast_path optionally receives whether a devirtualized
  *                       kernel ran (false = virtual fallback)
+ * @param used_simd      optionally receives whether the batched
+ *                       SIMD-dispatch kernels ran (false = the
+ *                       record-at-a-time kernels or virtual loop)
  */
 SimStats simulateReplay(BranchPredictor &predictor,
                         const ReplayBuffer &buffer,
                         const SimOptions &options = {},
-                        bool *used_fast_path = nullptr);
+                        bool *used_fast_path = nullptr,
+                        bool *used_simd = nullptr);
 
 class SiteIndex;
 
@@ -132,6 +146,10 @@ struct FusedSim
 
     /** Output: whether this sim ran a devirtualized kernel. */
     bool usedFastPath = false;
+
+    /** Output: whether this sim ran the batched SIMD-dispatch
+     * kernels (always false when usedFastPath is false). */
+    bool usedSimd = false;
 };
 
 /**

@@ -28,6 +28,7 @@ profileOptions(const ExperimentConfig &config, ProfileDb &profile)
     options.maxBranches = config.profileBranches;
     options.profile = &profile;
     options.counters = config.counters;
+    options.simd = config.simd;
     return options;
 }
 
@@ -122,6 +123,7 @@ evalSimOptions(const ExperimentConfig &config)
     options.maxBranches = config.evalBranches;
     options.warmupBranches = config.evalWarmupBranches;
     options.counters = config.counters;
+    options.simd = config.simd;
     return options;
 }
 
@@ -202,14 +204,14 @@ runProfilePhase(BranchStream &profile_stream,
 ProfilePhase
 runProfilePhaseReplay(const ReplayBuffer &profile_buffer,
                       const ExperimentConfig &config,
-                      bool *used_fast_path)
+                      bool *used_fast_path, bool *used_simd)
 {
     auto profiling_predictor = makeDynamicComponent(config);
     ProfilePhase phase;
     const SimStats stats =
         simulateReplay(*profiling_predictor, profile_buffer,
                        profileOptions(config, phase.profile),
-                       used_fast_path);
+                       used_fast_path, used_simd);
     phase.simulatedBranches = stats.branches;
     return phase;
 }
@@ -248,7 +250,8 @@ prepareEvaluationReplay(const ReplayBuffer *profile_buffer,
             bpsim_assert(profile_buffer != nullptr,
                          "selection scheme needs a profile trace");
             local = runProfilePhaseReplay(*profile_buffer, config,
-                                          &prepared.preEvalFastPath);
+                                          &prepared.preEvalFastPath,
+                                          &prepared.preEvalSimd);
             phase = &local;
         }
         prepared.preEvalBranches += phase->simulatedBranches;
@@ -302,13 +305,14 @@ ExperimentResult
 runEvaluationReplay(const ReplayBuffer &eval_buffer,
                     const ExperimentConfig &config,
                     const ProfilePhase *profile_phase,
-                    bool *used_fast_path)
+                    bool *used_fast_path, bool *used_simd)
 {
     PreparedEvaluation prepared = prepareEvaluationReplay(
         nullptr, eval_buffer, config, profile_phase);
     const SimStats stats =
         simulateReplay(*prepared.combined, eval_buffer,
-                       evalSimOptions(config), used_fast_path);
+                       evalSimOptions(config), used_fast_path,
+                       used_simd);
     return finishPreparedEvaluation(prepared, config, stats);
 }
 
@@ -333,18 +337,21 @@ runExperimentReplay(const ReplayBuffer *profile_buffer,
                     const ReplayBuffer &eval_buffer,
                     const ExperimentConfig &config,
                     const ProfilePhase *cached_profile,
-                    bool *used_fast_path)
+                    bool *used_fast_path, bool *used_simd)
 {
     if (Result<void> valid = config.validate(); !valid.ok())
         raise(std::move(valid.error()));
     PreparedEvaluation prepared = prepareEvaluationReplay(
         profile_buffer, eval_buffer, config, cached_profile);
     bool eval_fast = false;
+    bool eval_simd = false;
     const SimStats stats =
         simulateReplay(*prepared.combined, eval_buffer,
-                       evalSimOptions(config), &eval_fast);
+                       evalSimOptions(config), &eval_fast, &eval_simd);
     if (used_fast_path != nullptr)
         *used_fast_path = prepared.preEvalFastPath && eval_fast;
+    if (used_simd != nullptr)
+        *used_simd = prepared.preEvalSimd && eval_simd;
     return finishPreparedEvaluation(prepared, config, stats);
 }
 
@@ -370,6 +377,7 @@ runProfilePhasesFusedReplay(
     for (std::size_t i = 0; i < configs.size(); ++i) {
         outcomes[i].phase.simulatedBranches = sims[i].stats.branches;
         outcomes[i].usedFastPath = sims[i].usedFastPath;
+        outcomes[i].usedSimd = sims[i].usedSimd;
     }
     return outcomes;
 }

@@ -110,6 +110,15 @@ struct ExperimentConfig
     CounterRegistry *counters = nullptr;
 
     /**
+     * Let the devirtualized kernels run their batched SIMD-dispatch
+     * variants (see SimOptions::simd). Results are bit-identical
+     * either way, so — like counters — this is not part of the
+     * experiment's identity and is ignored by the runner's
+     * profile-cache key and the checkpoint fingerprint.
+     */
+    bool simd = true;
+
+    /**
      * Fail-fast validation: returns a config_invalid Error naming the
      * offending field when the config cannot run (non-power-of-two
      * table budget, zero-length streams, out-of-range tunables).
@@ -145,7 +154,8 @@ ProfilePhase runProfilePhase(BranchStream &profile_stream,
 /** Profiling phase over a materialized trace (devirtualized path). */
 ProfilePhase runProfilePhaseReplay(const ReplayBuffer &profile_buffer,
                                    const ExperimentConfig &config,
-                                   bool *used_fast_path = nullptr);
+                                   bool *used_fast_path = nullptr,
+                                   bool *used_simd = nullptr);
 
 /** One profiling phase of a fused pass (runProfilePhasesFusedReplay). */
 struct FusedProfileOutcome
@@ -154,6 +164,10 @@ struct FusedProfileOutcome
 
     /** Whether this phase's sim ran a devirtualized kernel. */
     bool usedFastPath = false;
+
+    /** Whether this phase's sim ran the batched SIMD-dispatch
+     * kernels (always false when usedFastPath is false). */
+    bool usedSimd = false;
 };
 
 /**
@@ -221,7 +235,8 @@ ExperimentResult runEvaluationStreams(BranchStream &eval_stream,
 ExperimentResult runEvaluationReplay(const ReplayBuffer &eval_buffer,
                                      const ExperimentConfig &config,
                                      const ProfilePhase *profile_phase,
-                                     bool *used_fast_path = nullptr);
+                                     bool *used_fast_path = nullptr,
+                                     bool *used_simd = nullptr);
 
 /**
  * An experiment's evaluation, ready to run: everything up to (but not
@@ -244,6 +259,11 @@ struct PreparedEvaluation
     /** Whether pre-evaluation simulation work (a profiling phase run
      * here, if any) took the devirtualized path. */
     bool preEvalFastPath = true;
+
+    /** Whether pre-evaluation simulation work ran the batched
+     * SIMD-dispatch kernels (vacuously true when no profiling
+     * simulation ran here). */
+    bool preEvalSimd = true;
 };
 
 /**
@@ -275,14 +295,17 @@ ExperimentResult finishPreparedEvaluation(
  * when given; otherwise runs the profiling phase from
  * @p profile_buffer (which may be null only when the config needs no
  * profile). @p used_fast_path reports whether every simulation of
- * the experiment ran through the devirtualized kernels.
+ * the experiment ran through the devirtualized kernels;
+ * @p used_simd whether every simulation ran their batched
+ * SIMD-dispatch variants.
  */
 ExperimentResult runExperimentReplay(const ReplayBuffer *profile_buffer,
                                      const ReplayBuffer &eval_buffer,
                                      const ExperimentConfig &config,
                                      const ProfilePhase *cached_profile
                                          = nullptr,
-                                     bool *used_fast_path = nullptr);
+                                     bool *used_fast_path = nullptr,
+                                     bool *used_simd = nullptr);
 
 /**
  * Convenience: pure dynamic baseline of @p kind / @p size_bytes over

@@ -14,6 +14,7 @@
 #include <utility>
 
 #include "core/checkpoint.hh"
+#include "core/simd.hh"
 #include "support/atomic_file.hh"
 #include "support/fault.hh"
 #include "support/json.hh"
@@ -419,6 +420,11 @@ ExperimentRunner::addCell(std::size_t program_index,
     // cache key ignores it and results are unaffected.
     if (options.journal != nullptr)
         cell.config.counters = &options.journal->counters();
+    // The runner-wide --no-simd switch can only narrow a cell's
+    // config, never widen it: results are bit-identical either way,
+    // so — like counters — this is invisible to the profile-cache
+    // key and the checkpoint fingerprint.
+    cell.config.simd = cell.config.simd && options.simd;
     if (label.empty()) {
         label = programs[program_index].name() + "/" +
                 predictorKindName(config.kind) + ":" +
@@ -550,12 +556,22 @@ ExperimentRunner::run()
         }
     }
 
+    // Resolve the dispatch level once up front so the journal and the
+    // runner JSON agree on what the engine will pick (the engine
+    // re-resolves per simulation, but the inputs — CPU, options,
+    // BPSIM_SIMD — are identical).
+    const SimdLevel dispatch_level = resolveSimdLevel(options.simd);
+
     if (journal != nullptr) {
         journal->record(
             obs::EventKind::RunBegin, TaskPool::currentWorkerIndex(),
             journal->runLabel(),
             {obs::Field::u64("threads", taskPool.threadCount()),
-             obs::Field::u64("cells", cells.size())});
+             obs::Field::u64("cells", cells.size()),
+             obs::Field::str("dispatch",
+                             simdLevelName(dispatch_level)),
+             obs::Field::u64("simd_width",
+                             simdWidth(dispatch_level))});
     }
 
     const auto start = std::chrono::steady_clock::now();
@@ -603,6 +619,8 @@ ExperimentRunner::run()
     result.cells.resize(cells.size());
     result.threads = taskPool.threadCount();
     result.fused = options.fused;
+    result.dispatch = simdLevelName(dispatch_level);
+    result.simdLanes = simdWidth(dispatch_level);
 
     // Per-cell validation up front: an invalid cell becomes a failed
     // result without executing anything — crucially it also stays
@@ -690,6 +708,7 @@ ExperimentRunner::run()
     std::vector<Count> phase_branches(profile_tasks.size(), 0);
     std::vector<double> phase_walls(profile_tasks.size(), 0.0);
     std::vector<char> phase_kernel(profile_tasks.size(), 0);
+    std::vector<char> phase_simd(profile_tasks.size(), 0);
     std::vector<std::optional<Error>> phase_errors(
         profile_tasks.size());
     std::atomic<bool> abortRun{false};
@@ -793,6 +812,7 @@ ExperimentRunner::run()
             phases[j] = std::move(outcomes[k].phase);
             phase_branches[j] = phases[j].simulatedBranches;
             phase_kernel[j] = outcomes[k].usedFastPath ? 1 : 0;
+            phase_simd[j] = outcomes[k].usedSimd ? 1 : 0;
             // Prorate the pass wall over members by branch share so
             // the serial estimate stays comparable to per-cell runs.
             phase_walls[j] =
@@ -809,6 +829,8 @@ ExperimentRunner::run()
                      obs::Field::f64("seconds", phase_walls[j]),
                      obs::Field::boolean("kernel",
                                          outcomes[k].usedFastPath),
+                     obs::Field::boolean("simd",
+                                         outcomes[k].usedSimd),
                      obs::Field::u64("branches",
                                      phase_branches[j])});
             }
@@ -843,13 +865,14 @@ ExperimentRunner::run()
         }
         ScopedTimer timer(timers, "runner.profile_phase");
         bool fast = false;
+        bool simd = false;
         unsigned attempts = 0;
         std::optional<Error> failure = attemptWithRetries(
             options.retries, attempts, [&] {
                 faultPoint(fault_points::profilePhase, program_name);
                 phases[j] = runProfilePhaseReplay(
                     buffer(task.programIndex, task.input),
-                    *task.config, &fast);
+                    *task.config, &fast, &simd);
             });
         phase_walls[j] = timer.stop();
         if (failure.has_value()) {
@@ -861,6 +884,7 @@ ExperimentRunner::run()
         }
         phase_branches[j] = phases[j].simulatedBranches;
         phase_kernel[j] = fast ? 1 : 0;
+        phase_simd[j] = simd ? 1 : 0;
         if (journal != nullptr) {
             journal->record(
                 obs::EventKind::ProfilePhase,
@@ -868,6 +892,7 @@ ExperimentRunner::run()
                 {obs::Field::u64("phase", j),
                  obs::Field::f64("seconds", phase_walls[j]),
                  obs::Field::boolean("kernel", fast),
+                 obs::Field::boolean("simd", simd),
                  obs::Field::u64("branches",
                                  phases[j].simulatedBranches)});
         }
@@ -945,6 +970,7 @@ ExperimentRunner::run()
             {obs::Field::u64("cell", i),
              obs::Field::f64("seconds", out.wallSeconds),
              obs::Field::boolean("kernel", out.usedKernel),
+             obs::Field::boolean("simd", out.usedSimd),
              obs::Field::boolean("profile_cached",
                                  out.profileCached),
              obs::Field::boolean("restored", out.restored),
@@ -983,6 +1009,7 @@ ExperimentRunner::run()
             record.label = cells[i].label;
             record.result = out.result;
             record.usedKernel = out.usedKernel;
+            record.usedSimd = out.usedSimd;
             record.phaseBranches =
                 out.profileCached ? phase_branches[cell_phase[i]]
                                   : 0;
@@ -1027,6 +1054,7 @@ ExperimentRunner::run()
         if (restored[i].has_value()) {
             out.result = restored[i]->result;
             out.usedKernel = restored[i]->usedKernel;
+            out.usedSimd = restored[i]->usedSimd;
             out.profileCached = cell_phase[i] != noPhase;
             out.restored = true;
             emitCellEnd(i);
@@ -1063,6 +1091,7 @@ ExperimentRunner::run()
 
         ScopedTimer timer(timers, "runner.cell");
         bool fast = false;
+        bool simd = false;
         unsigned attempts = 0;
         ExperimentResult cell_result;
         std::optional<Error> failure = attemptWithRetries(
@@ -1071,7 +1100,7 @@ ExperimentRunner::run()
                 cell_result = runExperimentReplay(
                     profile_buffer,
                     buffer(cell.programIndex, config.evalInput),
-                    config, cached, &fast);
+                    config, cached, &fast, &simd);
             });
         out.wallSeconds = timer.stop();
         if (failure.has_value()) {
@@ -1086,6 +1115,8 @@ ExperimentRunner::run()
         out.profileCached = cached != nullptr;
         out.usedKernel =
             fast && (cached == nullptr || phase_kernel[cell_phase[i]]);
+        out.usedSimd =
+            simd && (cached == nullptr || phase_simd[cell_phase[i]]);
 
         writeCheckpoint(i);
         emitCellEnd(i);
@@ -1232,6 +1263,11 @@ ExperimentRunner::run()
             out.usedKernel =
                 fast &&
                 (!live[k].cached || phase_kernel[cell_phase[i]]);
+            const bool simd = live[k].prepared.preEvalSimd &&
+                              sims[k].usedSimd;
+            out.usedSimd =
+                simd &&
+                (!live[k].cached || phase_simd[cell_phase[i]]);
             out.wallSeconds =
                 live[k].prepareSeconds +
                 (total_records > 0.0
@@ -1331,6 +1367,8 @@ ExperimentRunner::run()
             result.actualBranches -= phase_branches[cell_phase[i]];
         if (cell.usedKernel)
             ++result.kernelCells;
+        if (cell.usedSimd)
+            ++result.simdCells;
     }
     for (const Count branches : phase_branches)
         result.actualBranches += branches;
@@ -1356,6 +1394,7 @@ ExperimentRunner::run()
              obs::Field::u64("profile_cache_misses",
                              result.profileCacheMisses),
              obs::Field::u64("kernel_cells", result.kernelCells),
+             obs::Field::u64("simd_cells", result.simdCells),
              obs::Field::u64("failed_cells", result.failedCells),
              obs::Field::u64("restored_cells",
                              result.restoredCells),
@@ -1388,7 +1427,7 @@ writeRunnerJson(const std::string &path, const std::string &bench,
             "\"misp_ki\": %.6f, \"hints\": %zu, "
             "\"branches\": %llu, \"wall_seconds\": %.6f, "
             "\"branches_per_second\": %.1f, "
-            "\"kernel\": %s, \"profile_cached\": %s",
+            "\"kernel\": %s, \"simd\": %s, \"profile_cached\": %s",
             meta.label.c_str(),
             runner.program(meta.programIndex).name().c_str(),
             cell.result.stats.mispKi(), cell.result.hintCount,
@@ -1396,6 +1435,7 @@ writeRunnerJson(const std::string &path, const std::string &bench,
                 cell.result.simulatedBranches),
             cell.wallSeconds, cell.branchesPerSecond(),
             cell.usedKernel ? "true" : "false",
+            cell.usedSimd ? "true" : "false",
             cell.profileCached ? "true" : "false");
         if (cell.restored)
             std::fprintf(file, ", \"restored\": true");
@@ -1424,6 +1464,11 @@ writeRunnerJson(const std::string &path, const std::string &bench,
                      result.profileCacheMisses));
     std::fprintf(file, "  \"kernel_cells\": %llu,\n",
                  static_cast<unsigned long long>(result.kernelCells));
+    std::fprintf(file, "  \"simd_cells\": %llu,\n",
+                 static_cast<unsigned long long>(result.simdCells));
+    std::fprintf(file, "  \"dispatch\": \"%s\",\n",
+                 result.dispatch.c_str());
+    std::fprintf(file, "  \"simd_width\": %u,\n", result.simdLanes);
     std::fprintf(file, "  \"fused\": %s,\n",
                  result.fused ? "true" : "false");
     std::fprintf(file, "  \"fused_groups\": %llu,\n",

@@ -172,6 +172,17 @@ struct RunnerOptions
     bool fused = true;
 
     /**
+     * Let the devirtualized kernels run their batched SIMD-dispatch
+     * variants (ExperimentConfig::simd). Results are bit-identical
+     * either way; the flag exists so benches and the CLI can expose
+     * --no-simd for differential runs, and so the resolved dispatch
+     * path lands in the journal and runner JSON. The BPSIM_SIMD
+     * environment variable further narrows the resolved level at
+     * engine dispatch time (off/scalar/avx2/neon).
+     */
+    bool simd = true;
+
+    /**
      * Optional run journal. When set, run() records the structured
      * event stream (run/phase boundaries, per-profile-phase and
      * per-cell events with timing, path-taken flags and stat
@@ -240,6 +251,10 @@ struct CellResult
     /** Every simulation of the cell ran the devirtualized kernels. */
     bool usedKernel = false;
 
+    /** Every simulation of the cell ran the batched SIMD-dispatch
+     * kernels (always false when usedKernel is false). */
+    bool usedSimd = false;
+
     /** The cell consumed a shared profiling phase instead of running
      * its own. */
     bool profileCached = false;
@@ -293,6 +308,9 @@ struct MatrixResult
     /** Cells whose simulations all ran the devirtualized kernels. */
     Count kernelCells = 0;
 
+    /** Cells whose simulations all ran the batched SIMD kernels. */
+    Count simdCells = 0;
+
     /** Cells that ended in an Error (including fail-fast skips). */
     Count failedCells = 0;
 
@@ -301,6 +319,15 @@ struct MatrixResult
 
     /** The run used the fused sweep executor. */
     bool fused = false;
+
+    /** Resolved kernel dispatch level of the run — simdLevelName()
+     * of resolveSimdLevel(RunnerOptions::simd) at run() time: "off",
+     * "scalar", "avx2" or "neon". */
+    std::string dispatch = "off";
+
+    /** Nominal vector width of the dispatch level in 32-bit lanes
+     * (1 for off/scalar). */
+    unsigned simdLanes = 1;
 
     /** Fused passes executed (profiling-phase and cell groups). */
     Count fusedGroups = 0;

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Runtime CPU-feature dispatch for the batch replay kernels.
+ *
+ * The batch kernels are compiled twice from one portable source: a
+ * baseline translation unit (scalar; auto-vectorized with NEON on
+ * aarch64, where NEON is part of the baseline ISA) and, on x86-64, an
+ * AVX2 translation unit. Which set runs is decided once per
+ * simulation from the CPU's capabilities, the run options and the
+ * BPSIM_SIMD environment override; results are bit-identical across
+ * every level by construction (the kernels are integer-exact), which
+ * tests/test_simd.cc pins differentially.
+ */
+
+#ifndef BPSIM_CORE_SIMD_HH
+#define BPSIM_CORE_SIMD_HH
+
+namespace bpsim
+{
+
+#if (defined(__x86_64__) || defined(_M_X64)) && \
+    !defined(BPSIM_NO_AVX2_KERNELS)
+#define BPSIM_HAVE_AVX2_KERNELS 1
+#endif
+
+/** Which replay kernel family a simulation runs. */
+enum class SimdLevel
+{
+    /** Batch kernels disabled: the record-at-a-time PR-5 kernels run.
+     * This is the differential reference path (--no-simd). */
+    Off,
+
+    /** Portable batch kernels from the baseline translation unit. */
+    Scalar,
+
+    /** Batch kernels from the AVX2 translation unit (x86-64 only). */
+    Avx2,
+
+    /** Baseline translation unit on aarch64, where the compiler
+     * vectorizes the batch loops with baseline NEON. */
+    Neon,
+};
+
+/** Best level the hardware this process runs on supports. */
+SimdLevel detectSimdLevel();
+
+/**
+ * Level for a run with --simd/--no-simd resolved to @p enabled.
+ *
+ * The BPSIM_SIMD environment variable (off|scalar|avx2|neon)
+ * overrides the flag when set to a known value: a supported level is
+ * forced, an unsupported one (avx2 without CPU support, neon on
+ * x86-64) falls back to Scalar, and unknown values are ignored. With
+ * no override the result is detectSimdLevel() when @p enabled, Off
+ * otherwise. The environment is consulted on every call so tests can
+ * flip it mid-process.
+ */
+SimdLevel resolveSimdLevel(bool enabled);
+
+/** Lower-case level name: "off", "scalar", "avx2" or "neon". */
+const char *simdLevelName(SimdLevel level);
+
+/** Nominal vector width in 32-bit lanes (1 for Off/Scalar). */
+unsigned simdWidth(SimdLevel level);
+
+} // namespace bpsim
+
+#endif // BPSIM_CORE_SIMD_HH

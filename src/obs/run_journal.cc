@@ -242,6 +242,8 @@ RunJournal::summary() const
             sum.neutral += event.u64("neutral");
             if (event.boolean("kernel"))
                 ++sum.kernelCells;
+            if (event.boolean("simd"))
+                ++sum.simdCells;
             if (event.boolean("profile_cached"))
                 ++sum.cachedCells;
             break;
@@ -253,6 +255,10 @@ RunJournal::summary() const
             sum.wallSeconds = event.f64("seconds");
             break;
           case EventKind::RunBegin:
+            if (const Field *field = event.find("dispatch");
+                field != nullptr && field->type() == Field::Type::Str)
+                sum.dispatch = field->strValue();
+            sum.simdWidth = event.u64("simd_width");
             break;
         }
     }
@@ -358,6 +364,12 @@ RunJournal::writeMetrics(const std::string &path) const
     std::fprintf(file, "  \"wall_seconds\": %.6f,\n", sum.wallSeconds);
     std::fprintf(file, "  \"kernel_cells\": %llu,\n",
                  static_cast<unsigned long long>(sum.kernelCells));
+    std::fprintf(file, "  \"simd_cells\": %llu,\n",
+                 static_cast<unsigned long long>(sum.simdCells));
+    std::fprintf(file, "  \"dispatch\": %s,\n",
+                 jsonQuote(sum.dispatch).c_str());
+    std::fprintf(file, "  \"simd_width\": %llu,\n",
+                 static_cast<unsigned long long>(sum.simdWidth));
     std::fprintf(file, "  \"cached_cells\": %llu,\n",
                  static_cast<unsigned long long>(sum.cachedCells));
     std::fprintf(file, "  \"fused_groups\": %llu,\n",

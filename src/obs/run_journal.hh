@@ -171,6 +171,17 @@ struct JournalSummary
     /** Cells whose evaluation ran the devirtualized kernels. */
     Count kernelCells = 0;
 
+    /** Cells whose simulations ran the batched SIMD kernels. */
+    Count simdCells = 0;
+
+    /** run_begin dispatch level ("off"/"scalar"/"avx2"/"neon";
+     * empty when the run_begin event predates the field). */
+    std::string dispatch;
+
+    /** run_begin nominal vector width in 32-bit lanes (0 when the
+     * run_begin event predates the field). */
+    Count simdWidth = 0;
+
     /** Cells that consumed a shared (cached or fresh) profile phase. */
     Count cachedCells = 0;
 

@@ -17,10 +17,8 @@ Agree::Agree(std::size_t size_bytes, BitCount counter_bits)
 std::size_t
 Agree::index(Addr pc) const
 {
-    const std::uint64_t addr_bits =
-        foldBits(pc / instructionBytes, table.indexBits());
-    return static_cast<std::size_t>(
-        (addr_bits ^ history.value()) & mask(table.indexBits()));
+    return static_cast<std::size_t>(hashPcHistoryXor(
+        pc / instructionBytes, history.value(), table.indexBits()));
 }
 
 bool

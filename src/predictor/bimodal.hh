@@ -59,7 +59,7 @@ class Bimodal : public BranchPredictor
     updateStep(Addr pc, bool taken)
     {
         (void)pc;
-        SatCounter &counter = table.entry(lastIndex);
+        auto counter = table.entry(lastIndex);
         if constexpr (Track)
             table.classify(counter.taken() == taken);
         counter.train(taken);
@@ -72,6 +72,8 @@ class Bimodal : public BranchPredictor
     Count pendingStep() const { return table.pending(); }
 
   private:
+    template <typename> friend struct BatchTraits;
+
     CounterTable table;
     std::size_t lastIndex = 0;
 };

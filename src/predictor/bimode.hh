@@ -109,13 +109,14 @@ class BiMode : public BranchPredictor
     }
 
   private:
+    template <typename> friend struct BatchTraits;
+
     std::size_t
     directionIndex(Addr pc) const
     {
-        const BitCount bits = takenTable.indexBits();
-        const std::uint64_t addr_bits =
-            foldBits(pc / instructionBytes, bits);
-        return takenTable.indexFor(addr_bits ^ history.value());
+        return static_cast<std::size_t>(
+            hashPcHistoryXor(pc / instructionBytes, history.value(),
+                             takenTable.indexBits()));
     }
 
     CounterTable choice;

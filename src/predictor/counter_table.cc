@@ -7,13 +7,16 @@ namespace bpsim
 
 CounterTable::CounterTable(std::size_t entries, BitCount counter_bits,
                            std::uint8_t initial)
-    : counterBits(counter_bits), initialValue(initial)
+    : counterBits(counter_bits), initialValue(initial),
+      maxVal(static_cast<std::uint8_t>((1u << counter_bits) - 1)),
+      msbThreshold(static_cast<std::uint8_t>(1u << (counter_bits - 1)))
 {
     bpsim_assert(entries > 0 && isPowerOfTwo(entries),
                  "table entries (", entries, ") must be a power of two");
     bpsim_assert(counter_bits >= 1 && counter_bits <= 8,
                  "bad counter width");
-    counters.assign(entries, SatCounter(counter_bits, initial));
+    bpsim_assert(initial <= maxVal, "initial value too large");
+    counters.assign(entries, initial);
     tags.assign(entries, invalidTag);
     idxBits = floorLog2(entries);
     idxMask = entries - 1;
@@ -22,8 +25,7 @@ CounterTable::CounterTable(std::size_t entries, BitCount counter_bits,
 void
 CounterTable::reset()
 {
-    for (auto &counter : counters)
-        counter.set(initialValue);
+    std::fill(counters.begin(), counters.end(), initialValue);
     std::fill(tags.begin(), tags.end(), invalidTag);
     pendingCollisions = 0;
 }

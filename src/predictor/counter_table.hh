@@ -21,6 +21,13 @@ namespace bpsim
 /**
  * Power-of-two sized table of n-bit saturating counters.
  *
+ * Storage is structure-of-arrays: one contiguous byte array of raw
+ * counter values and one parallel array of measurement tags, so the
+ * batch replay kernels can gather and update counters lane-wise. The
+ * per-entry SatCounter interface survives as a lightweight proxy
+ * (Ref) returned by the accessors, which keeps the predictors' step
+ * code unchanged by the layout.
+ *
  * Each entry carries a measurement-only tag holding the PC of the
  * last branch that looked the entry up. lookup() reports whether the
  * access collided (tag mismatch); the owning predictor later calls
@@ -39,6 +46,64 @@ namespace bpsim
 class CounterTable
 {
   public:
+    /** Tag value meaning "no branch has used this entry yet". */
+    static constexpr Addr invalidTag = ~Addr{0};
+
+    /**
+     * Proxy reference to one counter slot in the structure-of-arrays
+     * store; mirrors the SatCounter mutation interface.
+     */
+    class Ref
+    {
+      public:
+        Ref(std::uint8_t &slot, std::uint8_t msb, std::uint8_t max_value)
+            : slot(slot), msb(msb), maxVal(max_value)
+        {
+        }
+
+        /** Prediction carried by the counter (MSB set => taken). */
+        bool taken() const { return satCounterTaken(slot, msb); }
+
+        /** Current raw value. */
+        std::uint8_t value() const { return slot; }
+
+        /** Branchless train toward the actual outcome. */
+        void
+        train(bool taken_outcome)
+        {
+            slot = satCounterTrain(slot, taken_outcome, maxVal);
+        }
+
+        /** Reset to an explicit value. */
+        void
+        set(std::uint8_t value)
+        {
+            bpsim_assert(value <= maxVal, "value too large");
+            slot = value;
+        }
+
+      private:
+        std::uint8_t &slot;
+        std::uint8_t msb;
+        std::uint8_t maxVal;
+    };
+
+    /** Read-only counterpart of Ref. */
+    class ConstRef
+    {
+      public:
+        ConstRef(std::uint8_t slot, std::uint8_t msb) : slot(slot), msb(msb)
+        {
+        }
+
+        bool taken() const { return satCounterTaken(slot, msb); }
+        std::uint8_t value() const { return slot; }
+
+      private:
+        std::uint8_t slot;
+        std::uint8_t msb;
+    };
+
     /**
      * @param entries      table size; must be a power of two
      * @param counter_bits width of each counter (1..8)
@@ -77,7 +142,7 @@ class CounterTable
      * compiled out and the access is a bare masked load.
      */
     template <bool Track = true>
-    SatCounter &
+    Ref
     lookup(std::size_t index, Addr pc)
     {
         index &= idxMask;
@@ -91,29 +156,29 @@ class CounterTable
         } else {
             (void)pc;
         }
-        return counters[index];
+        return Ref(counters[index], msbThreshold, maxVal);
     }
 
     /** Direct access without instrumentation (for update paths). */
-    SatCounter &
+    Ref
     at(std::size_t index)
     {
         bpsim_assert(index < counters.size(), "index out of range");
-        return counters[index];
+        return Ref(counters[index], msbThreshold, maxVal);
     }
 
-    const SatCounter &
+    ConstRef
     at(std::size_t index) const
     {
         bpsim_assert(index < counters.size(), "index out of range");
-        return counters[index];
+        return ConstRef(counters[index], msbThreshold);
     }
 
     /** Uninstrumented masked access for the hot update path. */
-    SatCounter &
+    Ref
     entry(std::size_t index)
     {
-        return counters[index & idxMask];
+        return Ref(counters[index & idxMask], msbThreshold, maxVal);
     }
 
     /**
@@ -140,11 +205,22 @@ class CounterTable
     /** Zero the collision statistics. */
     void clearStats() { collisionStats = CollisionStats{}; }
 
-  private:
-    /** Tag value meaning "no branch has used this entry yet". */
-    static constexpr Addr invalidTag = ~Addr{0};
+    /**
+     * @name Raw structure-of-arrays access for the batch kernels
+     * The kernels gather counters/tags directly and accumulate
+     * collision statistics in registers, flushing into statsRef() at
+     * segment boundaries.
+     */
+    ///@{
+    std::uint8_t *counterData() { return counters.data(); }
+    Addr *tagData() { return tags.data(); }
+    std::uint8_t counterMax() const { return maxVal; }
+    std::uint8_t counterMsb() const { return msbThreshold; }
+    CollisionStats &statsRef() { return collisionStats; }
+    ///@}
 
-    std::vector<SatCounter> counters;
+  private:
+    std::vector<std::uint8_t> counters;
     std::vector<Addr> tags;
     CollisionStats collisionStats;
     Count pendingCollisions = 0;
@@ -152,6 +228,8 @@ class CounterTable
     BitCount counterBits;
     BitCount idxBits;
     std::uint8_t initialValue;
+    std::uint8_t maxVal;
+    std::uint8_t msbThreshold;
 };
 
 } // namespace bpsim

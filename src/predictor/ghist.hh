@@ -63,7 +63,7 @@ class Ghist : public BranchPredictor
     updateStep(Addr pc, bool taken)
     {
         (void)pc;
-        SatCounter &counter = table.entry(lastIndex);
+        auto counter = table.entry(lastIndex);
         if constexpr (Track)
             table.classify(counter.taken() == taken);
         counter.train(taken);
@@ -76,6 +76,8 @@ class Ghist : public BranchPredictor
     Count pendingStep() const { return table.pending(); }
 
   private:
+    template <typename> friend struct BatchTraits;
+
     CounterTable table;
     GlobalHistory history;
     std::size_t lastIndex = 0;

@@ -52,6 +52,13 @@ class GlobalHistory
     /** Clear to the power-on (all not-taken) state. */
     void clear() { bits = 0; }
 
+    /**
+     * Restore the register to an explicit value. Used by the batch
+     * replay kernels, which evolve the history in a register and sync
+     * it back at segment boundaries.
+     */
+    void set(std::uint64_t value) { bits = value & mask(numBits); }
+
   private:
     std::uint64_t bits = 0;
     BitCount numBits;

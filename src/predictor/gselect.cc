@@ -21,12 +21,9 @@ Gselect::Gselect(std::size_t size_bytes, BitCount history_bits,
 std::size_t
 Gselect::index(Addr pc) const
 {
-    const BitCount addr_bits = table.indexBits() - history.width();
-    const std::uint64_t addr =
-        foldBits(pc / instructionBytes, addr_bits);
     return static_cast<std::size_t>(
-        ((addr << history.width()) | history.value()) &
-        mask(table.indexBits()));
+        hashPcHistoryConcat(pc / instructionBytes, history.value(),
+                            history.width(), table.indexBits()));
 }
 
 bool

@@ -66,7 +66,7 @@ class Gshare : public BranchPredictor
     updateStep(Addr pc, bool taken)
     {
         (void)pc;
-        SatCounter &counter = table.entry(lastIndex);
+        auto counter = table.entry(lastIndex);
         if constexpr (Track)
             table.classify(counter.taken() == taken);
         counter.train(taken);
@@ -79,12 +79,13 @@ class Gshare : public BranchPredictor
     Count pendingStep() const { return table.pending(); }
 
   private:
+    template <typename> friend struct BatchTraits;
+
     std::size_t
     index(Addr pc) const
     {
-        const std::uint64_t addr_bits =
-            foldBits(pc / instructionBytes, table.indexBits());
-        return table.indexFor(addr_bits ^ history.value());
+        return static_cast<std::size_t>(hashPcHistoryXor(
+            pc / instructionBytes, history.value(), table.indexBits()));
     }
 
     CounterTable table;

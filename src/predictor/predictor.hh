@@ -22,6 +22,13 @@ namespace bpsim
 {
 
 /**
+ * Access shim the batch replay kernels use to reach a predictor's
+ * tables and latched state (specialized per concrete predictor in
+ * core/batch_kernels.hh; each predictor befriends it).
+ */
+template <typename Predictor> struct BatchTraits;
+
+/**
  * Aliasing statistics, maintained exactly as §5 of the paper defines:
  * a per-counter tag holds the PC of the last branch to use the
  * counter; a lookup under a different PC counts one collision, which

@@ -147,6 +147,8 @@ class TwoBcGskew : public BranchPredictor
     }
 
   private:
+    template <typename> friend struct BatchTraits;
+
     std::size_t
     bimIndex(Addr pc) const
     {

@@ -66,6 +66,38 @@ foldBits(std::uint64_t value, BitCount bits)
     return folded;
 }
 
+/**
+ * gshare-family table index: folded branch address XORed with the raw
+ * global history, reduced to @p bits. The single definition shared by
+ * gshare, agree, bi-mode direction tables and the batch replay
+ * kernels, so the scalar and batched paths cannot drift.
+ *
+ * @param pc_index branch address already divided by the instruction
+ *                 size (pc / instructionBytes)
+ * @param history  raw history register value (not pre-folded; bits
+ *                 beyond the index width are discarded by the mask,
+ *                 matching the classic gshare formulation)
+ */
+constexpr std::uint64_t
+hashPcHistoryXor(std::uint64_t pc_index, std::uint64_t history,
+                 BitCount bits)
+{
+    return (foldBits(pc_index, bits) ^ history) & mask(bits);
+}
+
+/**
+ * gselect-style concatenated index: folded branch address in the high
+ * bits, @p history_bits of global history in the low bits.
+ */
+constexpr std::uint64_t
+hashPcHistoryConcat(std::uint64_t pc_index, std::uint64_t history,
+                    BitCount history_bits, BitCount bits)
+{
+    return ((foldBits(pc_index, bits - history_bits) << history_bits) |
+            history) &
+           mask(bits);
+}
+
 /** Extract bits [lo, lo+len) of @p value. */
 constexpr std::uint64_t
 bitSlice(std::uint64_t value, BitCount lo, BitCount len)

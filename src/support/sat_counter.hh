@@ -16,6 +16,36 @@ namespace bpsim
 {
 
 /**
+ * Lane form of the saturating-counter train step, operating on a raw
+ * counter value as stored in structure-of-arrays counter tables.
+ * Branchless so batch kernels can apply it per lane with no
+ * data-dependent control flow.
+ *
+ * @param max_value largest representable value, (1 << bits) - 1
+ */
+constexpr std::uint8_t
+satCounterTrain(std::uint8_t counter, bool taken_outcome,
+                std::uint8_t max_value)
+{
+    const unsigned up = static_cast<unsigned>(taken_outcome) &
+                        static_cast<unsigned>(counter != max_value);
+    const unsigned down = static_cast<unsigned>(!taken_outcome) &
+                          static_cast<unsigned>(counter != 0);
+    return static_cast<std::uint8_t>(counter + up - down);
+}
+
+/**
+ * Lane form of the prediction carried by a raw counter value.
+ *
+ * @param msb the MSB threshold, 1 << (bits - 1)
+ */
+constexpr bool
+satCounterTaken(std::uint8_t counter, std::uint8_t msb)
+{
+    return counter >= msb;
+}
+
+/**
  * An n-bit saturating up/down counter (n in 1..8).
  *
  * The most significant bit is the "taken" prediction. Counters are
@@ -90,13 +120,7 @@ class SatCounter
     void
     train(bool taken_outcome)
     {
-        const unsigned up =
-            static_cast<unsigned>(taken_outcome) &
-            static_cast<unsigned>(counter != maxValue());
-        const unsigned down =
-            static_cast<unsigned>(!taken_outcome) &
-            static_cast<unsigned>(counter != 0);
-        counter = static_cast<std::uint8_t>(counter + up - down);
+        counter = satCounterTrain(counter, taken_outcome, maxValue());
     }
 
     /** Reset to an explicit value (used by tests and table clears). */

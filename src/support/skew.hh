@@ -15,6 +15,8 @@
 
 #include <cstdint>
 
+#include "support/bits.hh"
+#include "support/logging.hh"
 #include "support/types.hh"
 
 namespace bpsim
@@ -23,11 +25,38 @@ namespace bpsim
 /**
  * The n-bit bijection H: rotate right by one with the new MSB set to
  * (old MSB xor old LSB). A bijection for any width 1..63.
+ *
+ * Defined inline: the batch replay kernels evaluate the skewed index
+ * functions once per record in their precompute pass.
  */
-std::uint64_t skewH(std::uint64_t x, BitCount bits);
+inline std::uint64_t
+skewH(std::uint64_t x, BitCount bits)
+{
+    bpsim_assert(bits >= 1 && bits <= 63, "bad H width ", bits);
+    x &= mask(bits);
+    if (bits == 1)
+        return x;
+    const std::uint64_t msb = (x >> (bits - 1)) & 1;
+    const std::uint64_t lsb = x & 1;
+    return ((msb ^ lsb) << (bits - 1)) | (x >> 1);
+}
 
 /** Inverse of skewH: skewHinv(skewH(x)) == x. */
-std::uint64_t skewHinv(std::uint64_t x, BitCount bits);
+inline std::uint64_t
+skewHinv(std::uint64_t x, BitCount bits)
+{
+    bpsim_assert(bits >= 1 && bits <= 63, "bad H width ", bits);
+    x &= mask(bits);
+    if (bits == 1)
+        return x;
+    // Forward: new_msb = old_msb ^ old_lsb; rest = old >> 1, so the
+    // old MSB now sits at position bits-2 and the old LSB is the XOR
+    // of the two top bits of the transformed value.
+    const std::uint64_t msb = (x >> (bits - 1)) & 1;
+    const std::uint64_t old_msb = (x >> (bits - 2)) & 1;
+    const std::uint64_t old_lsb = msb ^ old_msb;
+    return ((x << 1) & mask(bits)) | old_lsb;
+}
 
 /**
  * Bank-specific skewed index for a table of 2^bits entries.
@@ -37,8 +66,23 @@ std::uint64_t skewHinv(std::uint64_t x, BitCount bits);
  * @param v2   second index source (e.g. folded global history)
  * @param bits table index width
  */
-std::uint64_t skewIndex(unsigned bank, std::uint64_t v1, std::uint64_t v2,
-                        BitCount bits);
+inline std::uint64_t
+skewIndex(unsigned bank, std::uint64_t v1, std::uint64_t v2, BitCount bits)
+{
+    v1 &= mask(bits);
+    v2 &= mask(bits);
+    // Apply H (bank+1) times to v1 and its inverse as many times to v2,
+    // then mix in one of the raw sources depending on bank parity. Each
+    // bank therefore uses a distinct bijective combination, giving the
+    // inter-bank dispersion the gskew scheme relies on.
+    std::uint64_t a = v1;
+    std::uint64_t b = v2;
+    for (unsigned i = 0; i <= bank; ++i) {
+        a = skewH(a, bits);
+        b = skewHinv(b, bits);
+    }
+    return (a ^ b ^ (bank % 2 == 0 ? v2 : v1)) & mask(bits);
+}
 
 } // namespace bpsim
 

@@ -29,6 +29,7 @@
 #include "core/engine.hh"
 #include "core/experiment.hh"
 #include "core/runner.hh"
+#include "core/simd.hh"
 #include "obs/run_journal.hh"
 #include "support/args.hh"
 #include "support/error.hh"
@@ -50,16 +51,19 @@ namespace
 class CliJournal
 {
   public:
-    CliJournal(std::string path, std::string label)
+    CliJournal(std::string path, std::string label, bool simd)
         : path(std::move(path))
     {
         if (this->path.empty())
             return;
+        const SimdLevel level = resolveSimdLevel(simd);
         journal =
             std::make_unique<obs::RunJournal>(std::move(label));
-        journal->record(obs::EventKind::RunBegin, 0,
-                        journal->runLabel(),
-                        {obs::Field::u64("threads", 1)});
+        journal->record(
+            obs::EventKind::RunBegin, 0, journal->runLabel(),
+            {obs::Field::u64("threads", 1),
+             obs::Field::str("dispatch", simdLevelName(level)),
+             obs::Field::u64("simd_width", simdWidth(level))});
     }
 
     CounterRegistry *
@@ -183,6 +187,13 @@ addCommonOptions(ArgParser &args)
     args.addFlag("filter-unstable",
                  "apply the cross-training merge filter (5% rule)");
     args.addFlag("csv", "emit one machine-readable CSV row per run");
+    args.addFlag("simd",
+                 "run the batched SIMD-dispatch kernels (default; "
+                 "results are bit-identical either way)");
+    args.addFlag("no-simd",
+                 "run the record-at-a-time reference kernels "
+                 "(overrides --simd; BPSIM_SIMD=off|scalar|avx2|neon "
+                 "overrides both)");
     args.addOption("journal", "",
                    "write the structured run journal (JSONL) to this "
                    "path; the metrics summary lands next to it "
@@ -260,7 +271,8 @@ cmdRun(int argc, char **argv)
     const StaticScheme scheme =
         staticSchemeFromName(args.get("scheme"));
     bool csv_header = false;
-    CliJournal journal(args.get("journal"), "bpsim_cli run");
+    CliJournal journal(args.get("journal"), "bpsim_cli run",
+                       !args.getFlag("no-simd"));
 
     if (!args.get("trace").empty()) {
         // Trace replay: static schemes need a workload to re-run for
@@ -273,6 +285,7 @@ cmdRun(int argc, char **argv)
         options.maxBranches = args.getUint("branches");
         options.warmupBranches = args.getUint("warmup");
         options.counters = journal.counters();
+        options.simd = !args.getFlag("no-simd");
         const std::string label =
             args.get("trace") + "/" + predictor->name();
         journal.beginCell(label);
@@ -296,6 +309,7 @@ cmdRun(int argc, char **argv)
         options.maxBranches = args.getUint("branches");
         options.warmupBranches = args.getUint("warmup");
         options.counters = journal.counters();
+        options.simd = !args.getFlag("no-simd");
         auto predictor = makePredictor(spec);
         const std::string label =
             program.name() + "/" + predictor->name() + "/none";
@@ -330,6 +344,7 @@ cmdRun(int argc, char **argv)
     config.filterUnstable = args.getFlag("filter-unstable");
     config.evalWarmupBranches = args.getUint("warmup");
     config.counters = journal.counters();
+    config.simd = !args.getFlag("no-simd");
 
     const std::string label = program.name() + "/" + kind_name + ":" +
                               std::to_string(config.sizeBytes) + "/" +
@@ -438,6 +453,7 @@ cmdSweep(int argc, char **argv)
     options.checkpointPath = args.get("checkpoint");
     options.resume = args.getFlag("resume");
     options.fused = !args.getFlag("no-fused");
+    options.simd = !args.getFlag("no-simd");
 
     ExperimentRunner runner(options);
     const std::size_t program_index =

@@ -33,6 +33,9 @@ TOP_LEVEL_REQUIRED = {
     "profile_cache_hits": int,
     "profile_cache_misses": int,
     "kernel_cells": int,
+    "simd_cells": int,
+    "dispatch": str,
+    "simd_width": int,
     "fused": bool,
     "fused_groups": int,
     "failed_cells": int,
@@ -57,8 +60,12 @@ CELL_REQUIRED = {
     "wall_seconds": (int, float),
     "branches_per_second": (int, float),
     "kernel": bool,
+    "simd": bool,
     "profile_cached": bool,
 }
+
+# Runtime dispatch levels (bpsim::SimdLevel wire names).
+DISPATCH_LEVELS = {"off", "scalar", "avx2", "neon"}
 
 # The error-code taxonomy (bpsim::ErrorCode wire names).
 ERROR_CODES = {
@@ -153,6 +160,9 @@ METRICS_REQUIRED = {
     "cell_seconds": (int, float),
     "wall_seconds": (int, float),
     "kernel_cells": int,
+    "simd_cells": int,
+    "dispatch": str,
+    "simd_width": int,
     "cached_cells": int,
     "fused_groups": int,
     "fused_members": int,
@@ -185,6 +195,7 @@ CHECKPOINT_REQUIRED = {
     "hints": int,
     "simulated_branches": int,
     "kernel": bool,
+    "simd": bool,
     "phase_branches": int,
 }
 
@@ -289,6 +300,32 @@ def check_runner_file(path):
         fail(path, f"kernel_cells {data['kernel_cells']} != "
                    f"count of kernel cells {kernel_cells}")
 
+    # Batched SIMD execution is a refinement of the devirtualized
+    # kernel path: a cell can only batch if it took the kernels, and
+    # an off dispatch means no cell batched at all.
+    if data["dispatch"] not in DISPATCH_LEVELS:
+        fail(path, f"unknown dispatch level '{data['dispatch']}'")
+    simd_cells = sum(1 for cell in data["cells"] if cell["simd"])
+    if simd_cells != data["simd_cells"]:
+        fail(path, f"simd_cells {data['simd_cells']} != "
+                   f"count of simd cells {simd_cells}")
+    for index, cell in enumerate(data["cells"]):
+        if cell["simd"] and not cell["kernel"]:
+            fail(path, f"cells[{index}]: simd without kernel")
+    # Restored cells keep the flag of the run that executed them, so
+    # only freshly executed cells must obey this run's dispatch.
+    executed_simd = sum(1 for cell in data["cells"]
+                        if cell["simd"] and "restored" not in cell)
+    if data["dispatch"] == "off" and executed_simd > 0:
+        fail(path, f"dispatch is off but {executed_simd} executed "
+                   f"cells report simd")
+    if data["simd_width"] < 1:
+        fail(path, f"simd_width {data['simd_width']} < 1")
+    if data["dispatch"] in ("off", "scalar") and \
+            data["simd_width"] != 1:
+        fail(path, f"dispatch '{data['dispatch']}' with simd_width "
+                   f"{data['simd_width']} (expected 1)")
+
     # Every non-failed cell in the cache plan reports profile_cached;
     # failed consumers drop out of the count, so with failures the
     # plan size only bounds it.
@@ -310,6 +347,8 @@ def check_runner_file(path):
           f"{data['wall_seconds']:.2f}s wall, "
           f"{data['profile_cache_hits']} profile-cache hits, "
           f"{data['kernel_cells']} kernel cells, "
+          f"{data['simd_cells']} simd cells via "
+          f"{data['dispatch']}, "
           f"{data['failed_cells']} failed, "
           f"{data['restored_cells']} restored)")
 
@@ -361,6 +400,23 @@ def check_journal_file(path):
 
     if events[0]["event"] != "run_begin":
         fail(path, "first event must be run_begin")
+    # Dispatch resolution is recorded once, up front. Both fields are
+    # optional (journals predating the batch kernels lack them) but
+    # must arrive as a consistent pair when present.
+    run_begin = events[0]
+    if "dispatch" in run_begin:
+        if run_begin["dispatch"] not in DISPATCH_LEVELS:
+            fail(path, f"run_begin: unknown dispatch level "
+                       f"'{run_begin['dispatch']}'")
+        check_fields(path, run_begin, {"simd_width": int},
+                     "run_begin")
+        if run_begin["dispatch"] in ("off", "scalar") and \
+                run_begin["simd_width"] != 1:
+            fail(path, f"run_begin: dispatch "
+                       f"'{run_begin['dispatch']}' with simd_width "
+                       f"{run_begin['simd_width']} (expected 1)")
+    elif "simd_width" in run_begin:
+        fail(path, "run_begin: simd_width without dispatch")
     if events[-1]["event"] != "run_end":
         fail(path, "last event must be run_end")
     for marker in ("run_begin", "run_end"):
@@ -436,6 +492,16 @@ def check_journal_file(path):
             if event["event"] == "cell_end":
                 check_fields(path, event, CELL_END_REQUIRED, where)
                 check_collision_split(path, event, where)
+                if "simd" in event:
+                    if not isinstance(event["simd"], bool):
+                        fail(path, f"{where}: 'simd' must be a bool")
+                    if event["simd"] and event.get("kernel") is False:
+                        fail(path, f"{where}: simd without kernel")
+                    if event["simd"] and \
+                            event.get("restored") is not True and \
+                            run_begin.get("dispatch") == "off":
+                        fail(path, f"{where}: simd cell executed "
+                                   f"under an off dispatch")
                 cell_ends.append(event)
             else:
                 check_fields(path, event, CELL_ERROR_REQUIRED, where)
@@ -482,6 +548,12 @@ def check_journal_file(path):
             fail(path, f"run_end kernel_cells "
                        f"{run_end['kernel_cells']} != {kernel} "
                        f"kernel cell_end events")
+    if "simd_cells" in run_end:
+        simd = sum(1 for e in cell_ends if e.get("simd") is True)
+        if simd != run_end["simd_cells"]:
+            fail(path, f"run_end simd_cells "
+                       f"{run_end['simd_cells']} != {simd} "
+                       f"simd cell_end events")
     if "total_branches" in run_end:
         total = sum(e.get("simulated_branches", e["branches"])
                     for e in cell_ends)
@@ -573,6 +645,14 @@ def check_metrics_file(path):
     if data["fused_groups"] == 0 and data["fused_members"] != 0:
         fail(path, f"fused_members {data['fused_members']} without "
                    f"any fused groups")
+    # An empty dispatch means the journal's run_begin predates the
+    # batch kernels; otherwise it must name a known level.
+    if data["dispatch"] and data["dispatch"] not in DISPATCH_LEVELS:
+        fail(path, f"unknown dispatch level '{data['dispatch']}'")
+    if data["simd_cells"] > data["kernel_cells"]:
+        fail(path, f"simd_cells {data['simd_cells']} > "
+                   f"kernel_cells {data['kernel_cells']} (batching "
+                   f"refines the kernel path)")
     if not data["phases_balanced"]:
         fail(path, "phases_balanced is false")
     if data["phase_begins"] != data["phase_ends"]:
@@ -630,6 +710,8 @@ def check_checkpoint_file(path):
             fail(path, f"{where}: branches > simulated_branches")
         if record["collisions"] > record["lookups"]:
             fail(path, f"{where}: collisions > lookups")
+        if record["simd"] and not record["kernel"]:
+            fail(path, f"{where}: simd without kernel")
         classified = record["constructive"] + record["destructive"]
         if classified > record["collisions"]:
             fail(path, f"{where}: constructive + destructive "
