@@ -28,13 +28,14 @@ constexpr Count evalBranches = 2'000'000;
 constexpr Count profileBranches = 1'000'000;
 
 /**
- * Wall time of the fig7_12 matrix on the seed's serial, regenerating
- * path (one thread, no replay buffers), measured on the reference
- * container. The default --baseline-seconds, so speedup_vs_baseline
- * tracks the same denominator across PRs unless a run overrides it
- * with a freshly measured value.
+ * One-thread wall time of the fig7_12 matrix on the current code,
+ * measured on the reference container (kept in sync with the
+ * committed BENCH_runner.json). The default --baseline-seconds, so
+ * speedup_vs_baseline honestly tracks "vs a current serial run"
+ * rather than a long-retired regenerating path, unless a run
+ * overrides it with a freshly measured value.
  */
-constexpr double seedBaselineSeconds = 14.1;
+constexpr double seedBaselineSeconds = 3.5;
 
 /** Shared experiment defaults. */
 inline ExperimentConfig
@@ -99,6 +100,16 @@ struct BenchOptions
      * comparison. BPSIM_SIMD=off|scalar|avx2|neon further overrides
      * the resolved level at engine dispatch time. */
     bool simd = true;
+
+    /** Content-addressed artifact cache directory (--cache-dir;
+     * empty = off). Shared safely by concurrent shard processes. */
+    std::string cacheDir;
+
+    /** 1-based shard index (--shard i/N; 1/1 = whole matrix). */
+    unsigned shardIndex = 1;
+
+    /** Total shards the matrix is split across. */
+    unsigned shardCount = 1;
 };
 
 /**
@@ -157,6 +168,12 @@ parseBenchOptions(int argc, char **argv, const char *tool,
     args.addFlag("no-simd",
                  "run the record-at-a-time reference kernels "
                  "(overrides --simd)");
+    args.addOption("shard", "",
+                   "execute only shard i of N (1-based \"i/N\"); "
+                   "cells are partitioned by fingerprint hash");
+    args.addOption("cache-dir", "",
+                   "content-addressed artifact cache directory "
+                   "shared across processes (empty = disabled)");
     args.parse(argc, argv);
 
     BenchOptions options;
@@ -171,6 +188,18 @@ parseBenchOptions(int argc, char **argv, const char *tool,
     options.failFast = args.getFlag("fail-fast");
     options.fused = !args.getFlag("no-fused");
     options.simd = !args.getFlag("no-simd");
+    options.cacheDir = args.get("cache-dir");
+    if (!args.get("shard").empty()) {
+        const Result<std::pair<unsigned, unsigned>> shard =
+            parseShardSpec(args.get("shard"));
+        if (!shard.ok()) {
+            std::fprintf(stderr, "%s: error %s\n", tool,
+                         shard.error().describe().c_str());
+            std::exit(usageExitCode);
+        }
+        options.shardIndex = shard.value().first;
+        options.shardCount = shard.value().second;
+    }
     if (options.resume && options.checkpointPath.empty()) {
         std::fprintf(stderr,
                      "%s: error [config_invalid] --resume needs "
@@ -210,6 +239,9 @@ runnerOptions(const BenchOptions &options,
     runner.resume = options.resume;
     runner.fused = options.fused;
     runner.simd = options.simd;
+    runner.cacheDir = options.cacheDir;
+    runner.shardIndex = options.shardIndex;
+    runner.shardCount = options.shardCount;
     return runner;
 }
 

@@ -64,16 +64,34 @@ main(int argc, char **argv)
                     "none", "static_95", "static_acc", "impr95",
                     "imprAcc");
         for (const auto kind : allPredictorKinds()) {
-            const double none =
-                result.cells[cell++].result.stats.mispKi();
-            const double s95 =
-                result.cells[cell++].result.stats.mispKi();
-            const double acc =
-                result.cells[cell++].result.stats.mispKi();
-            std::printf("%-10s %10.2f %12.2f %12.2f %10s %10s\n",
-                        predictorKindName(kind).c_str(), none, s95,
-                        acc, formatImprovement(none, s95).c_str(),
-                        formatImprovement(none, acc).c_str());
+            // A sharded run (--shard i/N) owns only some cells; the
+            // others carry no results, so print "-" for them and
+            // compute improvements only when both operands ran here.
+            const CellResult &c_none = result.cells[cell++];
+            const CellResult &c_s95 = result.cells[cell++];
+            const CellResult &c_acc = result.cells[cell++];
+            const auto misp = [](const CellResult &c) {
+                if (c.shardSkipped)
+                    return std::string("-");
+                char buf[32];
+                std::snprintf(buf, sizeof(buf), "%.2f",
+                              c.result.stats.mispKi());
+                return std::string(buf);
+            };
+            const auto impr = [](const CellResult &base,
+                                 const CellResult &with) {
+                if (base.shardSkipped || with.shardSkipped)
+                    return std::string("-");
+                return formatImprovement(
+                    base.result.stats.mispKi(),
+                    with.result.stats.mispKi());
+            };
+            std::printf("%-10s %10s %12s %12s %10s %10s\n",
+                        predictorKindName(kind).c_str(),
+                        misp(c_none).c_str(), misp(c_s95).c_str(),
+                        misp(c_acc).c_str(),
+                        impr(c_none, c_s95).c_str(),
+                        impr(c_none, c_acc).c_str());
         }
     }
 

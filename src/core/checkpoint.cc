@@ -1,5 +1,6 @@
 #include "core/checkpoint.hh"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -9,6 +10,7 @@
 #include "core/combined_predictor.hh"
 #include "predictor/factory.hh"
 #include "support/atomic_file.hh"
+#include "support/bits.hh"
 #include "support/json.hh"
 
 namespace bpsim
@@ -33,7 +35,29 @@ countField(const JsonValue &line, const char *key)
     return static_cast<Count>(line.at(key).asNumber());
 }
 
+/** Render the shard header line (no trailing newline). */
+std::string
+renderHeaderLine(const ShardStamp &stamp)
+{
+    std::ostringstream os;
+    os << "{\"schema\": " << jsonQuote(checkpointHeaderSchema)
+       << ", \"shard_index\": " << stamp.shardIndex
+       << ", \"shard_count\": " << stamp.shardCount
+       << ", \"matrix_cells\": " << stamp.matrixCells
+       << ", \"shard_cells\": " << stamp.shardCells << "}";
+    return os.str();
+}
+
 } // namespace
+
+unsigned
+shardOfFingerprint(const std::string &fingerprint,
+                   unsigned shard_count)
+{
+    if (shard_count <= 1)
+        return 0;
+    return static_cast<unsigned>(fnv1a64(fingerprint) % shard_count);
+}
 
 std::string
 cellFingerprint(const SyntheticProgram &program,
@@ -78,6 +102,7 @@ SweepCheckpoint::load()
     std::lock_guard<std::mutex> guard(lock);
     records.clear();
     index.clear();
+    stamp.reset();
 
     std::FILE *file = std::fopen(filePath.c_str(), "rb");
     if (file == nullptr) {
@@ -116,8 +141,33 @@ SweepCheckpoint::load()
             continue;
         const JsonValue &object = parsed.value();
         const JsonValue *schema = object.find("schema");
-        if (schema == nullptr || !schema->isString() ||
-            schema->asString() != checkpointSchema)
+        if (schema == nullptr || !schema->isString())
+            continue;
+        if (schema->asString() == checkpointHeaderSchema) {
+            // A malformed header is skipped like any bad line; the
+            // file then reads as a plain (stamp-less) checkpoint.
+            const JsonValue *index_v = object.find("shard_index");
+            const JsonValue *count_v = object.find("shard_count");
+            const JsonValue *matrix_v = object.find("matrix_cells");
+            const JsonValue *cells_v = object.find("shard_cells");
+            if (index_v != nullptr && index_v->isNumber() &&
+                count_v != nullptr && count_v->isNumber() &&
+                matrix_v != nullptr && matrix_v->isNumber() &&
+                cells_v != nullptr && cells_v->isNumber()) {
+                ShardStamp loaded;
+                loaded.shardIndex =
+                    static_cast<unsigned>(index_v->asNumber());
+                loaded.shardCount =
+                    static_cast<unsigned>(count_v->asNumber());
+                loaded.matrixCells =
+                    static_cast<Count>(matrix_v->asNumber());
+                loaded.shardCells =
+                    static_cast<Count>(cells_v->asNumber());
+                stamp = loaded;
+            }
+            continue;
+        }
+        if (schema->asString() != checkpointSchema)
             continue;
 
         CheckpointRecord record;
@@ -187,10 +237,42 @@ SweepCheckpoint::renderLine(const CheckpointRecord &record)
     return os.str();
 }
 
+void
+SweepCheckpoint::setShard(const ShardStamp &new_stamp)
+{
+    std::lock_guard<std::mutex> guard(lock);
+    stamp = new_stamp;
+}
+
+Result<void>
+SweepCheckpoint::flush()
+{
+    std::lock_guard<std::mutex> guard(lock);
+    return rewriteLocked();
+}
+
+std::optional<ShardStamp>
+SweepCheckpoint::shard() const
+{
+    std::lock_guard<std::mutex> guard(lock);
+    return stamp;
+}
+
+std::vector<CheckpointRecord>
+SweepCheckpoint::snapshot() const
+{
+    std::lock_guard<std::mutex> guard(lock);
+    return records;
+}
+
 Result<void>
 SweepCheckpoint::rewriteLocked()
 {
     std::string content;
+    if (stamp) {
+        content += renderHeaderLine(*stamp);
+        content += '\n';
+    }
     for (const CheckpointRecord &record : records) {
         content += renderLine(record);
         content += '\n';
@@ -236,6 +318,160 @@ SweepCheckpoint::size() const
 {
     std::lock_guard<std::mutex> guard(lock);
     return records.size();
+}
+
+Result<MergeSummary>
+mergeShardCheckpoints(const std::vector<std::string> &shard_paths,
+                      const std::string &output_path)
+{
+    if (shard_paths.empty()) {
+        return Error(ErrorCode::ConfigInvalid,
+                     "merge needs at least one shard checkpoint");
+    }
+
+    MergeSummary summary;
+    std::map<std::string, CheckpointRecord> merged;
+    std::map<std::string, std::string> owner; // fingerprint -> path
+    std::vector<bool> covered;
+
+    for (const std::string &path : shard_paths) {
+        SweepCheckpoint shard(path);
+        Result<void> loaded = shard.load();
+        if (!loaded.ok()) {
+            return std::move(loaded.error())
+                .withContext("while merging shard '" + path + "'");
+        }
+        const std::optional<ShardStamp> stamp = shard.shard();
+        if (!stamp) {
+            return Error(ErrorCode::ConfigInvalid,
+                         "'" + path +
+                             "' is not a shard checkpoint (no "
+                             "shard header line)");
+        }
+        if (stamp->shardCount == 0 || stamp->shardIndex == 0 ||
+            stamp->shardIndex > stamp->shardCount) {
+            return Error(ErrorCode::ConfigInvalid,
+                         "'" + path + "' declares invalid shard " +
+                             std::to_string(stamp->shardIndex) + "/" +
+                             std::to_string(stamp->shardCount));
+        }
+        if (summary.shards.empty()) {
+            summary.shardCount = stamp->shardCount;
+            summary.matrixCells = stamp->matrixCells;
+            covered.assign(stamp->shardCount, false);
+        } else if (stamp->shardCount != summary.shardCount) {
+            return Error(ErrorCode::ConfigInvalid,
+                         "'" + path + "' was sharded " +
+                             std::to_string(stamp->shardCount) +
+                             " ways but earlier inputs " +
+                             std::to_string(summary.shardCount));
+        } else if (stamp->matrixCells != summary.matrixCells) {
+            return Error(ErrorCode::ConfigInvalid,
+                         "'" + path + "' covers a matrix of " +
+                             std::to_string(stamp->matrixCells) +
+                             " cells but earlier inputs one of " +
+                             std::to_string(summary.matrixCells));
+        }
+        if (covered[stamp->shardIndex - 1]) {
+            return Error(ErrorCode::ConfigInvalid,
+                         "shard " +
+                             std::to_string(stamp->shardIndex) + "/" +
+                             std::to_string(stamp->shardCount) +
+                             " appears more than once ('" + path +
+                             "')");
+        }
+        covered[stamp->shardIndex - 1] = true;
+
+        std::vector<CheckpointRecord> records = shard.snapshot();
+        if (records.size() != stamp->shardCells) {
+            return Error(ErrorCode::ConfigInvalid,
+                         "'" + path + "' is incomplete: " +
+                             std::to_string(records.size()) + " of " +
+                             std::to_string(stamp->shardCells) +
+                             " cells recorded");
+        }
+        for (CheckpointRecord &record : records) {
+            const unsigned belongs = shardOfFingerprint(
+                record.fingerprint, stamp->shardCount);
+            if (belongs != stamp->shardIndex - 1) {
+                return Error(
+                    ErrorCode::ConfigInvalid,
+                    "'" + path + "' holds cell '" + record.label +
+                        "' that belongs to shard " +
+                        std::to_string(belongs + 1) + "/" +
+                        std::to_string(stamp->shardCount));
+            }
+            const auto it = owner.find(record.fingerprint);
+            if (it != owner.end()) {
+                return Error(ErrorCode::ConfigInvalid,
+                             "cell '" + record.label +
+                                 "' appears in both '" + it->second +
+                                 "' and '" + path + "'");
+            }
+            owner.emplace(record.fingerprint, path);
+            merged.emplace(record.fingerprint, std::move(record));
+        }
+
+        MergeShardInfo info;
+        info.path = path;
+        info.shardIndex = stamp->shardIndex;
+        info.shardCells = stamp->shardCells;
+        info.records = stamp->shardCells;
+        summary.shards.push_back(std::move(info));
+    }
+
+    for (unsigned i = 0; i < summary.shardCount; ++i) {
+        if (!covered[i]) {
+            return Error(ErrorCode::ConfigInvalid,
+                         "shard " + std::to_string(i + 1) + "/" +
+                             std::to_string(summary.shardCount) +
+                             " is missing from the input set");
+        }
+    }
+
+    std::sort(summary.shards.begin(), summary.shards.end(),
+              [](const MergeShardInfo &a, const MergeShardInfo &b) {
+                  return a.shardIndex < b.shardIndex;
+              });
+    summary.records = merged.size();
+
+    // Plain (header-less) output sorted by fingerprint: the bytes
+    // are a pure function of the record set, and an unsharded
+    // --resume restores from it like any other checkpoint.
+    std::string content;
+    for (const auto &[fingerprint, record] : merged) {
+        content += SweepCheckpoint::renderLine(record);
+        content += '\n';
+    }
+    Result<void> written = writeFileAtomic(output_path, content);
+    if (!written.ok()) {
+        return std::move(written.error())
+            .withContext("while writing merged checkpoint");
+    }
+    return summary;
+}
+
+std::string
+renderMergeSummaryJson(const MergeSummary &summary,
+                       const std::string &output_path)
+{
+    std::ostringstream os;
+    os << "{\n  \"schema\": \"bpsim-merge-v1\",\n"
+       << "  \"output\": " << jsonQuote(output_path) << ",\n"
+       << "  \"shard_count\": " << summary.shardCount << ",\n"
+       << "  \"matrix_cells\": " << summary.matrixCells << ",\n"
+       << "  \"records\": " << summary.records << ",\n"
+       << "  \"shards\": [\n";
+    for (std::size_t i = 0; i < summary.shards.size(); ++i) {
+        const MergeShardInfo &info = summary.shards[i];
+        os << "    {\"path\": " << jsonQuote(info.path)
+           << ", \"shard_index\": " << info.shardIndex
+           << ", \"shard_cells\": " << info.shardCells
+           << ", \"records\": " << info.records << "}"
+           << (i + 1 < summary.shards.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    return os.str();
 }
 
 } // namespace bpsim

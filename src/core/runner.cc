@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "cache/artifact_cache.hh"
 #include "core/checkpoint.hh"
 #include "core/simd.hh"
 #include "support/atomic_file.hh"
@@ -383,9 +384,91 @@ MatrixResult::speedupVsSerialEstimate() const
                              : 0.0;
 }
 
+Result<std::pair<unsigned, unsigned>>
+parseShardSpec(const std::string &spec)
+{
+    const auto invalid = [&spec] {
+        return Result<std::pair<unsigned, unsigned>>(
+            Error(ErrorCode::ConfigInvalid,
+                  "shard spec must be 1-based i/N with 1 <= i <= N")
+                .withContext("got '" + spec + "'"));
+    };
+    const std::size_t slash = spec.find('/');
+    if (slash == std::string::npos || slash == 0 ||
+        slash + 1 >= spec.size())
+        return invalid();
+    const std::string index_text = spec.substr(0, slash);
+    const std::string count_text = spec.substr(slash + 1);
+    const auto is_digits = [](const std::string &text) {
+        return !text.empty() &&
+               text.find_first_not_of("0123456789") ==
+                   std::string::npos;
+    };
+    if (!is_digits(index_text) || !is_digits(count_text) ||
+        index_text.size() > 9 || count_text.size() > 9)
+        return invalid();
+    const unsigned long index = std::strtoul(index_text.c_str(),
+                                             nullptr, 10);
+    const unsigned long count = std::strtoul(count_text.c_str(),
+                                             nullptr, 10);
+    if (index == 0 || count == 0 || index > count)
+        return invalid();
+    return Result<std::pair<unsigned, unsigned>>(
+        std::pair<unsigned, unsigned>(
+            static_cast<unsigned>(index),
+            static_cast<unsigned>(count)));
+}
+
 ExperimentRunner::ExperimentRunner(RunnerOptions options)
     : options(options), taskPool(options.threads)
 {
+    if (!this->options.cacheDir.empty())
+        cache = std::make_unique<ArtifactCache>(this->options.cacheDir);
+}
+
+ExperimentRunner::~ExperimentRunner() = default;
+
+void
+ExperimentRunner::validateShardOptions() const
+{
+    if (options.shardCount == 0 || options.shardIndex == 0 ||
+        options.shardIndex > options.shardCount) {
+        raise(Error(ErrorCode::ConfigInvalid,
+                    "shard index/count must satisfy 1 <= index <= "
+                    "count")
+                  .withContext("got shard " +
+                               std::to_string(options.shardIndex) +
+                               "/" +
+                               std::to_string(options.shardCount)));
+    }
+}
+
+const std::string &
+ExperimentRunner::fingerprintOf(std::size_t index)
+{
+    bpsim_assert(index < cells.size(), "fingerprint index out of range");
+    if (fingerprintMemo.size() < cells.size())
+        fingerprintMemo.resize(cells.size());
+    if (!fingerprintMemo[index].has_value()) {
+        fingerprintMemo[index] = cellFingerprint(
+            programs[cells[index].programIndex], cells[index].config);
+    }
+    return *fingerprintMemo[index];
+}
+
+bool
+ExperimentRunner::cellInShard(std::size_t index)
+{
+    if (options.shardCount <= 1)
+        return true;
+    // Unfingerprintable cells (keyless makeDynamic factories) hash
+    // their label instead, so every cell lands in exactly one shard
+    // and a merged shard set still covers the whole matrix.
+    const std::string &fingerprint = fingerprintOf(index);
+    const std::string &identity =
+        fingerprint.empty() ? cells[index].label : fingerprint;
+    return shardOfFingerprint(identity, options.shardCount) ==
+           options.shardIndex - 1;
 }
 
 std::size_t
@@ -432,7 +515,8 @@ ExperimentRunner::addCell(std::size_t program_index,
                 staticSchemeName(config.scheme);
     }
     cell.label = std::move(label);
-    noteCellDemand(cell);
+    // Demands are folded in at materialize() time (not here) so a
+    // sharded run only materializes the buffers its own cells touch.
     cells.push_back(std::move(cell));
     return cells.size() - 1;
 }
@@ -456,34 +540,53 @@ ExperimentRunner::requireBuffer(std::size_t program_index,
 }
 
 void
-ExperimentRunner::noteCellDemand(const MatrixCell &cell)
+ExperimentRunner::noteCellDemand(
+    const MatrixCell &cell,
+    std::vector<std::array<Count, numInputSets>> &plan) const
 {
     const ExperimentConfig &config = cell.config;
+    const auto require = [&plan, &cell](InputSet input,
+                                        Count branches) {
+        Count &needed =
+            plan[cell.programIndex][static_cast<unsigned>(input)];
+        needed = std::max(needed, branches);
+    };
     // Warmup branches come out of the same stream ahead of the
     // measured window, so the buffer must cover both.
     Count eval_needed = config.evalBranches + config.evalWarmupBranches;
     if (config.scheme != StaticScheme::None) {
-        requireBuffer(cell.programIndex, config.profileInput,
-                      config.profileBranches);
+        require(config.profileInput, config.profileBranches);
         if (config.filterUnstable &&
             config.profileInput != config.evalInput) {
             eval_needed =
                 std::max(eval_needed, config.profileBranches);
         }
     }
-    requireBuffer(cell.programIndex, config.evalInput, eval_needed);
+    require(config.evalInput, eval_needed);
 }
 
 void
 ExperimentRunner::materialize()
 {
+    validateShardOptions();
+    // The buffer plan: explicit requireBuffer() demands plus the
+    // demands of every cell this shard owns. Folding cell demands in
+    // here (not at addCell time) is what makes sharding a real
+    // materialization win — a shard never generates or maps a buffer
+    // only other shards' cells touch.
+    auto plan = demand;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (cellInShard(i))
+            noteCellDemand(cells[i], plan);
+    }
+
     // Collect programs with outstanding demand. One task per program
     // (not per buffer): materialization mutates the program's input
     // state, so a program's buffers must be filled sequentially.
     std::vector<std::size_t> pending;
     for (std::size_t p = 0; p < programs.size(); ++p) {
         for (unsigned input = 0; input < numInputSets; ++input) {
-            const Count needed = demand[p][input];
+            const Count needed = plan[p][input];
             const ReplayBuffer *existing = buffers[p][input].get();
             if (needed > 0 &&
                 (existing == nullptr || existing->size() < needed)) {
@@ -495,19 +598,80 @@ ExperimentRunner::materialize()
     if (pending.empty())
         return;
 
+    obs::RunJournal *journal = options.journal;
     const auto start = std::chrono::steady_clock::now();
     taskPool.parallelFor(pending.size(), [&](std::size_t i) {
         const std::size_t p = pending[i];
         faultPoint(fault_points::materialize, programs[p].name());
         for (unsigned input = 0; input < numInputSets; ++input) {
-            const Count needed = demand[p][input];
+            const Count needed = plan[p][input];
             const ReplayBuffer *existing = buffers[p][input].get();
             if (needed == 0 ||
                 (existing != nullptr && existing->size() >= needed))
                 continue;
+            std::string key;
+            if (cache != nullptr) {
+                key = replayArtifactKey(programs[p].name(),
+                                        programs[p].seedValue(),
+                                        input, needed);
+                auto lookup = cache->loadReplay(key);
+                if (!lookup.ok()) {
+                    // Corrupt artifact: journal it, then regenerate
+                    // below — the store overwrites the bad file.
+                    std::fprintf(stderr,
+                                 "bpsim: warning: corrupt replay "
+                                 "artifact: %s\n",
+                                 lookup.error().describe().c_str());
+                    if (journal != nullptr) {
+                        journal->record(
+                            obs::EventKind::CacheCorrupt,
+                            TaskPool::currentWorkerIndex(),
+                            programs[p].name(),
+                            {obs::Field::str("artifact", "replay"),
+                             obs::Field::str("key", key)});
+                    }
+                } else if (lookup.value().hit) {
+                    buffers[p][input] = std::make_unique<ReplayBuffer>(
+                        std::move(lookup.value().buffer));
+                    if (journal != nullptr) {
+                        journal->record(
+                            obs::EventKind::Cache,
+                            TaskPool::currentWorkerIndex(),
+                            programs[p].name(),
+                            {obs::Field::str("artifact", "replay"),
+                             obs::Field::str("op", "hit"),
+                             obs::Field::u64(
+                                 "bytes",
+                                 buffers[p][input]->memoryBytes())});
+                    }
+                    continue;
+                }
+            }
             programs[p].setInput(static_cast<InputSet>(input));
             buffers[p][input] = std::make_unique<ReplayBuffer>(
                 ReplayBuffer::materialize(programs[p], needed));
+            if (cache != nullptr) {
+                auto stored =
+                    cache->storeReplay(key, *buffers[p][input]);
+                if (!stored.ok()) {
+                    // A write failure only costs the next process a
+                    // regeneration; never fail the run for it.
+                    std::fprintf(stderr,
+                                 "bpsim: warning: replay artifact "
+                                 "store failed: %s\n",
+                                 stored.error().describe().c_str());
+                } else if (journal != nullptr) {
+                    journal->record(
+                        obs::EventKind::Cache,
+                        TaskPool::currentWorkerIndex(),
+                        programs[p].name(),
+                        {obs::Field::str("artifact", "replay"),
+                         obs::Field::str("op", "store"),
+                         obs::Field::u64(
+                             "bytes",
+                             buffers[p][input]->memoryBytes())});
+                }
+            }
         }
     });
     materializeSeconds += secondsSince(start);
@@ -533,6 +697,8 @@ ExperimentRunner::run()
     TimerRegistry *timers =
         journal != nullptr ? &journal->timers() : nullptr;
 
+    validateShardOptions();
+
     // Checkpoint binding and resume load come first: an unreadable
     // checkpoint under --resume is a whole-run failure, raised before
     // any simulation work or journal events.
@@ -549,10 +715,62 @@ ExperimentRunner::run()
         }
     }
     std::vector<std::string> fingerprints(cells.size());
+    if (checkpoint != nullptr || options.shardCount > 1) {
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            fingerprints[i] = fingerprintOf(i);
+    }
+
+    // Shard membership. Out-of-shard cells keep their result slots
+    // (indices stay matrix-stable for benches that print by position)
+    // but are excluded from demand, profiling, execution, journal
+    // events, checkpointing and aggregation.
+    std::vector<char> in_shard(cells.size(), 1);
+    if (options.shardCount > 1) {
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            in_shard[i] = cellInShard(i) ? 1 : 0;
+    }
+
+    // Stamp the checkpoint with this run's shard identity. A resumed
+    // file carrying a different stamp would silently mix slices of
+    // different partitions, so that is rejected up front; the
+    // immediate flush gives even a zero-cell shard a header-stamped
+    // file for `merge` to verify.
     if (checkpoint != nullptr) {
+        ShardStamp stamp;
+        stamp.shardIndex = options.shardIndex;
+        stamp.shardCount = options.shardCount;
+        stamp.matrixCells = cells.size();
         for (std::size_t i = 0; i < cells.size(); ++i) {
-            fingerprints[i] = cellFingerprint(
-                programs[cells[i].programIndex], cells[i].config);
+            if (in_shard[i] && !fingerprints[i].empty())
+                ++stamp.shardCells;
+        }
+        const std::optional<ShardStamp> existing = checkpoint->shard();
+        if (existing.has_value() &&
+            (existing->shardIndex != stamp.shardIndex ||
+             existing->shardCount != stamp.shardCount ||
+             existing->matrixCells != stamp.matrixCells)) {
+            raise(Error(ErrorCode::ConfigInvalid,
+                        "checkpoint was written by a different "
+                        "shard or matrix")
+                      .withContext(
+                          "file '" + options.checkpointPath +
+                          "' is shard " +
+                          std::to_string(existing->shardIndex) + "/" +
+                          std::to_string(existing->shardCount) +
+                          " of " +
+                          std::to_string(existing->matrixCells) +
+                          " cells; this run is shard " +
+                          std::to_string(stamp.shardIndex) + "/" +
+                          std::to_string(stamp.shardCount) + " of " +
+                          std::to_string(stamp.matrixCells)));
+        }
+        checkpoint->setShard(stamp);
+        const Result<void> flushed = checkpoint->flush();
+        if (!flushed.ok()) {
+            std::fprintf(stderr,
+                         "bpsim: warning: checkpoint header write "
+                         "failed: %s\n",
+                         flushed.error().describe().c_str());
         }
     }
 
@@ -571,7 +789,9 @@ ExperimentRunner::run()
              obs::Field::str("dispatch",
                              simdLevelName(dispatch_level)),
              obs::Field::u64("simd_width",
-                             simdWidth(dispatch_level))});
+                             simdWidth(dispatch_level)),
+             obs::Field::u64("shard_index", options.shardIndex),
+             obs::Field::u64("shard_count", options.shardCount)});
     }
 
     const auto start = std::chrono::steady_clock::now();
@@ -603,11 +823,21 @@ ExperimentRunner::run()
                         bytes += held->memoryBytes();
                 }
             }
+            std::vector<obs::Field> fields = {
+                obs::Field::f64("seconds", seconds),
+                obs::Field::u64("bytes", bytes)};
+            if (cache != nullptr) {
+                const ArtifactCacheStats stats = cache->stats();
+                fields.push_back(obs::Field::u64("cache_replay_hits",
+                                                 stats.replayHits));
+                fields.push_back(obs::Field::u64(
+                    "cache_replay_misses", stats.replayMisses));
+                fields.push_back(
+                    obs::Field::u64("mmap_bytes", stats.mappedBytes));
+            }
             journal->record(obs::EventKind::Materialize,
                             TaskPool::currentWorkerIndex(),
-                            "materialize",
-                            {obs::Field::f64("seconds", seconds),
-                             obs::Field::u64("bytes", bytes)});
+                            "materialize", std::move(fields));
             journal->record(obs::EventKind::PhaseEnd,
                             TaskPool::currentWorkerIndex(),
                             "materialize",
@@ -621,13 +851,19 @@ ExperimentRunner::run()
     result.fused = options.fused;
     result.dispatch = simdLevelName(dispatch_level);
     result.simdLanes = simdWidth(dispatch_level);
+    result.shardIndex = options.shardIndex;
+    result.shardCount = options.shardCount;
 
     // Per-cell validation up front: an invalid cell becomes a failed
     // result without executing anything — crucially it also stays
     // out of the profile-phase plan, where its config could not
-    // build a predictor.
+    // build a predictor. Out-of-shard cells are not validated: they
+    // are another process's responsibility, and marking them failed
+    // here would double-count the failure across shards.
     std::vector<std::optional<Error>> invalid(cells.size());
     for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (!in_shard[i])
+            continue;
         Result<void> valid = cells[i].config.validate();
         if (!valid.ok())
             invalid[i] = std::move(valid.error());
@@ -638,7 +874,7 @@ ExperimentRunner::run()
     std::vector<std::optional<CheckpointRecord>> restored(cells.size());
     if (options.resume && checkpoint != nullptr) {
         for (std::size_t i = 0; i < cells.size(); ++i) {
-            if (invalid[i].has_value())
+            if (!in_shard[i] || invalid[i].has_value())
                 continue;
             const CheckpointRecord *record =
                 checkpoint->find(fingerprints[i]);
@@ -669,7 +905,7 @@ ExperimentRunner::run()
         std::unordered_map<std::string, std::size_t> phase_of_key;
         for (std::size_t i = 0; i < cells.size(); ++i) {
             const ExperimentConfig &config = cells[i].config;
-            if (invalid[i].has_value())
+            if (!in_shard[i] || invalid[i].has_value())
                 continue;
             if (config.scheme == StaticScheme::None)
                 continue;
@@ -713,6 +949,85 @@ ExperimentRunner::run()
         profile_tasks.size());
     std::atomic<bool> abortRun{false};
     std::atomic<Count> fused_group_count{0};
+
+    // Artifact-cache pass over the executable phases: a valid on-disk
+    // profile satisfies a phase without simulating anything. Each
+    // disk hit still journals a profile_phase event (marked
+    // cache="disk") so the events-vs-misses invariant the validator
+    // checks holds on warm runs; kernel/simd are vacuously true for a
+    // phase nothing simulated, mirroring how restored cells keep
+    // their recorded flags. profileCacheMisses deliberately stays the
+    // in-memory plan size — the disk hit/miss split is reported
+    // separately in the cache counters.
+    std::vector<std::string> phase_disk_keys(profile_tasks.size());
+    if (cache != nullptr && !phase_exec.empty()) {
+        std::vector<std::size_t> still_exec;
+        still_exec.reserve(phase_exec.size());
+        for (const std::size_t j : phase_exec) {
+            const ProfileTask &task = profile_tasks[j];
+            const ExperimentConfig &config = *task.config;
+            const SyntheticProgram &program =
+                programs[task.programIndex];
+            std::string identity;
+            if (config.makeDynamic)
+                identity = "custom:" + config.dynamicKey;
+            else
+                identity = predictorKindName(config.kind) + ":" +
+                           std::to_string(config.sizeBytes);
+            phase_disk_keys[j] = profileArtifactKey(
+                program.name(), program.seedValue(),
+                static_cast<unsigned>(task.input),
+                config.profileBranches, identity);
+            ScopedTimer timer(timers, "runner.profile_cache_load");
+            auto lookup = cache->loadProfile(phase_disk_keys[j]);
+            if (!lookup.ok()) {
+                std::fprintf(stderr,
+                             "bpsim: warning: corrupt profile "
+                             "artifact: %s\n",
+                             lookup.error().describe().c_str());
+                if (journal != nullptr) {
+                    journal->record(
+                        obs::EventKind::CacheCorrupt,
+                        TaskPool::currentWorkerIndex(),
+                        program.name(),
+                        {obs::Field::str("artifact", "profile"),
+                         obs::Field::str("key", phase_disk_keys[j])});
+                }
+                still_exec.push_back(j);
+                continue;
+            }
+            if (!lookup.value().hit) {
+                timer.stop();
+                still_exec.push_back(j);
+                continue;
+            }
+            phases[j].profile = std::move(lookup.value().profile);
+            phases[j].simulatedBranches =
+                lookup.value().simulatedBranches;
+            phase_branches[j] = phases[j].simulatedBranches;
+            phase_kernel[j] = 1;
+            phase_simd[j] = 1;
+            phase_walls[j] = timer.stop();
+            if (journal != nullptr) {
+                journal->record(
+                    obs::EventKind::Cache,
+                    TaskPool::currentWorkerIndex(), program.name(),
+                    {obs::Field::str("artifact", "profile"),
+                     obs::Field::str("op", "hit"),
+                     obs::Field::u64("branches", phase_branches[j])});
+                journal->record(
+                    obs::EventKind::ProfilePhase,
+                    TaskPool::currentWorkerIndex(), program.name(),
+                    {obs::Field::u64("phase", j),
+                     obs::Field::f64("seconds", phase_walls[j]),
+                     obs::Field::boolean("kernel", true),
+                     obs::Field::boolean("simd", true),
+                     obs::Field::u64("branches", phase_branches[j]),
+                     obs::Field::str("cache", "disk")});
+            }
+        }
+        phase_exec = std::move(still_exec);
+    }
 
     // One lazily built SiteIndex per materialized buffer, shared
     // read-only by every fused pass over that buffer. call_once makes
@@ -921,6 +1236,34 @@ ExperimentRunner::run()
             runProfilePhaseSolo(phase_exec[k]);
         });
     }
+    // Persist freshly executed phases so the next process (or the
+    // next shard) loads them instead of re-simulating. Store failures
+    // only cost a future regeneration.
+    if (cache != nullptr) {
+        for (const std::size_t j : phase_exec) {
+            if (phase_errors[j].has_value() ||
+                phase_disk_keys[j].empty())
+                continue;
+            const Result<void> stored = cache->storeProfile(
+                phase_disk_keys[j], phases[j].profile,
+                phases[j].simulatedBranches);
+            if (!stored.ok()) {
+                std::fprintf(stderr,
+                             "bpsim: warning: profile artifact "
+                             "store failed: %s\n",
+                             stored.error().describe().c_str());
+            } else if (journal != nullptr) {
+                journal->record(
+                    obs::EventKind::Cache,
+                    TaskPool::currentWorkerIndex(),
+                    programs[profile_tasks[j].programIndex].name(),
+                    {obs::Field::str("artifact", "profile"),
+                     obs::Field::str("op", "store"),
+                     obs::Field::u64("branches",
+                                     phase_branches[j])});
+            }
+        }
+    }
     for (const double wall : phase_walls)
         result.profileSeconds += wall;
     if (journal != nullptr && !phase_exec.empty())
@@ -1037,6 +1380,12 @@ ExperimentRunner::run()
         const MatrixCell &cell = cells[i];
         const ExperimentConfig &config = cell.config;
         CellResult &out = result.cells[i];
+        // Another shard's cell: keep the empty result slot, emit no
+        // events — from this process's perspective it does not run.
+        if (!in_shard[i]) {
+            out.shardSkipped = true;
+            return;
+        }
         if (journal != nullptr)
             journal->record(obs::EventKind::CellBegin,
                             TaskPool::currentWorkerIndex(), cell.label,
@@ -1311,7 +1660,8 @@ ExperimentRunner::run()
         // chunks hold only real work.
         std::vector<std::size_t> pending;
         for (std::size_t i = 0; i < cells.size(); ++i) {
-            if (invalid[i].has_value() || restored[i].has_value())
+            if (!in_shard[i] || invalid[i].has_value() ||
+                restored[i].has_value())
                 runCell(i);
             else
                 pending.push_back(i);
@@ -1352,6 +1702,10 @@ ExperimentRunner::run()
 
     for (std::size_t i = 0; i < result.cells.size(); ++i) {
         const CellResult &cell = result.cells[i];
+        if (cell.shardSkipped) {
+            ++result.shardSkippedCells;
+            continue;
+        }
         if (!cell.ok()) {
             ++result.failedCells;
             continue;
@@ -1372,11 +1726,21 @@ ExperimentRunner::run()
     }
     for (const Count branches : phase_branches)
         result.actualBranches += branches;
+    result.shardCells = cells.size() - result.shardSkippedCells;
     for (const auto &per_program : buffers) {
         for (const auto &held : per_program) {
             if (held != nullptr)
                 result.replayBytes += held->memoryBytes();
         }
+    }
+    if (cache != nullptr) {
+        const ArtifactCacheStats stats = cache->stats();
+        result.cacheReplayHits = stats.replayHits;
+        result.cacheReplayMisses = stats.replayMisses;
+        result.cacheProfileHits = stats.profileHits;
+        result.cacheProfileMisses = stats.profileMisses;
+        result.cacheCorrupt = stats.corrupt;
+        result.mappedBytes = stats.mappedBytes;
     }
 
     if (journal != nullptr) {
@@ -1385,7 +1749,9 @@ ExperimentRunner::run()
             journal->runLabel(),
             {obs::Field::f64("seconds", result.wallSeconds),
              obs::Field::f64("run_seconds", result.runSeconds),
-             obs::Field::u64("cells", result.cells.size()),
+             obs::Field::u64("cells",
+                             result.cells.size() -
+                                 result.shardSkippedCells),
              obs::Field::u64("total_branches", result.totalBranches),
              obs::Field::u64("actual_branches",
                              result.actualBranches),
@@ -1399,7 +1765,22 @@ ExperimentRunner::run()
              obs::Field::u64("restored_cells",
                              result.restoredCells),
              obs::Field::boolean("fused", result.fused),
-             obs::Field::u64("fused_groups", result.fusedGroups)});
+             obs::Field::u64("fused_groups", result.fusedGroups),
+             obs::Field::u64("shard_index", result.shardIndex),
+             obs::Field::u64("shard_count", result.shardCount),
+             obs::Field::u64("shard_cells", result.shardCells),
+             obs::Field::u64("shard_skipped",
+                             result.shardSkippedCells),
+             obs::Field::u64("cache_replay_hits",
+                             result.cacheReplayHits),
+             obs::Field::u64("cache_replay_misses",
+                             result.cacheReplayMisses),
+             obs::Field::u64("cache_profile_hits",
+                             result.cacheProfileHits),
+             obs::Field::u64("cache_profile_misses",
+                             result.cacheProfileMisses),
+             obs::Field::u64("cache_corrupt", result.cacheCorrupt),
+             obs::Field::u64("mmap_bytes", result.mappedBytes)});
     }
     return result;
 }
@@ -1439,6 +1820,8 @@ writeRunnerJson(const std::string &path, const std::string &bench,
             cell.profileCached ? "true" : "false");
         if (cell.restored)
             std::fprintf(file, ", \"restored\": true");
+        if (cell.shardSkipped)
+            std::fprintf(file, ", \"shard_skipped\": true");
         if (!cell.ok()) {
             std::fprintf(
                 file,
@@ -1478,6 +1861,30 @@ writeRunnerJson(const std::string &path, const std::string &bench,
     std::fprintf(file, "  \"restored_cells\": %llu,\n",
                  static_cast<unsigned long long>(
                      result.restoredCells));
+    std::fprintf(file, "  \"shard_index\": %u,\n", result.shardIndex);
+    std::fprintf(file, "  \"shard_count\": %u,\n", result.shardCount);
+    std::fprintf(file, "  \"shard_cells\": %llu,\n",
+                 static_cast<unsigned long long>(result.shardCells));
+    std::fprintf(file, "  \"shard_skipped_cells\": %llu,\n",
+                 static_cast<unsigned long long>(
+                     result.shardSkippedCells));
+    std::fprintf(file, "  \"cache_replay_hits\": %llu,\n",
+                 static_cast<unsigned long long>(
+                     result.cacheReplayHits));
+    std::fprintf(file, "  \"cache_replay_misses\": %llu,\n",
+                 static_cast<unsigned long long>(
+                     result.cacheReplayMisses));
+    std::fprintf(file, "  \"cache_profile_hits\": %llu,\n",
+                 static_cast<unsigned long long>(
+                     result.cacheProfileHits));
+    std::fprintf(file, "  \"cache_profile_misses\": %llu,\n",
+                 static_cast<unsigned long long>(
+                     result.cacheProfileMisses));
+    std::fprintf(file, "  \"cache_corrupt\": %llu,\n",
+                 static_cast<unsigned long long>(
+                     result.cacheCorrupt));
+    std::fprintf(file, "  \"mmap_bytes\": %zu,\n",
+                 result.mappedBytes);
     std::fprintf(file, "  \"run_seconds\": %.6f,\n",
                  result.runSeconds);
     std::fprintf(file, "  \"wall_seconds\": %.6f,\n",

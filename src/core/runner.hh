@@ -36,6 +36,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/experiment.hh"
@@ -223,7 +224,40 @@ struct RunnerOptions
      * wall-time fields differ. Requires checkpointPath.
      */
     bool resume = false;
+
+    /**
+     * Directory of the content-addressed artifact cache (empty = no
+     * cache). Materialized replay buffers and executed profiling
+     * phases are persisted under fingerprint-derived names and mapped
+     * back read-only (mmap MAP_SHARED), so concurrent shard processes
+     * share one physical copy of each buffer and a warm run
+     * materializes and profiles nothing. Results are bit-identical
+     * with the cache cold, warm or absent; a corrupt artifact is
+     * journalled and regenerated, never fatal.
+     */
+    std::string cacheDir;
+
+    /**
+     * 1-based shard to execute out of shardCount. Cells are
+     * partitioned by the FNV-1a hash of their deterministic config
+     * fingerprint (shardOfFingerprint), so N cooperating processes
+     * given the same matrix and i/N specs execute disjoint,
+     * deterministic, roughly balanced slices. Out-of-shard cells are
+     * marked CellResult::shardSkipped and consume no work.
+     */
+    unsigned shardIndex = 1;
+
+    /** Total shards the matrix is split across (1 = no sharding). */
+    unsigned shardCount = 1;
 };
+
+/**
+ * Parse a 1-based "i/N" shard spec ("2/4") into {shardIndex,
+ * shardCount}. config_invalid on malformed input, zero values, or
+ * index > count.
+ */
+Result<std::pair<unsigned, unsigned>>
+parseShardSpec(const std::string &spec);
 
 /** One cell of the experiment matrix. */
 struct MatrixCell
@@ -261,6 +295,10 @@ struct CellResult
 
     /** The cell was restored from a checkpoint, not executed. */
     bool restored = false;
+
+    /** The cell belongs to another shard and was not executed here
+     * (result slot kept so cell indices stay matrix-stable). */
+    bool shardSkipped = false;
 
     /** Execution attempts made (0 for restored/skipped cells, > 1
      * when transient failures were retried). */
@@ -352,6 +390,38 @@ struct MatrixResult
     /** Bytes held by the replay buffers during the run. */
     std::size_t replayBytes = 0;
 
+    /** Replay buffers served from the artifact cache (mmap). */
+    Count cacheReplayHits = 0;
+
+    /** Replay buffers generated because the artifact cache had no
+     * valid entry (0 on a warm run — the perf contract). */
+    Count cacheReplayMisses = 0;
+
+    /** Profiling phases served from the artifact cache. */
+    Count cacheProfileHits = 0;
+
+    /** Profiling phases executed because the artifact cache had no
+     * valid entry. */
+    Count cacheProfileMisses = 0;
+
+    /** Corrupt artifacts detected (and regenerated). */
+    Count cacheCorrupt = 0;
+
+    /** Bytes mapped read-only from the artifact cache. */
+    std::size_t mappedBytes = 0;
+
+    /** 1-based shard this run executed (1/1 = unsharded). */
+    unsigned shardIndex = 1;
+
+    /** Total shards the matrix was split across. */
+    unsigned shardCount = 1;
+
+    /** Cells owned (executed, restored or failed) by this shard. */
+    Count shardCells = 0;
+
+    /** Cells skipped because they belong to another shard. */
+    Count shardSkippedCells = 0;
+
     /** Sum of per-cell wall times, the shared profiling runs and
      * materialization: what the same work would cost on one thread. */
     double serialEstimateSeconds() const;
@@ -370,10 +440,13 @@ struct MatrixResult
  * requireBuffer() calls from benches with custom passes) are
  * materialized once and shared read-only by all workers.
  */
+class ArtifactCache;
+
 class ExperimentRunner
 {
   public:
     explicit ExperimentRunner(RunnerOptions options = {});
+    ~ExperimentRunner();
 
     /** Register @p program; returns its index. */
     std::size_t addProgram(SyntheticProgram program);
@@ -429,18 +502,35 @@ class ExperimentRunner
     unsigned threadCount() const { return taskPool.threadCount(); }
 
   private:
-    /** Fold one cell's stream demands into the buffer plan. */
-    void noteCellDemand(const MatrixCell &cell);
+    /** Fold one cell's stream demands into @p plan. */
+    void noteCellDemand(
+        const MatrixCell &cell,
+        std::vector<std::array<Count, numInputSets>> &plan) const;
+
+    /** Reject malformed shard options (config_invalid). */
+    void validateShardOptions() const;
+
+    /** Memoized cellFingerprint() of cell @p index ("" when the cell
+     * is unfingerprintable). */
+    const std::string &fingerprintOf(std::size_t index);
+
+    /** Does cell @p index belong to this process's shard?
+     * Unfingerprintable cells hash their label so they too land in
+     * exactly one shard. */
+    bool cellInShard(std::size_t index);
 
     RunnerOptions options;
     TaskPool taskPool;
     std::vector<SyntheticProgram> programs;
     std::vector<MatrixCell> cells;
 
-    /** Required and materialized record counts per program × input. */
+    /** Explicit requireBuffer() demands; cell demands are folded in
+     * at materialize() time so out-of-shard cells cost nothing. */
     std::vector<std::array<Count, numInputSets>> demand;
     std::vector<std::array<std::unique_ptr<ReplayBuffer>,
                            numInputSets>> buffers;
+    std::vector<std::optional<std::string>> fingerprintMemo;
+    std::unique_ptr<ArtifactCache> cache;
     double materializeSeconds = 0.0;
 };
 

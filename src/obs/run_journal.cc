@@ -50,6 +50,10 @@ eventKindName(EventKind kind)
         return "cell_error";
       case EventKind::FusedGroup:
         return "fused_group";
+      case EventKind::Cache:
+        return "cache";
+      case EventKind::CacheCorrupt:
+        return "cache_corrupt";
       case EventKind::RunEnd:
         return "run_end";
     }
@@ -250,6 +254,10 @@ RunJournal::summary() const
           case EventKind::FusedGroup:
             ++sum.fusedGroups;
             sum.fusedMembers += event.u64("members");
+            break;
+          case EventKind::Cache:
+          case EventKind::CacheCorrupt:
+            // Counted in eventsByKind; run_end carries the totals.
             break;
           case EventKind::RunEnd:
             sum.wallSeconds = event.f64("seconds");

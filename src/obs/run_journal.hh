@@ -54,6 +54,11 @@ enum class EventKind
     CellError,    ///< cell failed: error code, message, attempts
     FusedGroup,   ///< one fused pass executed: membership, timing,
                   ///< per-cell branch/misprediction snapshots
+    Cache,        ///< artifact-cache traffic: a replay buffer or
+                  ///< profile phase was served from / stored to the
+                  ///< content-addressed cache
+    CacheCorrupt, ///< a cache file existed but failed validation and
+                  ///< was regenerated (never fatal)
     RunEnd,       ///< last event: aggregate totals
 };
 

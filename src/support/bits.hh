@@ -7,6 +7,7 @@
 #define BPSIM_SUPPORT_BITS_HH
 
 #include <cstdint>
+#include <string_view>
 
 #include "support/logging.hh"
 #include "support/types.hh"
@@ -103,6 +104,24 @@ constexpr std::uint64_t
 bitSlice(std::uint64_t value, BitCount lo, BitCount len)
 {
     return (value >> lo) & mask(len);
+}
+
+/**
+ * FNV-1a hash of a byte string. Stable across platforms, processes
+ * and builds: the artifact cache derives file names and header
+ * checksums from it and the shard partitioner derives shard
+ * membership from it, so the constants are part of the on-disk /
+ * cross-process contract and must never change.
+ */
+constexpr std::uint64_t
+fnv1a64(std::string_view bytes)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    for (const char c : bytes) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
 }
 
 /**

@@ -41,6 +41,8 @@ inline constexpr const char *materialize = "materialize";
 inline constexpr const char *profilePhase = "profile_phase";
 inline constexpr const char *cell = "cell";
 inline constexpr const char *checkpointWrite = "checkpoint_write";
+inline constexpr const char *cacheWrite = "cache_write";
+inline constexpr const char *cacheMap = "cache_map";
 } // namespace fault_points
 
 /** Process-wide fault injector (see file comment for semantics). */

@@ -1,0 +1,73 @@
+#include "support/mmap_file.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace bpsim
+{
+
+namespace
+{
+
+Error
+ioError(const char *what, const std::string &path)
+{
+    return Error(ErrorCode::IoFailure,
+                 std::string(what) + " failed: " + std::strerror(errno))
+        .withContext("path " + path);
+}
+
+} // namespace
+
+Result<MmapFile>
+MmapFile::openReadOnly(const std::string &path)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0)
+        return ioError("open", path);
+
+    struct stat st = {};
+    if (::fstat(fd, &st) != 0) {
+        const Error error = ioError("fstat", path);
+        ::close(fd);
+        return error;
+    }
+
+    MmapFile file;
+    file.sourcePath = path;
+    file.bytes = static_cast<std::size_t>(st.st_size);
+    if (file.bytes == 0) {
+        // mmap rejects zero-length maps; an empty file is a valid
+        // (if useless) artifact, so represent it as an empty view.
+        ::close(fd);
+        return file;
+    }
+
+    void *base =
+        ::mmap(nullptr, file.bytes, PROT_READ, MAP_SHARED, fd, 0);
+    // The mapping keeps its own reference to the file; the
+    // descriptor is not needed once mmap has succeeded (or failed).
+    ::close(fd);
+    if (base == MAP_FAILED) {
+        file.bytes = 0;
+        return ioError("mmap", path);
+    }
+    file.base = base;
+    return file;
+}
+
+void
+MmapFile::unmap()
+{
+    if (base != nullptr)
+        ::munmap(const_cast<void *>(base), bytes);
+    base = nullptr;
+    bytes = 0;
+}
+
+} // namespace bpsim

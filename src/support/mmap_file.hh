@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Read-only memory-mapped file wrapper.
+ *
+ * MmapFile maps a whole file read-only and owns the mapping for its
+ * lifetime (RAII, move-only). The artifact cache maps replay-buffer
+ * files through this so N worker processes on one host share a single
+ * physical copy of the trace columns: read-only MAP_SHARED pages of
+ * the same file are backed by the same page-cache entries, so warm
+ * starts cost no per-process copy and no per-process materialize
+ * work.
+ *
+ * All failures surface as structured io_failure errors carrying the
+ * path and errno text — never ad-hoc exceptions.
+ */
+
+#ifndef BPSIM_SUPPORT_MMAP_FILE_HH
+#define BPSIM_SUPPORT_MMAP_FILE_HH
+
+#include <cstddef>
+#include <string>
+#include <utility>
+
+#include "support/error.hh"
+
+namespace bpsim
+{
+
+/** A read-only mapping of an entire file (move-only RAII). */
+class MmapFile
+{
+  public:
+    MmapFile() = default;
+
+    /**
+     * Map @p path read-only in its entirety. An empty file maps
+     * successfully with size() == 0 and data() == nullptr. Any
+     * open/stat/mmap failure returns io_failure with the path and
+     * errno context.
+     */
+    static Result<MmapFile> openReadOnly(const std::string &path);
+
+    ~MmapFile() { unmap(); }
+
+    MmapFile(MmapFile &&other) noexcept
+        : base(other.base), bytes(other.bytes),
+          sourcePath(std::move(other.sourcePath))
+    {
+        other.base = nullptr;
+        other.bytes = 0;
+    }
+
+    MmapFile &
+    operator=(MmapFile &&other) noexcept
+    {
+        if (this != &other) {
+            unmap();
+            base = other.base;
+            bytes = other.bytes;
+            sourcePath = std::move(other.sourcePath);
+            other.base = nullptr;
+            other.bytes = 0;
+        }
+        return *this;
+    }
+
+    MmapFile(const MmapFile &) = delete;
+    MmapFile &operator=(const MmapFile &) = delete;
+
+    /** First mapped byte (nullptr when nothing is mapped). */
+    const void *data() const { return base; }
+
+    /** Mapped length in bytes. */
+    std::size_t size() const { return bytes; }
+
+    /** The path the mapping was opened from. */
+    const std::string &path() const { return sourcePath; }
+
+    bool mapped() const { return base != nullptr; }
+
+  private:
+    void unmap();
+
+    const void *base = nullptr;
+    std::size_t bytes = 0;
+    std::string sourcePath;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_SUPPORT_MMAP_FILE_HH

@@ -27,6 +27,30 @@ ReplayBuffer::materialize(BranchStream &source, Count limit)
     return buffer;
 }
 
+ReplayBuffer
+ReplayBuffer::fromColumns(const Addr *pc_column,
+                          const std::uint32_t *packed_column,
+                          Count records, Count instruction_count,
+                          std::shared_ptr<const void> backing)
+{
+    bpsim_assert(records == 0 ||
+                     (pc_column != nullptr && packed_column != nullptr),
+                 "null replay columns");
+    ReplayBuffer buffer;
+    // A zero-record view still needs a non-null marker so mapped()
+    // and the accessors pick the view mode consistently; point at a
+    // static dummy when the caller passed nothing.
+    static const Addr emptyPc = 0;
+    static const std::uint32_t emptyPacked = 0;
+    buffer.viewPcs = pc_column != nullptr ? pc_column : &emptyPc;
+    buffer.viewPacked =
+        packed_column != nullptr ? packed_column : &emptyPacked;
+    buffer.viewSize = records;
+    buffer.instructions = instruction_count;
+    buffer.backing = std::move(backing);
+    return buffer;
+}
+
 SiteIndex
 SiteIndex::build(const ReplayBuffer &buffer)
 {

@@ -16,6 +16,7 @@
 #define BPSIM_TRACE_REPLAY_BUFFER_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "trace/branch_stream.hh"
@@ -37,21 +38,37 @@ class ReplayBuffer
      */
     static ReplayBuffer materialize(BranchStream &source, Count limit);
 
-    /** Records stored. */
-    Count size() const { return pcs.size(); }
+    /**
+     * Wrap externally owned columns (an artifact-cache mmap) without
+     * copying. The buffer only views @p pc_column / @p packed_column;
+     * @p backing keeps the memory alive for as long as any copy of
+     * the buffer exists (copies share it), so the mapping's lifetime
+     * follows ordinary value semantics. The columns must use the same
+     * encoding materialize() produces.
+     */
+    static ReplayBuffer
+    fromColumns(const Addr *pc_column,
+                const std::uint32_t *packed_column, Count records,
+                Count instruction_count,
+                std::shared_ptr<const void> backing);
 
-    bool empty() const { return pcs.empty(); }
+    /** Records stored. */
+    Count size() const { return viewPcs ? viewSize : pcs.size(); }
+
+    bool empty() const { return size() == 0; }
+
+    /** True when the buffer views external (mapped) storage. */
+    bool mapped() const { return viewPcs != nullptr; }
 
     /** Total dynamic instruction count (sum of gaps). */
     Count instructionCount() const { return instructions; }
 
-    /** Bytes of record storage held (the replay memory cost). */
-    std::size_t
-    memoryBytes() const
-    {
-        return pcs.size() * sizeof(Addr) +
-               gapTaken.size() * sizeof(std::uint32_t);
-    }
+    /**
+     * Bytes of record storage the replay reads (the replay memory
+     * cost). For a mapped buffer these are shared page-cache bytes,
+     * not private allocations.
+     */
+    std::size_t memoryBytes() const { return size() * bytesPerBranch; }
 
     /** Storage cost per branch in bytes (PC column + gap/taken word). */
     static constexpr std::size_t bytesPerBranch =
@@ -61,8 +78,8 @@ class ReplayBuffer
     void
     get(Count index, BranchRecord &record) const
     {
-        record.pc = pcs[index];
-        const std::uint32_t packed = gapTaken[index];
+        record.pc = pcData()[index];
+        const std::uint32_t packed = packedData()[index];
         record.taken = (packed & takenBit) != 0;
         record.instGap = packed & ~takenBit;
     }
@@ -108,16 +125,36 @@ class ReplayBuffer
      * packedData()[i]: taken = packed & packedTakenBit, instruction
      * gap = packed & ~packedTakenBit — the same decode get() applies.
      */
-    const Addr *pcData() const { return pcs.data(); }
+    const Addr *
+    pcData() const
+    {
+        return viewPcs ? viewPcs : pcs.data();
+    }
 
-    const std::uint32_t *packedData() const { return gapTaken.data(); }
+    const std::uint32_t *
+    packedData() const
+    {
+        return viewPacked ? viewPacked : gapTaken.data();
+    }
 
   private:
     static constexpr std::uint32_t takenBit = packedTakenBit;
 
+    // Owned storage (materialize()): the vectors hold the columns and
+    // the view pointers stay null. Mapped storage (fromColumns()):
+    // the view pointers reference external memory kept alive by
+    // `backing`, and the vectors stay empty. Accessors branch on the
+    // mode once per call; the hot replay kernels fetch pcData() /
+    // packedData() a single time per pass, so the branch never sits
+    // in an inner loop.
     std::vector<Addr> pcs;
     std::vector<std::uint32_t> gapTaken;
     Count instructions = 0;
+
+    const Addr *viewPcs = nullptr;
+    const std::uint32_t *viewPacked = nullptr;
+    Count viewSize = 0;
+    std::shared_ptr<const void> backing;
 };
 
 /**

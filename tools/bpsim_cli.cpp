@@ -8,6 +8,7 @@
  *
  *   bpsim_cli run   [options]   one simulation
  *   bpsim_cli sweep [options]   size sweep (comma-separated --sizes)
+ *   bpsim_cli merge [options]   combine shard checkpoints into one
  *   bpsim_cli list              available programs/predictors/schemes
  *
  * Examples:
@@ -16,6 +17,9 @@
  *   bpsim_cli run --trace gcc.trace --predictor gshare:4096 --csv
  *   bpsim_cli sweep --program go --predictor gshare \
  *       --sizes 1024,4096,16384 --scheme static_95
+ *   bpsim_cli sweep --shard 1/2 --checkpoint s1.jsonl \
+ *       --cache-dir /tmp/bpsim-cache ...   # one process per shard
+ *   bpsim_cli merge --out merged.jsonl s1.jsonl s2.jsonl
  */
 
 #include <cerrno>
@@ -25,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "core/checkpoint.hh"
 #include "core/cpi_model.hh"
 #include "core/engine.hh"
 #include "core/experiment.hh"
@@ -32,6 +37,7 @@
 #include "core/simd.hh"
 #include "obs/run_journal.hh"
 #include "support/args.hh"
+#include "support/atomic_file.hh"
 #include "support/error.hh"
 #include "trace/trace_io.hh"
 #include "workload/specint.hh"
@@ -424,6 +430,16 @@ cmdSweep(int argc, char **argv)
     args.addFlag("no-fused",
                  "run every cell's evaluation as its own pass "
                  "(overrides --fused)");
+    args.addOption("shard", "",
+                   "execute only shard i of N (1-based \"i/N\"); "
+                   "cells are partitioned by fingerprint hash, so N "
+                   "processes with the same matrix cover it exactly "
+                   "once");
+    args.addOption("cache-dir", "",
+                   "content-addressed artifact cache directory: "
+                   "replay buffers and profiling phases are persisted "
+                   "there and mmap'd back on later (or concurrent) "
+                   "runs (empty = disabled)");
     args.parse(argc, argv, 2);
 
     const PredictorKind kind =
@@ -454,6 +470,15 @@ cmdSweep(int argc, char **argv)
     options.resume = args.getFlag("resume");
     options.fused = !args.getFlag("no-fused");
     options.simd = !args.getFlag("no-simd");
+    options.cacheDir = args.get("cache-dir");
+    if (!args.get("shard").empty()) {
+        Result<std::pair<unsigned, unsigned>> shard =
+            parseShardSpec(args.get("shard"));
+        if (!shard.ok())
+            raise(std::move(shard.error()));
+        options.shardIndex = shard.value().first;
+        options.shardCount = shard.value().second;
+    }
 
     ExperimentRunner runner(options);
     const std::size_t program_index =
@@ -485,6 +510,8 @@ cmdSweep(int argc, char **argv)
     Count failed = 0;
     for (std::size_t i = 0; i < matrix.cells.size(); ++i) {
         const CellResult &cell = matrix.cells[i];
+        if (cell.shardSkipped)
+            continue;
         if (!cell.ok()) {
             ++failed;
             std::fprintf(stderr,
@@ -507,6 +534,60 @@ cmdSweep(int argc, char **argv)
                     journal_path.c_str(), metrics.c_str());
     }
     return failed == 0 ? 0 : 1;
+}
+
+/**
+ * Combine a complete set of shard checkpoints into one plain
+ * checkpoint an unsharded --resume run restores in full. Validation
+ * (disjointness, completeness, matching matrices) happens in
+ * mergeShardCheckpoints; any violation is a config_invalid usage
+ * error.
+ */
+int
+cmdMerge(int argc, char **argv)
+{
+    ArgParser args("bpsim_cli merge");
+    args.addOption("out", "merged.jsonl",
+                   "write the merged checkpoint here");
+    args.addOption("summary", "",
+                   "write the bpsim-merge-v1 summary JSON here "
+                   "(default: <out>.merge.json)");
+    args.parse(argc, argv, 2);
+
+    const std::vector<std::string> &shards = args.positional();
+    if (shards.empty()) {
+        raise(Error(ErrorCode::ConfigInvalid,
+                    "merge needs at least one shard checkpoint path")
+                  .withContext("usage: bpsim_cli merge --out "
+                               "merged.jsonl shard1.jsonl ..."));
+    }
+    Result<MergeSummary> merged =
+        mergeShardCheckpoints(shards, args.get("out"));
+    if (!merged.ok())
+        raise(std::move(merged.error()));
+
+    const std::string summary_path = args.get("summary").empty()
+                                         ? args.get("out") +
+                                               ".merge.json"
+                                         : args.get("summary");
+    const std::string summary_json =
+        renderMergeSummaryJson(merged.value(), args.get("out"));
+    Result<void> written =
+        writeFileAtomic(summary_path, summary_json);
+    if (!written.ok()) {
+        raise(std::move(written.error())
+                  .withContext("while writing merge summary"));
+    }
+
+    std::printf("merged %llu records from %u shards (%llu matrix "
+                "cells) into %s\nsummary: %s\n",
+                static_cast<unsigned long long>(
+                    merged.value().records),
+                merged.value().shardCount,
+                static_cast<unsigned long long>(
+                    merged.value().matrixCells),
+                args.get("out").c_str(), summary_path.c_str());
+    return 0;
 }
 
 int
@@ -537,6 +618,8 @@ main(int argc, char **argv)
             return cmdRun(argc, argv);
         if (command == "sweep")
             return cmdSweep(argc, argv);
+        if (command == "merge")
+            return cmdMerge(argc, argv);
         if (command == "list")
             return cmdList();
     } catch (const ErrorException &failure) {
@@ -547,7 +630,7 @@ main(int argc, char **argv)
                    : 1;
     }
     std::fprintf(stderr,
-                 "usage: bpsim_cli <run|sweep|list> [options]\n"
+                 "usage: bpsim_cli <run|sweep|merge|list> [options]\n"
                  "       bpsim_cli run --help\n");
     return usageExitCode;
 }

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Validate bpsim's machine-readable run records.
 
-Four schemas, selected with --schema (default: runner):
+Five schemas, selected with --schema (default: runner):
 
   runner      BENCH_runner.json timing files written by
               writeRunnerJson (src/core/runner.cc)
@@ -10,13 +10,20 @@ Four schemas, selected with --schema (default: runner):
   metrics     aggregated metrics summaries written by
               obs::RunJournal::writeMetrics
   checkpoint  sweep-checkpoint JSONL files written by
-              SweepCheckpoint (src/core/checkpoint.cc)
+              SweepCheckpoint (src/core/checkpoint.cc), optionally
+              led by a bpsim-checkpoint-header-v1 shard stamp
+  merge       bpsim-merge-v1 summaries written by `bpsim_cli merge`
 
 The validator is wired into ctest (and CI smoke runs), so a malformed
 emitter fails tier-1 instead of silently corrupting the record.
 
-Usage: check_bench_json.py [--schema runner|journal|metrics|checkpoint]
-       FILE...
+--warm-cache (runner schema only) additionally asserts the run was
+served entirely from a warm artifact cache: zero replay and profile
+cache misses, zero corrupt artifacts, and a non-empty mmap footprint.
+
+Usage: check_bench_json.py
+       [--schema runner|journal|metrics|checkpoint|merge]
+       [--warm-cache] FILE...
 Exits non-zero with a message on the first problem found.
 """
 
@@ -47,6 +54,16 @@ TOP_LEVEL_REQUIRED = {
     "kernel_branches_per_second": (int, float),
     "branches_per_second": (int, float),
     "replay_buffer_bytes": int,
+    "cache_replay_hits": int,
+    "cache_replay_misses": int,
+    "cache_profile_hits": int,
+    "cache_profile_misses": int,
+    "cache_corrupt": int,
+    "mmap_bytes": int,
+    "shard_index": int,
+    "shard_count": int,
+    "shard_cells": int,
+    "shard_skipped_cells": int,
     "serial_estimate_seconds": (int, float),
     "speedup_vs_serial_estimate": (int, float),
 }
@@ -93,6 +110,8 @@ EVENT_KINDS = {
     "cell_begin",
     "cell_end",
     "cell_error",
+    "cache",
+    "cache_corrupt",
     "run_end",
 }
 
@@ -179,6 +198,16 @@ METRICS_SCHEMA_ID = "bpsim-metrics-v1"
 
 CHECKPOINT_SCHEMA_ID = "bpsim-checkpoint-v1"
 
+CHECKPOINT_HEADER_SCHEMA_ID = "bpsim-checkpoint-header-v1"
+
+CHECKPOINT_HEADER_REQUIRED = {
+    "schema": str,
+    "shard_index": int,
+    "shard_count": int,
+    "matrix_cells": int,
+    "shard_cells": int,
+}
+
 CHECKPOINT_REQUIRED = {
     "schema": str,
     "fingerprint": str,
@@ -226,7 +255,7 @@ def check_fields(path, obj, spec, where):
                 fail(path, f"{where}: key '{key}' is negative")
 
 
-def check_runner_file(path):
+def check_runner_file(path, warm_cache=False):
     try:
         with open(path, encoding="utf-8") as handle:
             data = json.load(handle)
@@ -243,6 +272,7 @@ def check_runner_file(path):
         fail(path, "cells array is empty")
     failed_cells = 0
     restored_cells = 0
+    skipped_cells = 0
     for index, cell in enumerate(data["cells"]):
         where = f"cells[{index}]"
         if not isinstance(cell, dict):
@@ -253,6 +283,14 @@ def check_runner_file(path):
                 fail(path, f"{where}: 'restored', when present, must "
                            f"be true")
             restored_cells += 1
+        if "shard_skipped" in cell:
+            if cell["shard_skipped"] is not True:
+                fail(path, f"{where}: 'shard_skipped', when present, "
+                           f"must be true")
+            if "restored" in cell or "error" in cell:
+                fail(path, f"{where}: a shard-skipped cell cannot "
+                           f"also be restored or failed")
+            skipped_cells += 1
         if "error" in cell:
             error = cell["error"]
             if not isinstance(error, dict):
@@ -273,6 +311,36 @@ def check_runner_file(path):
 
     if "baseline_seconds" in data and "speedup_vs_baseline" not in data:
         fail(path, "baseline_seconds without speedup_vs_baseline")
+
+    # Shard accounting: the declared slice must be well formed and
+    # every cell is either owned by this shard or marked skipped.
+    if not 1 <= data["shard_index"] <= data["shard_count"]:
+        fail(path, f"shard_index {data['shard_index']} outside "
+                   f"1..shard_count {data['shard_count']}")
+    if skipped_cells != data["shard_skipped_cells"]:
+        fail(path, f"shard_skipped_cells "
+                   f"{data['shard_skipped_cells']} != count of "
+                   f"shard_skipped cells {skipped_cells}")
+    if data["shard_cells"] + data["shard_skipped_cells"] != \
+            len(data["cells"]):
+        fail(path, f"shard_cells {data['shard_cells']} + "
+                   f"shard_skipped_cells "
+                   f"{data['shard_skipped_cells']} != "
+                   f"{len(data['cells'])} cells")
+    if data["shard_count"] == 1 and data["shard_skipped_cells"] != 0:
+        fail(path, f"unsharded run skipped "
+                   f"{data['shard_skipped_cells']} cells")
+
+    if warm_cache:
+        for key in ("cache_replay_misses", "cache_profile_misses",
+                    "cache_corrupt"):
+            if data[key] != 0:
+                fail(path, f"--warm-cache: {key} is {data[key]}, "
+                           f"expected 0")
+        if data["cache_replay_hits"] == 0:
+            fail(path, "--warm-cache: cache_replay_hits is 0")
+        if data["mmap_bytes"] == 0:
+            fail(path, "--warm-cache: mmap_bytes is 0")
 
     total = sum(cell["branches"] for cell in data["cells"]
                 if "error" not in cell)
@@ -683,6 +751,7 @@ def check_checkpoint_file(path):
     # An empty checkpoint is legal: a sweep killed before any cell
     # finished leaves (at most) an empty file behind.
     fingerprints = set()
+    header = None
     for number, line in enumerate(lines, start=1):
         where = f"line {number}"
         if not line.strip():
@@ -693,6 +762,25 @@ def check_checkpoint_file(path):
             fail(path, f"{where}: not valid JSON: {error}")
         if not isinstance(record, dict):
             fail(path, f"{where}: record must be an object")
+        if record.get("schema") == CHECKPOINT_HEADER_SCHEMA_ID:
+            # The shard stamp of a sharded sweep: first line only.
+            if number != 1:
+                fail(path, f"{where}: shard header must be the "
+                           f"first line")
+            check_fields(path, record, CHECKPOINT_HEADER_REQUIRED,
+                         where)
+            if not 1 <= record["shard_index"] <= \
+                    record["shard_count"]:
+                fail(path, f"{where}: shard_index "
+                           f"{record['shard_index']} outside "
+                           f"1..shard_count "
+                           f"{record['shard_count']}")
+            if record["shard_cells"] > record["matrix_cells"]:
+                fail(path, f"{where}: shard_cells "
+                           f"{record['shard_cells']} > matrix_cells "
+                           f"{record['matrix_cells']}")
+            header = record
+            continue
         check_fields(path, record, CHECKPOINT_REQUIRED, where)
         if record["schema"] != CHECKPOINT_SCHEMA_ID:
             fail(path, f"{where}: schema '{record['schema']}' != "
@@ -718,7 +806,90 @@ def check_checkpoint_file(path):
                        f"{classified} > collisions "
                        f"{record['collisions']}")
 
-    print(f"{path}: ok ({len(lines)} checkpoint records)")
+    if header is not None and \
+            len(fingerprints) > header["shard_cells"]:
+        fail(path, f"{len(fingerprints)} records exceed the header's "
+                   f"shard_cells {header['shard_cells']}")
+
+    stamp = ""
+    if header is not None:
+        stamp = (f", shard {header['shard_index']}/"
+                 f"{header['shard_count']}")
+    print(f"{path}: ok ({len(fingerprints)} checkpoint "
+          f"records{stamp})")
+
+
+MERGE_SCHEMA_ID = "bpsim-merge-v1"
+
+MERGE_REQUIRED = {
+    "schema": str,
+    "output": str,
+    "shard_count": int,
+    "matrix_cells": int,
+    "records": int,
+    "shards": list,
+}
+
+MERGE_SHARD_REQUIRED = {
+    "path": str,
+    "shard_index": int,
+    "shard_cells": int,
+    "records": int,
+}
+
+
+def check_merge_file(path):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+    except OSError as error:
+        fail(path, f"cannot read: {error}")
+    except json.JSONDecodeError as error:
+        fail(path, f"not valid JSON: {error}")
+
+    if not isinstance(data, dict):
+        fail(path, "top level must be an object")
+    check_fields(path, data, MERGE_REQUIRED, "top level")
+    if data["schema"] != MERGE_SCHEMA_ID:
+        fail(path, f"schema '{data['schema']}' != "
+                   f"'{MERGE_SCHEMA_ID}'")
+    if len(data["shards"]) != data["shard_count"]:
+        fail(path, f"{len(data['shards'])} shard entries != "
+                   f"shard_count {data['shard_count']}")
+
+    # A merge only succeeds on a complete, disjoint shard set, so the
+    # summary must show every index exactly once and every shard
+    # contributing exactly the records its stamp promised.
+    seen = set()
+    total_records = 0
+    for index, shard in enumerate(data["shards"]):
+        where = f"shards[{index}]"
+        if not isinstance(shard, dict):
+            fail(path, f"{where}: must be an object")
+        check_fields(path, shard, MERGE_SHARD_REQUIRED, where)
+        if not 1 <= shard["shard_index"] <= data["shard_count"]:
+            fail(path, f"{where}: shard_index "
+                       f"{shard['shard_index']} outside "
+                       f"1..shard_count {data['shard_count']}")
+        if shard["shard_index"] in seen:
+            fail(path, f"{where}: duplicate shard_index "
+                       f"{shard['shard_index']}")
+        seen.add(shard["shard_index"])
+        if shard["records"] != shard["shard_cells"]:
+            fail(path, f"{where}: records {shard['records']} != "
+                       f"shard_cells {shard['shard_cells']} "
+                       f"(incomplete shard)")
+        total_records += shard["records"]
+    if total_records != data["records"]:
+        fail(path, f"shard records sum to {total_records}, "
+                   f"records is {data['records']}")
+    if data["records"] > data["matrix_cells"]:
+        fail(path, f"records {data['records']} > matrix_cells "
+                   f"{data['matrix_cells']}")
+
+    print(f"{path}: ok ({data['shard_count']} shards, "
+          f"{data['records']} records, "
+          f"{data['matrix_cells']} matrix cells)")
 
 
 CHECKERS = {
@@ -726,11 +897,13 @@ CHECKERS = {
     "journal": check_journal_file,
     "metrics": check_metrics_file,
     "checkpoint": check_checkpoint_file,
+    "merge": check_merge_file,
 }
 
 
 def main(argv):
     schema = "runner"
+    warm_cache = False
     paths = []
     i = 1
     while i < len(argv):
@@ -746,17 +919,28 @@ def main(argv):
             schema = arg.split("=", 1)[1]
             i += 1
             continue
+        if arg == "--warm-cache":
+            warm_cache = True
+            i += 1
+            continue
         paths.append(arg)
         i += 1
     if schema not in CHECKERS:
         print(f"unknown schema '{schema}' (expected "
               f"{'/'.join(sorted(CHECKERS))})", file=sys.stderr)
         return 2
+    if warm_cache and schema != "runner":
+        print("--warm-cache only applies to the runner schema",
+              file=sys.stderr)
+        return 2
     if not paths:
         print(__doc__, file=sys.stderr)
         return 2
     for path in paths:
-        CHECKERS[schema](path)
+        if schema == "runner":
+            check_runner_file(path, warm_cache=warm_cache)
+        else:
+            CHECKERS[schema](path)
     return 0
 
 
