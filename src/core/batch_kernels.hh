@@ -278,6 +278,22 @@ void runPlainBatch(const batch::PlainArgs<P> &args);
 } // namespace kernels_avx2
 #endif
 
+/**
+ * Whether batched kernel instantiations exist for predictor type
+ * @p P. The impl translation units explicitly instantiate the batch
+ * kernels for the five paper predictors only; a kernel-visitable type
+ * without this trait (e.g. Tage, HashedPerceptron — multi-bank
+ * allocation and weight sums don't fit the prepare/apply batch split)
+ * gets an empty BatchKernelSet from batchKernelsFor and the engine
+ * falls back to the record-at-a-time reference kernels.
+ */
+template <typename P> inline constexpr bool hasBatchKernels = false;
+template <> inline constexpr bool hasBatchKernels<Bimodal> = true;
+template <> inline constexpr bool hasBatchKernels<Ghist> = true;
+template <> inline constexpr bool hasBatchKernels<Gshare> = true;
+template <> inline constexpr bool hasBatchKernels<BiMode> = true;
+template <> inline constexpr bool hasBatchKernels<TwoBcGskew> = true;
+
 /** The kernel entry points one SimdLevel dispatches to. */
 template <typename P>
 struct BatchKernelSet
@@ -301,24 +317,28 @@ BatchKernelSet<P>
 batchKernelsFor(SimdLevel level)
 {
     BatchKernelSet<P> set;
-    switch (level) {
-      case SimdLevel::Off:
-        break;
+    if constexpr (hasBatchKernels<P>) {
+        switch (level) {
+          case SimdLevel::Off:
+            break;
 #if defined(BPSIM_HAVE_AVX2_KERNELS)
-      case SimdLevel::Avx2:
-        set.gang = &kernels_avx2::runGangBatch<P>;
-        set.dense = &kernels_avx2::runDenseBatch<P>;
-        set.plain = &kernels_avx2::runPlainBatch<P>;
-        break;
+          case SimdLevel::Avx2:
+            set.gang = &kernels_avx2::runGangBatch<P>;
+            set.dense = &kernels_avx2::runDenseBatch<P>;
+            set.plain = &kernels_avx2::runPlainBatch<P>;
+            break;
 #else
-      case SimdLevel::Avx2:
+          case SimdLevel::Avx2:
 #endif
-      case SimdLevel::Scalar:
-      case SimdLevel::Neon:
-        set.gang = &kernels_scalar::runGangBatch<P>;
-        set.dense = &kernels_scalar::runDenseBatch<P>;
-        set.plain = &kernels_scalar::runPlainBatch<P>;
-        break;
+          case SimdLevel::Scalar:
+          case SimdLevel::Neon:
+            set.gang = &kernels_scalar::runGangBatch<P>;
+            set.dense = &kernels_scalar::runDenseBatch<P>;
+            set.plain = &kernels_scalar::runPlainBatch<P>;
+            break;
+        }
+    } else {
+        (void)level;
     }
     return set;
 }

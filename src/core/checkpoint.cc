@@ -63,15 +63,9 @@ std::string
 cellFingerprint(const SyntheticProgram &program,
                 const ExperimentConfig &config)
 {
-    std::string predictor;
-    if (config.makeDynamic) {
-        if (config.dynamicKey.empty())
-            return {};
-        predictor = "custom:" + config.dynamicKey;
-    } else {
-        predictor = predictorKindName(config.kind) + ":" +
-                    std::to_string(config.sizeBytes);
-    }
+    const std::string predictor = predictorIdentityOf(config);
+    if (predictor.empty())
+        return {};
 
     std::ostringstream os;
     os << "v1|" << program.name() << "|" << program.seedValue() << "|"

@@ -1,6 +1,7 @@
 #include "core/experiment.hh"
 
 #include "core/engine.hh"
+#include "predictor/registry.hh"
 #include "support/logging.hh"
 #include "trace/replay_buffer.hh"
 #include "trace/trace_io.hh"
@@ -11,13 +12,22 @@ namespace bpsim
 namespace
 {
 
-/** Build the dynamic component a config describes. */
+/** Build the dynamic component a config describes: makeDynamic
+ * factory first, then a registered name, then the paper kind. */
 std::unique_ptr<BranchPredictor>
 makeDynamicComponent(const ExperimentConfig &config)
 {
-    return config.makeDynamic
-               ? config.makeDynamic()
-               : makePredictor(config.kind, config.sizeBytes);
+    if (config.makeDynamic)
+        return config.makeDynamic();
+    if (!config.predictor.empty()) {
+        const PredictorInfo *info =
+            PredictorRegistry::instance().find(config.predictor);
+        // validate() rejects unregistered names before any phase runs.
+        bpsim_assert(info != nullptr, "unregistered predictor '",
+                     config.predictor, "' reached construction");
+        return info->make(config.sizeBytes);
+    }
+    return makePredictor(config.kind, config.sizeBytes);
 }
 
 /** Options of the selection phase's profiling simulation. */
@@ -127,6 +137,20 @@ evalSimOptions(const ExperimentConfig &config)
     return options;
 }
 
+std::string
+predictorIdentityOf(const ExperimentConfig &config)
+{
+    if (config.makeDynamic) {
+        if (config.dynamicKey.empty())
+            return {};
+        return "custom:" + config.dynamicKey;
+    }
+    const std::string name = config.predictor.empty()
+                                 ? predictorKindName(config.kind)
+                                 : config.predictor;
+    return name + ":" + std::to_string(config.sizeBytes);
+}
+
 Result<void>
 ExperimentConfig::validate() const
 {
@@ -140,6 +164,14 @@ ExperimentConfig::validate() const
                      "predictor sizeBytes must be a power of two "
                      ">= 16, got " +
                          std::to_string(sizeBytes));
+    }
+    if (!makeDynamic && !predictor.empty() &&
+        PredictorRegistry::instance().find(predictor) == nullptr) {
+        return Error(ErrorCode::ConfigInvalid,
+                     "unknown predictor '" + predictor +
+                         "' (registered: " +
+                         PredictorRegistry::instance().namesJoined() +
+                         ")");
     }
     if (evalBranches == 0) {
         return Error(ErrorCode::ConfigInvalid,

@@ -38,6 +38,18 @@ struct ExperimentConfig
     /** Dynamic prediction scheme. */
     PredictorKind kind = PredictorKind::Gshare;
 
+    /**
+     * Registered predictor name (predictor/registry.hh). When
+     * non-empty it overrides kind: the dynamic component is built as
+     * registry.find(predictor)->make(sizeBytes), which is how cells
+     * address the predictors outside the paper's five-kind enum
+     * (tage, perceptron, the extensions). makeDynamic still takes
+     * precedence over both. The name joins sizeBytes in the cell's
+     * identity (profile-cache key, checkpoint fingerprint, default
+     * label) exactly like a kind does.
+     */
+    std::string predictor;
+
     /** Dynamic predictor budget in bytes. */
     std::size_t sizeBytes = 8192;
 
@@ -127,6 +139,18 @@ struct ExperimentConfig
      */
     Result<void> validate() const;
 };
+
+/**
+ * The predictor-identity component shared by the runner's
+ * profile-cache key, the profile artifact key, the checkpoint
+ * fingerprint and the default cell label: "custom:<dynamicKey>" for
+ * keyed makeDynamic cells, "<name>:<sizeBytes>" otherwise (the
+ * registered name when config.predictor is set, the paper kind name
+ * when not). Empty for keyless makeDynamic cells — such cells are
+ * uncacheable and unfingerprintable. Centralized here so a new
+ * predictor needs zero identity-site edits.
+ */
+std::string predictorIdentityOf(const ExperimentConfig &config);
 
 /**
  * Result of the selection phase's profiling run: the pre-filter

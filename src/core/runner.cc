@@ -57,19 +57,14 @@ std::string
 profileCacheKey(const MatrixCell &cell)
 {
     const ExperimentConfig &config = cell.config;
-    if (config.makeDynamic && config.dynamicKey.empty())
+    const std::string identity = predictorIdentityOf(config);
+    if (identity.empty())
         return {};
-    std::string key = std::to_string(cell.programIndex) + "|" +
-                      std::to_string(static_cast<unsigned>(
-                          config.profileInput)) +
-                      "|" + std::to_string(config.profileBranches) +
-                      "|";
-    if (config.makeDynamic)
-        key += "custom:" + config.dynamicKey;
-    else
-        key += predictorKindName(config.kind) + ":" +
-               std::to_string(config.sizeBytes);
-    return key;
+    return std::to_string(cell.programIndex) + "|" +
+           std::to_string(
+               static_cast<unsigned>(config.profileInput)) +
+           "|" + std::to_string(config.profileBranches) + "|" +
+           identity;
 }
 
 /**
@@ -509,10 +504,13 @@ ExperimentRunner::addCell(std::size_t program_index,
     // key and the checkpoint fingerprint.
     cell.config.simd = cell.config.simd && options.simd;
     if (label.empty()) {
+        const std::string identity = predictorIdentityOf(config);
         label = programs[program_index].name() + "/" +
-                predictorKindName(config.kind) + ":" +
-                std::to_string(config.sizeBytes) + "/" +
-                staticSchemeName(config.scheme);
+                (identity.empty()
+                     ? predictorKindName(config.kind) + ":" +
+                           std::to_string(config.sizeBytes)
+                     : identity) +
+                "/" + staticSchemeName(config.scheme);
     }
     cell.label = std::move(label);
     // Demands are folded in at materialize() time (not here) so a
@@ -968,12 +966,7 @@ ExperimentRunner::run()
             const ExperimentConfig &config = *task.config;
             const SyntheticProgram &program =
                 programs[task.programIndex];
-            std::string identity;
-            if (config.makeDynamic)
-                identity = "custom:" + config.dynamicKey;
-            else
-                identity = predictorKindName(config.kind) + ":" +
-                           std::to_string(config.sizeBytes);
+            const std::string identity = predictorIdentityOf(config);
             phase_disk_keys[j] = profileArtifactKey(
                 program.name(), program.seedValue(),
                 static_cast<unsigned>(task.input),

@@ -1,5 +1,7 @@
 #include "predictor/agree.hh"
 
+#include "predictor/registry.hh"
+
 #include "support/bits.hh"
 #include "predictor/table_size.hh"
 
@@ -87,5 +89,18 @@ Agree::lastPredictCollisions() const
 {
     return table.pending();
 }
+
+BPSIM_REGISTER_PREDICTOR(
+    agree,
+    PredictorInfo{
+        .name = "agree",
+        .description = "agree predictor over a gshare table (extension)",
+        .make =
+            [](std::size_t bytes) {
+                return std::make_unique<Agree>(bytes);
+            },
+        .paperKind = false,
+        .kernelCapable = false,
+    })
 
 } // namespace bpsim

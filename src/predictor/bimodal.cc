@@ -1,5 +1,7 @@
 #include "predictor/bimodal.hh"
 
+#include "predictor/registry.hh"
+
 #include "predictor/table_size.hh"
 
 namespace bpsim
@@ -58,5 +60,18 @@ Bimodal::lastPredictCollisions() const
 {
     return pendingStep();
 }
+
+BPSIM_REGISTER_PREDICTOR(
+    bimodal,
+    PredictorInfo{
+        .name = "bimodal",
+        .description = "per-branch PC-indexed counters (paper baseline)",
+        .make =
+            [](std::size_t bytes) {
+                return std::make_unique<Bimodal>(bytes);
+            },
+        .paperKind = true,
+        .kernelCapable = true,
+    })
 
 } // namespace bpsim

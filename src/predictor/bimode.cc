@@ -1,5 +1,7 @@
 #include "predictor/bimode.hh"
 
+#include "predictor/registry.hh"
+
 #include "predictor/table_size.hh"
 
 namespace bpsim
@@ -76,5 +78,18 @@ BiMode::lastPredictCollisions() const
 {
     return pendingStep();
 }
+
+BPSIM_REGISTER_PREDICTOR(
+    bimode,
+    PredictorInfo{
+        .name = "bimode",
+        .description = "direction tables plus choice predictor (Lee et al.)",
+        .make =
+            [](std::size_t bytes) {
+                return std::make_unique<BiMode>(bytes);
+            },
+        .paperKind = true,
+        .kernelCapable = true,
+    })
 
 } // namespace bpsim

@@ -1,18 +1,8 @@
 #include "predictor/factory.hh"
 
-#include <cstdlib>
-
+#include "predictor/registry.hh"
+#include "support/error.hh"
 #include "support/logging.hh"
-#include "predictor/agree.hh"
-#include "predictor/bimodal.hh"
-#include "predictor/bimode.hh"
-#include "predictor/ghist.hh"
-#include "predictor/gselect.hh"
-#include "predictor/ideal_gshare.hh"
-#include "predictor/gshare.hh"
-#include "predictor/tournament.hh"
-#include "predictor/two_bc_gskew.hh"
-#include "predictor/yags.hh"
 
 namespace bpsim
 {
@@ -53,54 +43,30 @@ predictorKindFromName(const std::string &name)
         if (predictorKindName(kind) == name)
             return kind;
     }
-    bpsim_fatal("unknown predictor '", name,
-                "' (expected bimodal/ghist/gshare/bimode/2bcgskew)");
+    raise(Error(ErrorCode::ConfigInvalid,
+                "unknown paper predictor '" + name +
+                    "' (paper schemes: bimodal, ghist, gshare, "
+                    "bimode, 2bcgskew; registered: " +
+                    PredictorRegistry::instance().namesJoined() + ")"));
 }
 
 std::unique_ptr<BranchPredictor>
 makePredictor(PredictorKind kind, std::size_t size_bytes)
 {
-    switch (kind) {
-      case PredictorKind::Bimodal:
-        return std::make_unique<Bimodal>(size_bytes);
-      case PredictorKind::Ghist:
-        return std::make_unique<Ghist>(size_bytes);
-      case PredictorKind::Gshare:
-        return std::make_unique<Gshare>(size_bytes);
-      case PredictorKind::BiMode:
-        return std::make_unique<BiMode>(size_bytes);
-      case PredictorKind::TwoBcGskew:
-        return std::make_unique<TwoBcGskew>(size_bytes);
-    }
-    bpsim_panic("unknown PredictorKind");
+    const PredictorInfo *info =
+        PredictorRegistry::instance().find(predictorKindName(kind));
+    bpsim_assert(info != nullptr,
+                 "paper predictor kind not registered");
+    return info->make(size_bytes);
 }
 
 std::unique_ptr<BranchPredictor>
 makePredictor(const std::string &spec)
 {
-    const auto colon = spec.find(':');
-    const std::string name = spec.substr(0, colon);
-    std::size_t bytes = 8192;
-    if (colon != std::string::npos) {
-        const std::string size_str = spec.substr(colon + 1);
-        char *end = nullptr;
-        bytes = std::strtoull(size_str.c_str(), &end, 10);
-        if (end == nullptr || *end != '\0' || bytes == 0)
-            bpsim_fatal("bad predictor size in spec '", spec, "'");
-    }
-    // Extension predictors reachable by name only (not part of the
-    // paper's five simulated schemes).
-    if (name == "agree")
-        return std::make_unique<Agree>(bytes);
-    if (name == "tournament")
-        return std::make_unique<Tournament>(bytes);
-    if (name == "gselect")
-        return std::make_unique<Gselect>(bytes);
-    if (name == "yags")
-        return std::make_unique<Yags>(bytes);
-    if (name == "ideal")
-        return std::make_unique<IdealGshare>();
-    return makePredictor(predictorKindFromName(name), bytes);
+    const Result<ParsedPredictorSpec> parsed = parsePredictorSpec(spec);
+    if (!parsed.ok())
+        raise(parsed.error());
+    return parsed.value().info->make(parsed.value().bytes);
 }
 
 } // namespace bpsim

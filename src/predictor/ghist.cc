@@ -1,5 +1,7 @@
 #include "predictor/ghist.hh"
 
+#include "predictor/registry.hh"
+
 #include "predictor/table_size.hh"
 
 namespace bpsim
@@ -60,5 +62,18 @@ Ghist::lastPredictCollisions() const
 {
     return pendingStep();
 }
+
+BPSIM_REGISTER_PREDICTOR(
+    ghist,
+    PredictorInfo{
+        .name = "ghist",
+        .description = "global-history indexed counter table (GAs)",
+        .make =
+            [](std::size_t bytes) {
+                return std::make_unique<Ghist>(bytes);
+            },
+        .paperKind = true,
+        .kernelCapable = true,
+    })
 
 } // namespace bpsim

@@ -1,5 +1,7 @@
 #include "predictor/gselect.hh"
 
+#include "predictor/registry.hh"
+
 #include "support/bits.hh"
 #include "predictor/table_size.hh"
 
@@ -78,5 +80,18 @@ Gselect::lastPredictCollisions() const
 {
     return table.pending();
 }
+
+BPSIM_REGISTER_PREDICTOR(
+    gselect,
+    PredictorInfo{
+        .name = "gselect",
+        .description = "PC and history concatenated index (extension)",
+        .make =
+            [](std::size_t bytes) {
+                return std::make_unique<Gselect>(bytes);
+            },
+        .paperKind = false,
+        .kernelCapable = false,
+    })
 
 } // namespace bpsim

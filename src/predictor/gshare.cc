@@ -1,5 +1,7 @@
 #include "predictor/gshare.hh"
 
+#include "predictor/registry.hh"
+
 #include "predictor/table_size.hh"
 
 namespace bpsim
@@ -63,5 +65,18 @@ Gshare::lastPredictCollisions() const
 {
     return pendingStep();
 }
+
+BPSIM_REGISTER_PREDICTOR(
+    gshare,
+    PredictorInfo{
+        .name = "gshare",
+        .description = "PC xor global-history indexed counters (McFarling)",
+        .make =
+            [](std::size_t bytes) {
+                return std::make_unique<Gshare>(bytes);
+            },
+        .paperKind = true,
+        .kernelCapable = true,
+    })
 
 } // namespace bpsim

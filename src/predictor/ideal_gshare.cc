@@ -1,5 +1,7 @@
 #include "predictor/ideal_gshare.hh"
 
+#include "predictor/registry.hh"
+
 #include "support/bits.hh"
 #include "support/logging.hh"
 
@@ -51,5 +53,19 @@ IdealGshare::reset()
     counters.clear();
     history.clear();
 }
+
+BPSIM_REGISTER_PREDICTOR(
+    ideal,
+    PredictorInfo{
+        .name = "ideal",
+        .description = "conflict-free gshare bound; ignores byte budget",
+        .make =
+            [](std::size_t) {
+                return std::make_unique<IdealGshare>();
+            },
+        .paperKind = false,
+        .kernelCapable = false,
+        .goldenFile = "ideal_gshare",
+    })
 
 } // namespace bpsim

@@ -1,5 +1,7 @@
 #include "predictor/tournament.hh"
 
+#include "predictor/registry.hh"
+
 #include "support/bits.hh"
 #include "support/logging.hh"
 
@@ -139,5 +141,18 @@ Tournament::lastPredictCollisions() const
     return localCounters.pending() + global.pending() +
            choice.pending();
 }
+
+BPSIM_REGISTER_PREDICTOR(
+    tournament,
+    PredictorInfo{
+        .name = "tournament",
+        .description = "local/global tournament with choice table",
+        .make =
+            [](std::size_t bytes) {
+                return std::make_unique<Tournament>(bytes);
+            },
+        .paperKind = false,
+        .kernelCapable = false,
+    })
 
 } // namespace bpsim

@@ -1,5 +1,7 @@
 #include "predictor/two_bc_gskew.hh"
 
+#include "predictor/registry.hh"
+
 #include <algorithm>
 
 #include "predictor/table_size.hh"
@@ -100,5 +102,18 @@ TwoBcGskew::lastPredictCollisions() const
 {
     return pendingStep();
 }
+
+BPSIM_REGISTER_PREDICTOR(
+    twobcgskew,
+    PredictorInfo{
+        .name = "2bcgskew",
+        .description = "skewed majority-vote hybrid (Seznec & Michaud)",
+        .make =
+            [](std::size_t bytes) {
+                return std::make_unique<TwoBcGskew>(bytes);
+            },
+        .paperKind = true,
+        .kernelCapable = true,
+    })
 
 } // namespace bpsim

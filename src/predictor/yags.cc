@@ -1,5 +1,7 @@
 #include "predictor/yags.hh"
 
+#include "predictor/registry.hh"
+
 #include "support/bits.hh"
 #include "support/logging.hh"
 #include "predictor/table_size.hh"
@@ -151,5 +153,18 @@ Yags::lastPredictCollisions() const
 {
     return choice.pending();
 }
+
+BPSIM_REGISTER_PREDICTOR(
+    yags,
+    PredictorInfo{
+        .name = "yags",
+        .description = "tagged exception caches over a choice table",
+        .make =
+            [](std::size_t bytes) {
+                return std::make_unique<Yags>(bytes);
+            },
+        .paperKind = false,
+        .kernelCapable = false,
+    })
 
 } // namespace bpsim

@@ -7,6 +7,7 @@
 
 #include <vector>
 
+#include "predictor/registry.hh"
 #include "support/args.hh"
 
 namespace bpsim
@@ -125,6 +126,36 @@ TEST(ArgParserTest, BadNumberExitsUsageCode)
     EXPECT_EXIT(args.getUint("size"),
                 ::testing::ExitedWithCode(usageExitCode),
                 "expects an integer, got 'abc'");
+}
+
+// A bad --predictor value surfaces through the same structured
+// config_invalid path as the parser's own errors; the registry
+// rejection names every registered predictor so the hint is
+// actionable from the command line.
+TEST(ArgParserTest, BadPredictorValueListsRegisteredNames)
+{
+    ArgParser args("test");
+    args.addOption("predictor", "gshare:2048", "predictor spec");
+    Argv argv({"tool", "--predictor", "nosuch:64"});
+    args.parse(argv.argc(), argv.argv());
+
+    const Result<ParsedPredictorSpec> parsed =
+        parsePredictorSpec(args.get("predictor"));
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_EQ(parsed.error().code(), ErrorCode::ConfigInvalid);
+    const std::string &message = parsed.error().message();
+    EXPECT_NE(message.find("unknown predictor 'nosuch'"),
+              std::string::npos);
+    for (const std::string &name :
+         PredictorRegistry::instance().names())
+        EXPECT_NE(message.find(name), std::string::npos) << name;
+
+    const Result<ParsedPredictorSpec> bad_size =
+        parsePredictorSpec("gshare:not-a-size");
+    ASSERT_FALSE(bad_size.ok());
+    EXPECT_EQ(bad_size.error().code(), ErrorCode::ConfigInvalid);
+    EXPECT_NE(bad_size.error().message().find("bad predictor size"),
+              std::string::npos);
 }
 
 TEST(ArgParserTest, TryParseReturnsStructuredError)

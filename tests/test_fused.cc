@@ -206,6 +206,60 @@ TEST(FusedTest, ProfileCacheOffStillBitIdentical)
     expectSameMatrix(fused, reference);
 }
 
+/**
+ * Same bit-identity contract for the registry's tagged family: tage
+ * and perceptron gang-replay via visitPredictor but have no batch
+ * kernels, so the fused path must agree with per-cell execution
+ * through the record-at-a-time kernels. A separate cell set keeps the
+ * group-count and fault-index assertions above untouched.
+ */
+ExperimentConfig
+taggedConfig(const std::string &predictor, StaticScheme scheme)
+{
+    ExperimentConfig config;
+    config.predictor = predictor;
+    config.sizeBytes = 2048;
+    config.scheme = scheme;
+    config.profileBranches = testProfileBranches;
+    config.evalBranches = testEvalBranches;
+    return config;
+}
+
+MatrixResult
+runTaggedMatrix(const RunnerOptions &options)
+{
+    ExperimentRunner runner(options);
+    for (const auto id : {SpecProgram::Go, SpecProgram::Compress}) {
+        const std::size_t program =
+            runner.addProgram(makeSpecProgram(id, InputSet::Ref));
+        for (const char *predictor : {"tage", "perceptron"}) {
+            for (const auto scheme :
+                 {StaticScheme::None, StaticScheme::Static95,
+                  StaticScheme::StaticAcc}) {
+                runner.addCell(program,
+                               taggedConfig(predictor, scheme));
+            }
+        }
+    }
+    return runner.run();
+}
+
+TEST(FusedTest, TaggedFamilyBitIdenticalToPerCellAtAnyThreadCount)
+{
+    const MatrixResult reference =
+        runTaggedMatrix(matrixOptions(1, false));
+    // Registry predictors marked kernel-capable devirtualize via
+    // visitPredictor even though they have no batch kernels.
+    EXPECT_EQ(reference.kernelCells, reference.cells.size());
+
+    for (const unsigned threads : {1u, 2u, 4u}) {
+        const MatrixResult fused =
+            runTaggedMatrix(matrixOptions(threads, true));
+        EXPECT_TRUE(fused.fused) << threads << " threads";
+        expectSameMatrix(fused, reference);
+    }
+}
+
 class FusedFaultTest : public ::testing::Test
 {
   protected:

@@ -14,7 +14,7 @@
  * Regenerating after an intentional behaviour change:
  *
  *     BPSIM_WRITE_GOLDEN=1 ./build/tests/bpsim_tests \
- *         --gtest_filter='GoldenTest.*'
+ *         --gtest_filter='*GoldenTest*'
  *
  * then review the diff under tests/golden/ like any other code
  * change.
@@ -22,6 +22,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -32,6 +33,7 @@
 
 #include "core/experiment.hh"
 #include "predictor/factory.hh"
+#include "predictor/registry.hh"
 #include "staticsel/selection.hh"
 #include "support/atomic_file.hh"
 #include "support/json.hh"
@@ -340,63 +342,41 @@ runGolden(const std::string &name,
     }
 }
 
-/** A paper kind: the factory path, devirtualized kernels required. */
-void
-runGoldenKind(PredictorKind kind)
-{
-    runGolden(
-        predictorKindName(kind),
-        [kind](ExperimentConfig &config) { config.kind = kind; },
-        /*expect_kernel=*/true);
-}
-
 /**
- * An extension predictor via the makeDynamic factory hook. Extensions
- * are outside visitPredictor's five paper kinds, so the replay entry
- * point exercises its virtual fallback — pinned to the same golden as
- * the stream path.
+ * One parameterized test per registered predictor: registering a new
+ * predictor is all it takes to appear here — there is no hand-kept
+ * enumeration to forget to extend. Kernel-capable entries must take
+ * the devirtualized replay path; the rest pin the virtual fallback
+ * against the same golden file.
  */
-void
-runGoldenExtension(const std::string &file, const std::string &spec)
+class GoldenTest : public ::testing::TestWithParam<std::string>
 {
+};
+
+TEST_P(GoldenTest, PinsKernelAndVirtualPaths)
+{
+    const PredictorInfo *info =
+        PredictorRegistry::instance().find(GetParam());
+    ASSERT_NE(info, nullptr);
     runGolden(
-        file,
-        [spec](ExperimentConfig &config) {
-            config.makeDynamic = [spec] {
-                return makePredictor(spec);
-            };
-            config.dynamicKey = spec;
+        info->goldenFile,
+        [info](ExperimentConfig &config) {
+            config.predictor = info->name;
         },
-        /*expect_kernel=*/false);
+        /*expect_kernel=*/info->kernelCapable);
 }
 
-TEST(GoldenTest, Bimodal) { runGoldenKind(PredictorKind::Bimodal); }
-TEST(GoldenTest, Ghist) { runGoldenKind(PredictorKind::Ghist); }
-TEST(GoldenTest, Gshare) { runGoldenKind(PredictorKind::Gshare); }
-TEST(GoldenTest, BiMode) { runGoldenKind(PredictorKind::BiMode); }
-
-TEST(GoldenTest, TwoBcGskew)
-{
-    runGoldenKind(PredictorKind::TwoBcGskew);
-}
-
-TEST(GoldenTest, Agree) { runGoldenExtension("agree", "agree:2048"); }
-TEST(GoldenTest, Yags) { runGoldenExtension("yags", "yags:2048"); }
-
-TEST(GoldenTest, Gselect)
-{
-    runGoldenExtension("gselect", "gselect:2048");
-}
-
-TEST(GoldenTest, Tournament)
-{
-    runGoldenExtension("tournament", "tournament:2048");
-}
-
-TEST(GoldenTest, IdealGshare)
-{
-    runGoldenExtension("ideal_gshare", "ideal:2048");
-}
+INSTANTIATE_TEST_SUITE_P(
+    Registry, GoldenTest,
+    ::testing::ValuesIn(PredictorRegistry::instance().names()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        // gtest parameter names must be alphanumeric/underscore.
+        std::string name = info.param;
+        for (char &c : name)
+            if (std::isalnum(static_cast<unsigned char>(c)) == 0)
+                c = '_';
+        return name;
+    });
 
 } // namespace
 } // namespace bpsim

@@ -17,8 +17,10 @@
 #include "predictor/ghist.hh"
 #include "predictor/global_history.hh"
 #include "predictor/gshare.hh"
+#include "predictor/registry.hh"
 #include "predictor/two_bc_gskew.hh"
 #include "support/bits.hh"
+#include "support/error.hh"
 #include "support/random.hh"
 
 namespace bpsim
@@ -282,10 +284,69 @@ TEST(Factory, ParsesSpecStrings)
 
 TEST(Factory, RejectsGarbage)
 {
-    EXPECT_EXIT(makePredictor("nonsense:123"),
-                ::testing::ExitedWithCode(1), "unknown predictor");
-    EXPECT_EXIT(makePredictor("gshare:abc"),
-                ::testing::ExitedWithCode(1), "bad predictor size");
+    // Unknown names and malformed sizes surface as config_invalid
+    // errors (recoverable, unlike the old fatal()) whose message
+    // enumerates every registered predictor.
+    try {
+        makePredictor("nonsense:123");
+        FAIL() << "expected a config_invalid ErrorException";
+    } catch (const ErrorException &error) {
+        EXPECT_EQ(error.error().code(), ErrorCode::ConfigInvalid);
+        EXPECT_NE(error.error().message().find("unknown predictor"),
+                  std::string::npos);
+        for (const std::string &name :
+             PredictorRegistry::instance().names()) {
+            EXPECT_NE(error.error().message().find(name),
+                      std::string::npos)
+                << "message should list '" << name << "'";
+        }
+    }
+
+    try {
+        makePredictor("gshare:abc");
+        FAIL() << "expected a config_invalid ErrorException";
+    } catch (const ErrorException &error) {
+        EXPECT_EQ(error.error().code(), ErrorCode::ConfigInvalid);
+        EXPECT_NE(error.error().message().find("bad predictor size"),
+                  std::string::npos);
+    }
+}
+
+TEST(Factory, RegistryCoversAllKindsAndExtensions)
+{
+    const PredictorRegistry &registry = PredictorRegistry::instance();
+    for (const auto kind : allPredictorKinds()) {
+        const PredictorInfo *info =
+            registry.find(predictorKindName(kind));
+        ASSERT_NE(info, nullptr) << predictorKindName(kind);
+        EXPECT_TRUE(info->paperKind);
+        EXPECT_TRUE(info->kernelCapable);
+    }
+    for (const char *name : {"tage", "perceptron", "agree",
+                             "tournament", "gselect", "yags", "ideal"}) {
+        const PredictorInfo *info = registry.find(name);
+        ASSERT_NE(info, nullptr) << name;
+        EXPECT_FALSE(info->paperKind) << name;
+        auto predictor = info->make(8192);
+        ASSERT_NE(predictor, nullptr) << name;
+        // Registered name and self-reported name agree ("ideal" is
+        // the spec alias of the ideal_gshare class).
+        if (std::string(name) != "ideal") {
+            EXPECT_EQ(predictor->name(), name);
+        }
+    }
+}
+
+TEST(Factory, RegistrySpecsRoundTrip)
+{
+    // Every registered predictor constructs through the spec path.
+    for (const std::string &name :
+         PredictorRegistry::instance().names()) {
+        auto predictor = makePredictor(name + ":8192");
+        ASSERT_NE(predictor, nullptr) << name;
+        auto defaulted = makePredictor(name);
+        ASSERT_NE(defaulted, nullptr) << name;
+    }
 }
 
 TEST(Determinism, SameStreamSameStats)

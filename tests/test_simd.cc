@@ -221,6 +221,55 @@ TEST_F(SimdTest, BitIdenticalAcrossDispatchAtAnyThreadCount)
     }
 }
 
+/**
+ * The tagged family (tage, perceptron) publishes no batch kernels:
+ * hasBatchKernels is false, so SIMD dispatch must fall back to the
+ * record-at-a-time reference kernels in place — zero simdCells, and
+ * results bit-identical to a SIMD-off run at any thread count, fused
+ * or per-cell. Separate cell set so the kernelCells/2 arithmetic in
+ * the batched-kind tests above is untouched.
+ */
+MatrixResult
+runTaggedMatrix(const RunnerOptions &options)
+{
+    ExperimentRunner runner(options);
+    for (const auto id : {SpecProgram::Go, SpecProgram::Compress}) {
+        const std::size_t program =
+            runner.addProgram(makeSpecProgram(id, InputSet::Ref));
+        for (const char *predictor : {"tage", "perceptron"}) {
+            for (const auto scheme :
+                 {StaticScheme::None, StaticScheme::Static95}) {
+                ExperimentConfig config;
+                config.predictor = predictor;
+                config.sizeBytes = 2048;
+                config.scheme = scheme;
+                config.profileBranches = testProfileBranches;
+                config.evalBranches = testEvalBranches;
+                runner.addCell(program, config);
+            }
+        }
+    }
+    return runner.run();
+}
+
+TEST_F(SimdTest, TaggedFamilyFallsBackToReferenceBitIdentically)
+{
+    const MatrixResult ref =
+        runTaggedMatrix(matrixOptions(1, false, false));
+    EXPECT_EQ(ref.simdCells, 0u);
+    EXPECT_EQ(ref.kernelCells, ref.cells.size());
+
+    for (const unsigned threads : {1u, 2u, 4u}) {
+        for (const bool fused : {false, true}) {
+            const MatrixResult got = runTaggedMatrix(
+                matrixOptions(threads, fused, true));
+            expectSameMatrix(got, ref);
+            EXPECT_EQ(got.simdCells, 0u)
+                << threads << " threads, fused=" << fused;
+        }
+    }
+}
+
 TEST_F(SimdTest, EnvOffForcesTheReferencePathDespiteTheFlag)
 {
     ::setenv("BPSIM_SIMD", "off", 1);

@@ -36,6 +36,7 @@
 #include "core/runner.hh"
 #include "core/simd.hh"
 #include "obs/run_journal.hh"
+#include "predictor/registry.hh"
 #include "support/args.hh"
 #include "support/atomic_file.hh"
 #include "support/error.hh"
@@ -330,11 +331,15 @@ cmdRun(int argc, char **argv)
         return 0;
     }
 
-    // Two-phase experiment path (paper methodology); restricted to
-    // the factory kinds the experiment driver knows.
+    // Two-phase experiment path (paper methodology); any registered
+    // predictor works — kernel-capable ones replay devirtualized,
+    // the rest run record-at-a-time through the virtual reference.
+    Result<ParsedPredictorSpec> parsed = parsePredictorSpec(spec);
+    if (!parsed.ok())
+        raise(std::move(parsed.error()));
     ExperimentConfig config;
-    config.kind = predictorKindFromName(kind_name);
-    config.sizeBytes = probe->sizeBytes();
+    config.predictor = parsed.value().info->name;
+    config.sizeBytes = parsed.value().bytes;
     config.scheme = scheme;
     config.shift = shiftFromName(args.get("shift"));
     config.evalBranches = args.getUint("branches");
@@ -442,8 +447,11 @@ cmdSweep(int argc, char **argv)
                    "runs (empty = disabled)");
     args.parse(argc, argv, 2);
 
-    const PredictorKind kind =
-        predictorKindFromName(args.get("predictor"));
+    Result<ParsedPredictorSpec> parsed =
+        parsePredictorSpec(args.get("predictor"));
+    if (!parsed.ok())
+        raise(std::move(parsed.error()));
+    const std::string predictor_name = parsed.value().info->name;
     const StaticScheme scheme =
         staticSchemeFromName(args.get("scheme"));
     const std::vector<std::size_t> sizes =
@@ -488,7 +496,7 @@ cmdSweep(int argc, char **argv)
 
     for (const std::size_t bytes : sizes) {
         ExperimentConfig config;
-        config.kind = kind;
+        config.predictor = predictor_name;
         config.sizeBytes = bytes;
         config.scheme = scheme;
         config.shift = shiftFromName(args.get("shift"));
@@ -597,10 +605,16 @@ cmdList()
     for (const auto id : allSpecPrograms())
         std::printf("%s ", specProgramName(id).c_str());
     std::printf("\npredictors (paper): ");
-    for (const auto kind : allPredictorKinds())
-        std::printf("%s ", predictorKindName(kind).c_str());
-    std::printf("\npredictors (extensions): agree tournament gselect "
-                "yags ideal\n");
+    for (const PredictorInfo *info :
+         PredictorRegistry::instance().all())
+        if (info->paperKind)
+            std::printf("%s ", info->name.c_str());
+    std::printf("\npredictors (extensions): ");
+    for (const PredictorInfo *info :
+         PredictorRegistry::instance().all())
+        if (!info->paperKind)
+            std::printf("%s ", info->name.c_str());
+    std::printf("\n");
     std::printf("schemes:   none static_95 static_acc static_fac "
                 "static_alias\n");
     std::printf("shifts:    noshift shift shiftpred\n");

@@ -29,6 +29,7 @@ Exits non-zero with a message on the first problem found.
 
 import json
 import math
+import re
 import sys
 
 TOP_LEVEL_REQUIRED = {
@@ -83,6 +84,36 @@ CELL_REQUIRED = {
 
 # Runtime dispatch levels (bpsim::SimdLevel wire names).
 DISPATCH_LEVELS = {"off", "scalar", "avx2", "neon"}
+
+# Registered predictor names (the anchor list in
+# src/predictor/registry.cc) and static-scheme wire names. Canonical
+# cell labels are "program/predictor:bytes/scheme"; a label of that
+# shape must name a registered predictor and a known scheme.
+# Free-form labels (custom addCell strings) pass through untouched.
+KNOWN_PREDICTORS = {
+    "bimodal", "ghist", "gshare", "bimode", "2bcgskew",
+    "agree", "tournament", "gselect", "yags", "ideal",
+    "tage", "perceptron",
+}
+
+KNOWN_SCHEMES = {
+    "none", "static_95", "static_acc", "static_fac", "static_alias",
+}
+
+CANONICAL_LABEL_RE = re.compile(r"^[^/]+/([^/:]+):(\d+)/([^/]+)$")
+
+
+def check_cell_label(path, label, where):
+    match = CANONICAL_LABEL_RE.match(label)
+    if match is None:
+        return
+    predictor, _, scheme = match.groups()
+    if predictor not in KNOWN_PREDICTORS:
+        fail(path, f"{where}: label '{label}' names unknown "
+                   f"predictor '{predictor}'")
+    if scheme not in KNOWN_SCHEMES:
+        fail(path, f"{where}: label '{label}' names unknown "
+                   f"scheme '{scheme}'")
 
 # The error-code taxonomy (bpsim::ErrorCode wire names).
 ERROR_CODES = {
@@ -278,6 +309,7 @@ def check_runner_file(path, warm_cache=False):
         if not isinstance(cell, dict):
             fail(path, f"{where}: must be an object")
         check_fields(path, cell, CELL_REQUIRED, where)
+        check_cell_label(path, cell["label"], where)
         if "restored" in cell:
             if cell["restored"] is not True:
                 fail(path, f"{where}: 'restored', when present, must "
@@ -548,6 +580,7 @@ def check_journal_file(path):
     for index, event in enumerate(events):
         where = f"line {index + 1}"
         if event["event"] == "cell_begin":
+            check_cell_label(path, event["label"], where)
             begun.add((event["label"], event.get("cell")))
         elif event["event"] in ("cell_end", "cell_error"):
             key = (event["label"], event.get("cell"))
