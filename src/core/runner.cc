@@ -948,6 +948,14 @@ ExperimentRunner::run()
     std::atomic<bool> abortRun{false};
     std::atomic<Count> fused_group_count{0};
 
+    // Cooperative cancellation: polled at the same gates as the
+    // fail-fast flag, in both phases. Work not yet started when the
+    // token trips is skipped with a Cancelled error; work in flight
+    // finishes (and checkpoints) normally.
+    const auto cancelled = [&] {
+        return options.cancel && options.cancel();
+    };
+
     // Artifact-cache pass over the executable phases: a valid on-disk
     // profile satisfies a phase without simulating anything. Each
     // disk hit still journals a profile_phase event (marked
@@ -1060,6 +1068,13 @@ ExperimentRunner::run()
             programs[chunk.programIndex].name();
         std::vector<std::size_t> live;
         for (const std::size_t j : chunk.members) {
+            if (cancelled()) {
+                phase_errors[j] =
+                    Error(ErrorCode::Cancelled,
+                          "skipped: run cancelled before the "
+                          "profiling phase started");
+                continue;
+            }
             if (abortRun.load(std::memory_order_relaxed)) {
                 phase_errors[j] = Error(
                     ErrorCode::CellFailed,
@@ -1165,6 +1180,13 @@ ExperimentRunner::run()
         const ProfileTask &task = profile_tasks[j];
         const std::string &program_name =
             programs[task.programIndex].name();
+        if (cancelled()) {
+            phase_errors[j] =
+                Error(ErrorCode::Cancelled,
+                      "skipped: run cancelled before the profiling "
+                      "phase started");
+            return;
+        }
         if (abortRun.load(std::memory_order_relaxed)) {
             phase_errors[j] =
                 Error(ErrorCode::CellFailed,
@@ -1268,6 +1290,13 @@ ExperimentRunner::run()
     // Phase B plumbing, shared by the per-cell and fused paths so
     // both emit byte-identical journal events and checkpoint records.
 
+    // Progress hook: one call per in-shard cell once its outcome is
+    // final (executed, restored or failed). Runs on worker threads.
+    const auto notifyCell = [&](std::size_t i) {
+        if (options.onCellFinished)
+            options.onCellFinished(i, result.cells[i]);
+    };
+
     // Close a cell's journal bracket with a cell_error and set its
     // failure slot; with failFast, wave the rest of the sweep off.
     const auto failCell = [&](std::size_t i, Error error,
@@ -1275,7 +1304,11 @@ ExperimentRunner::run()
         CellResult &out = result.cells[i];
         out.error = std::move(error);
         out.attempts = attempts;
-        if (options.failFast)
+        // Cancellation ends cells without aborting the run: the
+        // token is already monotonic, and fail-fast would repaint
+        // the remaining cells' errors as cell_failed.
+        if (options.failFast &&
+            out.error->code() != ErrorCode::Cancelled)
             abortRun.store(true, std::memory_order_relaxed);
         if (journal != nullptr) {
             journal->record(
@@ -1287,6 +1320,7 @@ ExperimentRunner::run()
                  obs::Field::str("message", out.error->message()),
                  obs::Field::u64("attempts", attempts)});
         }
+        notifyCell(i);
     };
 
     const auto emitCellEnd = [&](std::size_t i) {
@@ -1400,6 +1434,16 @@ ExperimentRunner::run()
             out.profileCached = cell_phase[i] != noPhase;
             out.restored = true;
             emitCellEnd(i);
+            notifyCell(i);
+            return;
+        }
+
+        if (cancelled()) {
+            failCell(i,
+                     Error(ErrorCode::Cancelled,
+                           "skipped: run cancelled before the cell "
+                           "started"),
+                     0);
             return;
         }
 
@@ -1415,8 +1459,15 @@ ExperimentRunner::run()
         const ProfilePhase *cached = nullptr;
         if (cell_phase[i] != noPhase) {
             if (phase_errors[cell_phase[i]].has_value()) {
+                // A cancelled phase means the cell never had a
+                // chance to run; keep the Cancelled code so callers
+                // can tell "not started" from "broken".
+                const ErrorCode phase_code =
+                    phase_errors[cell_phase[i]]->code();
                 failCell(i,
-                         Error(ErrorCode::CellFailed,
+                         Error(phase_code == ErrorCode::Cancelled
+                                   ? ErrorCode::Cancelled
+                                   : ErrorCode::CellFailed,
                                "shared profiling phase failed")
                              .withContext(
                                  phase_errors[cell_phase[i]]
@@ -1462,6 +1513,7 @@ ExperimentRunner::run()
 
         writeCheckpoint(i);
         emitCellEnd(i);
+        notifyCell(i);
     };
 
     // One fused evaluation chunk: prepare each member cell (its
@@ -1490,6 +1542,14 @@ ExperimentRunner::run()
                                 cell.label,
                                 {obs::Field::u64("cell", i)});
             }
+            if (cancelled()) {
+                failCell(i,
+                         Error(ErrorCode::Cancelled,
+                               "skipped: run cancelled before the "
+                               "cell started"),
+                         0);
+                continue;
+            }
             if (abortRun.load(std::memory_order_relaxed)) {
                 failCell(i,
                          Error(ErrorCode::CellFailed,
@@ -1501,8 +1561,12 @@ ExperimentRunner::run()
             const ProfilePhase *cached = nullptr;
             if (cell_phase[i] != noPhase) {
                 if (phase_errors[cell_phase[i]].has_value()) {
+                    const ErrorCode phase_code =
+                        phase_errors[cell_phase[i]]->code();
                     failCell(i,
-                             Error(ErrorCode::CellFailed,
+                             Error(phase_code == ErrorCode::Cancelled
+                                       ? ErrorCode::Cancelled
+                                       : ErrorCode::CellFailed,
                                    "shared profiling phase failed")
                                  .withContext(
                                      phase_errors[cell_phase[i]]
@@ -1618,6 +1682,7 @@ ExperimentRunner::run()
                            static_cast<double>(live.size()));
             writeCheckpoint(i);
             emitCellEnd(i);
+            notifyCell(i);
             member_cells.push_back(i);
             member_branches.push_back(sims[k].stats.branches);
             member_misps.push_back(sims[k].stats.mispredictions);

@@ -139,6 +139,8 @@ class TaskPool
     unsigned workers;
 };
 
+struct CellResult;
+
 /** Runner construction options. */
 struct RunnerOptions
 {
@@ -249,6 +251,28 @@ struct RunnerOptions
 
     /** Total shards the matrix is split across (1 = no sharding). */
     unsigned shardCount = 1;
+
+    /**
+     * Cooperative cancellation token, polled before each cell (and
+     * each shared profiling phase) starts. Once it returns true,
+     * work not yet started is marked failed with a Cancelled error
+     * instead of executing; work already in flight runs to
+     * completion and is checkpointed normally, so a cancelled sweep
+     * leaves a resumable checkpoint covering everything it finished.
+     * Must be thread-safe (workers poll it concurrently) and
+     * monotonic (once true, stays true). Null = never cancelled.
+     */
+    std::function<bool()> cancel;
+
+    /**
+     * Progress hook, invoked once per in-shard cell when its outcome
+     * is known — executed, restored or failed — with the cell index
+     * and its final CellResult. Called from worker threads, possibly
+     * concurrently; the callee synchronizes. Null = no hook. Purely
+     * observational: results are identical with or without it.
+     */
+    std::function<void(std::size_t, const CellResult &)>
+        onCellFinished;
 };
 
 /**

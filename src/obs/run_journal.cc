@@ -56,6 +56,16 @@ eventKindName(EventKind kind)
         return "cache_corrupt";
       case EventKind::RunEnd:
         return "run_end";
+      case EventKind::RequestBegin:
+        return "request_begin";
+      case EventKind::RequestCell:
+        return "request_cell";
+      case EventKind::RequestEnd:
+        return "request_end";
+      case EventKind::RequestRejected:
+        return "request_rejected";
+      case EventKind::ServiceState:
+        return "service_state";
     }
     return "?";
 }
@@ -187,6 +197,24 @@ RunJournal::record(EventKind kind, unsigned thread, std::string label,
     log.push_back(std::move(event));
 }
 
+std::string
+RunJournal::recordAndRender(EventKind kind, unsigned thread,
+                            std::string label,
+                            std::vector<Field> fields)
+{
+    Event event;
+    event.thread = thread;
+    event.kind = kind;
+    event.label = std::move(label);
+    event.fields = std::move(fields);
+
+    std::lock_guard<std::mutex> guard(lock);
+    event.sequence = log.size();
+    event.seconds = secondsSinceStart();
+    log.push_back(std::move(event));
+    return toJsonLine(log.back());
+}
+
 Count
 RunJournal::eventCount() const
 {
@@ -257,6 +285,11 @@ RunJournal::summary() const
             break;
           case EventKind::Cache:
           case EventKind::CacheCorrupt:
+          case EventKind::RequestBegin:
+          case EventKind::RequestCell:
+          case EventKind::RequestEnd:
+          case EventKind::RequestRejected:
+          case EventKind::ServiceState:
             // Counted in eventsByKind; run_end carries the totals.
             break;
           case EventKind::RunEnd:

@@ -60,6 +60,15 @@ enum class EventKind
     CacheCorrupt, ///< a cache file existed but failed validation and
                   ///< was regenerated (never fatal)
     RunEnd,       ///< last event: aggregate totals
+
+    // Service-mode events (bpsim_serve). Label = request id.
+    RequestBegin,    ///< a request was admitted and started executing
+    RequestCell,     ///< one cell of a request reached a final outcome
+    RequestEnd,      ///< a request finished (ok or structured error)
+    RequestRejected, ///< a request was refused at admission (shed,
+                     ///< quarantine, malformed, draining)
+    ServiceState,    ///< daemon lifecycle: listening / draining /
+                     ///< stopped, with queue-depth snapshots
 };
 
 /** Wire name of @p kind ("run_begin", "cell_end", ...). */
@@ -243,6 +252,15 @@ class RunJournal
      */
     void record(EventKind kind, unsigned thread, std::string label,
                 std::vector<Field> fields = {});
+
+    /**
+     * record() and return the event's serialized JSONL line. The
+     * serialization happens under the journal lock so a subscriber
+     * stream sees lines in the same order as the on-disk journal.
+     */
+    std::string recordAndRender(EventKind kind, unsigned thread,
+                                std::string label,
+                                std::vector<Field> fields = {});
 
     /** Number of events recorded so far. */
     Count eventCount() const;

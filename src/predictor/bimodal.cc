@@ -72,6 +72,7 @@ BPSIM_REGISTER_PREDICTOR(
             },
         .paperKind = true,
         .kernelCapable = true,
+        .batchCapable = true,
     })
 
 } // namespace bpsim

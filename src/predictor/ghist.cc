@@ -74,6 +74,7 @@ BPSIM_REGISTER_PREDICTOR(
             },
         .paperKind = true,
         .kernelCapable = true,
+        .batchCapable = true,
     })
 
 } // namespace bpsim

@@ -77,6 +77,7 @@ BPSIM_REGISTER_PREDICTOR(
             },
         .paperKind = true,
         .kernelCapable = true,
+        .batchCapable = true,
     })
 
 } // namespace bpsim

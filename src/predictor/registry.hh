@@ -50,6 +50,13 @@ struct PredictorInfo
      */
     bool kernelCapable = false;
 
+    /**
+     * The SIMD batch-replay kernels cover this concrete type (it is
+     * listed in BPSIM_BATCH_PREDICTORS); false means batched
+     * evaluation falls back to the record-at-a-time kernel.
+     */
+    bool batchCapable = false;
+
     /** Byte budget used when a spec gives the bare name. */
     std::size_t defaultBytes = 8192;
 

@@ -1,0 +1,139 @@
+#include "service/client.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace bpsim::service
+{
+
+ServiceClient::~ServiceClient()
+{
+    close();
+}
+
+ServiceClient::ServiceClient(ServiceClient &&other) noexcept
+    : fd(std::exchange(other.fd, -1)),
+      buffer(std::move(other.buffer))
+{
+}
+
+ServiceClient &
+ServiceClient::operator=(ServiceClient &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd = std::exchange(other.fd, -1);
+        buffer = std::move(other.buffer);
+    }
+    return *this;
+}
+
+void
+ServiceClient::close()
+{
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+    buffer.clear();
+}
+
+Result<ServiceClient>
+ServiceClient::connect(const std::string &socket_path)
+{
+    ServiceClient client;
+    client.fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (client.fd < 0) {
+        return Error(ErrorCode::IoFailure,
+                     std::string("cannot create socket: ") +
+                         std::strerror(errno));
+    }
+    sockaddr_un address{};
+    address.sun_family = AF_UNIX;
+    if (socket_path.size() >= sizeof(address.sun_path)) {
+        return Error(ErrorCode::ConfigInvalid,
+                     "socket path '" + socket_path +
+                         "' is too long for a unix socket");
+    }
+    std::strncpy(address.sun_path, socket_path.c_str(),
+                 sizeof(address.sun_path) - 1);
+    int rc;
+    do {
+        rc = ::connect(client.fd,
+                       reinterpret_cast<sockaddr *>(&address),
+                       sizeof(address));
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+        return Error(ErrorCode::IoFailure,
+                     "cannot connect to '" + socket_path +
+                         "': " + std::strerror(errno));
+    }
+    return client;
+}
+
+Result<void>
+ServiceClient::sendLine(const std::string &line)
+{
+    const std::string framed = line + "\n";
+    std::size_t sent = 0;
+    while (sent < framed.size()) {
+        const ssize_t got =
+            ::send(fd, framed.data() + sent, framed.size() - sent,
+                   MSG_NOSIGNAL);
+        if (got < 0) {
+            if (errno == EINTR)
+                continue;
+            return Error(ErrorCode::IoFailure,
+                         std::string("send failed: ") +
+                             std::strerror(errno));
+        }
+        sent += static_cast<std::size_t>(got);
+    }
+    return okResult();
+}
+
+Result<std::string>
+ServiceClient::readLine()
+{
+    while (true) {
+        const std::size_t newline = buffer.find('\n');
+        if (newline != std::string::npos) {
+            std::string line = buffer.substr(0, newline);
+            buffer.erase(0, newline + 1);
+            return line;
+        }
+        char chunk[4096];
+        const ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (got == 0) {
+            return Error(ErrorCode::IoFailure,
+                         "connection closed by the daemon");
+        }
+        if (got < 0) {
+            if (errno == EINTR)
+                continue;
+            return Error(ErrorCode::IoFailure,
+                         std::string("recv failed: ") +
+                             std::strerror(errno));
+        }
+        buffer.append(chunk, static_cast<std::size_t>(got));
+    }
+}
+
+Result<ServiceResponse>
+ServiceClient::call(const ServiceRequest &request)
+{
+    Result<void> sent = sendLine(renderRequest(request));
+    if (!sent.ok())
+        return std::move(sent.error());
+    Result<std::string> line = readLine();
+    if (!line.ok())
+        return std::move(line.error());
+    return parseResponse(line.value());
+}
+
+} // namespace bpsim::service

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Minimal client for the bpsim service: connect to the daemon's
+ * Unix socket, send request lines, read response lines. Used by the
+ * `bpsim_cli client` subcommand and the service tests; everything
+ * returns structured Results so a dead or draining daemon is an
+ * error value, never a crash.
+ */
+
+#ifndef BPSIM_SERVICE_CLIENT_HH
+#define BPSIM_SERVICE_CLIENT_HH
+
+#include <string>
+
+#include "service/protocol.hh"
+#include "support/error.hh"
+
+namespace bpsim::service
+{
+
+/** One connection to a ServiceServer. Move-only (owns the fd). */
+class ServiceClient
+{
+  public:
+    ServiceClient() = default;
+    ~ServiceClient();
+
+    ServiceClient(ServiceClient &&other) noexcept;
+    ServiceClient &operator=(ServiceClient &&other) noexcept;
+    ServiceClient(const ServiceClient &) = delete;
+    ServiceClient &operator=(const ServiceClient &) = delete;
+
+    /** Connect to the daemon at @p socket_path. */
+    static Result<ServiceClient> connect(
+        const std::string &socket_path);
+
+    bool connected() const { return fd >= 0; }
+
+    /** Send one line (newline appended). */
+    Result<void> sendLine(const std::string &line);
+
+    /** Read one line (newline stripped); io_failure on EOF. */
+    Result<std::string> readLine();
+
+    /** Round trip: render @p request, send, read + parse the
+     * response. */
+    Result<ServiceResponse> call(const ServiceRequest &request);
+
+    void close();
+
+  private:
+    int fd = -1;
+    std::string buffer;
+};
+
+} // namespace bpsim::service
+
+#endif // BPSIM_SERVICE_CLIENT_HH

@@ -7,12 +7,72 @@
 #include <process.h>
 #define bpsim_getpid _getpid
 #else
+#include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 #define bpsim_getpid getpid
 #endif
 
 namespace bpsim
 {
+
+namespace
+{
+
+#ifndef _WIN32
+
+/** EINTR-retrying fsync(2). */
+int
+fsyncRetry(int fd)
+{
+    int rc;
+    do {
+        rc = ::fsync(fd);
+    } while (rc != 0 && errno == EINTR);
+    return rc;
+}
+
+/**
+ * Durability of the rename itself: fsync the directory holding
+ * @p path so the new directory entry survives power loss. Best
+ * effort — some filesystems refuse to open or sync a directory, and
+ * a failure here only weakens durability, never atomicity, so the
+ * caller treats it as advisory.
+ */
+void
+syncParentDirectory(const std::string &path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash);
+    int fd;
+    do {
+        fd = ::open(dir.empty() ? "/" : dir.c_str(),
+                    O_RDONLY | O_DIRECTORY);
+    } while (fd < 0 && errno == EINTR);
+    if (fd < 0)
+        return;
+    fsyncRetry(fd);
+    int rc;
+    do {
+        rc = ::close(fd);
+    } while (rc != 0 && errno == EINTR);
+}
+
+#endif // !_WIN32
+
+/** EINTR-retrying rename(2) (via the C library). */
+int
+renameRetry(const char *from, const char *to)
+{
+    int rc;
+    do {
+        rc = std::rename(from, to);
+    } while (rc != 0 && errno == EINTR);
+    return rc;
+}
+
+} // namespace
 
 AtomicFile::AtomicFile(std::string path) : finalPath(std::move(path))
 {
@@ -47,7 +107,15 @@ AtomicFile::commit()
                      "cannot open temp file '" + tempPath + "': " +
                          std::strerror(errno));
     }
-    const bool flushed = std::fflush(file) == 0;
+    // Flush the stdio buffer, then force the bytes to stable storage
+    // before the rename: a rename that lands before its data would
+    // let a power loss expose a complete-looking but empty/stale
+    // file, defeating the crash-safety the temp+rename dance buys.
+    bool flushed = std::fflush(file) == 0;
+#ifndef _WIN32
+    if (flushed && fsyncRetry(::fileno(file)) != 0)
+        flushed = false;
+#endif
     const int close_error = std::fclose(file);
     file = nullptr;
     if (!flushed || close_error != 0) {
@@ -56,13 +124,16 @@ AtomicFile::commit()
                      "cannot flush '" + tempPath + "': " +
                          std::strerror(errno));
     }
-    if (std::rename(tempPath.c_str(), finalPath.c_str()) != 0) {
+    if (renameRetry(tempPath.c_str(), finalPath.c_str()) != 0) {
         const std::string reason = std::strerror(errno);
         std::remove(tempPath.c_str());
         return Error(ErrorCode::IoFailure,
                      "cannot rename '" + tempPath + "' to '" +
                          finalPath + "': " + reason);
     }
+#ifndef _WIN32
+    syncParentDirectory(finalPath);
+#endif
     committed = true;
     return okResult();
 }

@@ -8,6 +8,12 @@
  * the previous complete file or the new complete file — never a
  * truncated one. rename(2) within one directory is atomic on POSIX,
  * which is all the repo targets.
+ *
+ * Durability: commit() fsyncs the temp file before the rename and
+ * the parent directory after it, so a committed file also survives
+ * power loss, not just process death. The rename/fsync syscalls are
+ * wrapped in EINTR retry loops — a signal (the service's SIGTERM
+ * drain, a profiler) must not turn into a spurious write failure.
  */
 
 #ifndef BPSIM_SUPPORT_ATOMIC_FILE_HH

@@ -19,6 +19,10 @@ errorCodeName(ErrorCode code)
         return "cell_failed";
       case ErrorCode::Internal:
         return "internal";
+      case ErrorCode::Cancelled:
+        return "cancelled";
+      case ErrorCode::DeadlineExceeded:
+        return "deadline_exceeded";
     }
     return "?";
 }

@@ -10,10 +10,11 @@
  * TaskPool's exception capture), be attached to a failed matrix cell,
  * and be serialized into journals and reports.
  *
- * Taxonomy, not hierarchy: five codes cover the failure classes the
- * runner distinguishes (validation, I/O, transient resource, cell
- * execution, invariant), and the retry policy keys off
- * Error::transient() rather than string matching.
+ * Taxonomy, not hierarchy: the codes cover the failure classes the
+ * runner and service distinguish (validation, I/O, transient
+ * resource, cell execution, cancellation, deadline expiry,
+ * invariant), and the retry policy keys off Error::transient()
+ * rather than string matching.
  */
 
 #ifndef BPSIM_SUPPORT_ERROR_HH
@@ -35,6 +36,8 @@ enum class ErrorCode
     ResourceExhausted, ///< transient resource failure (retryable)
     CellFailed,        ///< a matrix cell's execution failed
     Internal,          ///< invariant violation / unexpected exception
+    Cancelled,         ///< work skipped: its request was cancelled
+    DeadlineExceeded,  ///< work skipped: its deadline expired
 };
 
 /** Wire name of @p code ("config_invalid", "io_failure", ...). */

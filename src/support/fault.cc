@@ -17,7 +17,8 @@ errorCodeFromName(const std::string &name)
     for (const ErrorCode code :
          {ErrorCode::ConfigInvalid, ErrorCode::IoFailure,
           ErrorCode::ResourceExhausted, ErrorCode::CellFailed,
-          ErrorCode::Internal}) {
+          ErrorCode::Internal, ErrorCode::Cancelled,
+          ErrorCode::DeadlineExceeded}) {
         if (name == errorCodeName(code))
             return code;
     }

@@ -43,6 +43,10 @@ inline constexpr const char *cell = "cell";
 inline constexpr const char *checkpointWrite = "checkpoint_write";
 inline constexpr const char *cacheWrite = "cache_write";
 inline constexpr const char *cacheMap = "cache_map";
+/** Service layer: request admission (before queueing). */
+inline constexpr const char *serviceAdmit = "service_admit";
+/** Service layer: request execution (before the runner starts). */
+inline constexpr const char *serviceExecute = "service_execute";
 } // namespace fault_points
 
 /** Process-wide fault injector (see file comment for semantics). */

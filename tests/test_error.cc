@@ -8,10 +8,16 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
+
+#include <unistd.h>
 
 #include "core/checkpoint.hh"
 #include "core/experiment.hh"
@@ -140,6 +146,42 @@ TEST(AtomicFileTest, UncommittedWriterLeavesTargetUntouched)
         // No commit(): the destructor must discard the temp file.
     }
     EXPECT_EQ(readAll(path), "original\n");
+    std::remove(path.c_str());
+}
+
+TEST(AtomicFileTest, CommitSurvivesInterruptedSignals)
+{
+    // The durability path (fsync file + parent dir, EINTR-retried
+    // rename) must hold up under a steady stream of signals like the
+    // service's SIGTERM drain delivers. SIGUSR1 with a no-op handler
+    // interrupts syscalls without killing the process; every commit
+    // must still land complete.
+    struct sigaction action{};
+    struct sigaction previous{};
+    action.sa_handler = [](int) {};
+    sigemptyset(&action.sa_mask);
+    ASSERT_EQ(sigaction(SIGUSR1, &action, &previous), 0);
+
+    const std::string path = tempPath("atomic_signal_test.txt");
+    std::remove(path.c_str());
+
+    std::atomic<bool> done{false};
+    std::thread pepperer([&done] {
+        while (!done.load()) {
+            ::kill(::getpid(), SIGUSR1);
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(50));
+        }
+    });
+    for (int round = 0; round < 200; ++round) {
+        const std::string body =
+            "round " + std::to_string(round) + "\n";
+        ASSERT_TRUE(writeFileAtomic(path, body).ok());
+        ASSERT_EQ(readAll(path), body);
+    }
+    done.store(true);
+    pepperer.join();
+    sigaction(SIGUSR1, &previous, nullptr);
     std::remove(path.c_str());
 }
 

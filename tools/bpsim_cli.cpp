@@ -6,9 +6,10 @@
  *
  * Subcommands:
  *
- *   bpsim_cli run   [options]   one simulation
- *   bpsim_cli sweep [options]   size sweep (comma-separated --sizes)
- *   bpsim_cli merge [options]   combine shard checkpoints into one
+ *   bpsim_cli run    [options]  one simulation
+ *   bpsim_cli sweep  [options]  size sweep (comma-separated --sizes)
+ *   bpsim_cli merge  [options]  combine shard checkpoints into one
+ *   bpsim_cli client [options]  submit a request to a bpsim_serve
  *   bpsim_cli list              available programs/predictors/schemes
  *
  * Examples:
@@ -25,6 +26,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -37,6 +39,8 @@
 #include "core/simd.hh"
 #include "obs/run_journal.hh"
 #include "predictor/registry.hh"
+#include "service/client.hh"
+#include "service/protocol.hh"
 #include "support/args.hh"
 #include "support/atomic_file.hh"
 #include "support/error.hh"
@@ -598,23 +602,231 @@ cmdMerge(int argc, char **argv)
     return 0;
 }
 
+/**
+ * The label a compiled cell carries is
+ * "program/predictor:bytes/scheme"; recover the byte size for
+ * reporting (a response cell does not store it as its own field).
+ */
+std::size_t
+bytesFromLabel(const std::string &label)
+{
+    const std::size_t colon = label.rfind(':');
+    if (colon == std::string::npos)
+        return 0;
+    return static_cast<std::size_t>(
+        std::strtoull(label.c_str() + colon + 1, nullptr, 10));
+}
+
+/** Append protocol lines to the --save transcript (JSONL). */
+void
+appendTranscript(const std::string &path,
+                 const std::vector<std::string> &lines)
+{
+    std::FILE *file = std::fopen(path.c_str(), "a");
+    if (file == nullptr) {
+        raise(Error(ErrorCode::IoFailure,
+                    "cannot open transcript '" + path +
+                        "': " + std::strerror(errno)));
+    }
+    for (const std::string &line : lines)
+        std::fprintf(file, "%s\n", line.c_str());
+    std::fclose(file);
+}
+
+/**
+ * Submit one request to a running bpsim_serve daemon and report the
+ * reply: response cells print through the same report() path as
+ * local runs (so daemon and batch output are directly diffable), and
+ * --save appends the raw request/response JSONL lines for the
+ * `check_bench_json.py --schema service` validator.
+ */
+int
+cmdClient(int argc, char **argv)
+{
+    ArgParser args("bpsim_cli client");
+    args.addOption("socket", "bpsim.sock",
+                   "unix socket the daemon listens on");
+    args.addOption("op", "sweep",
+                   "operation: run/sweep/status/cancel/shutdown");
+    args.addOption("id", "",
+                   "request id echoed in the response (default: "
+                   "derived from the parameters)");
+    args.addOption("target", "",
+                   "request id to cancel (--op cancel)");
+    args.addOption("deadline-ms", "0",
+                   "cooperative deadline in ms; an expired request "
+                   "keeps its finished cells checkpointed for a "
+                   "resubmit (0 = none)");
+    args.addOption("fault", "",
+                   "fault-injection spec forwarded with the request "
+                   "(daemon must run with --allow-fault-inject)");
+    args.addOption("save", "",
+                   "append the request and response JSONL lines to "
+                   "this transcript (empty = disabled)");
+    args.addOption("program", "gcc",
+                   "synthetic workload to run "
+                   "(go/gcc/perl/m88ksim/compress/ijpeg)");
+    args.addOption("input", "ref", "input set: train or ref");
+    args.addOption("seed", "2000", "workload seed");
+    args.addOption("predictor", "gshare",
+                   "predictor kind (no size suffix)");
+    args.addOption("sizes", "8192", "comma-separated byte sizes");
+    args.addOption("scheme", "none",
+                   "static selection scheme: none/static_95/"
+                   "static_acc/static_fac/static_alias");
+    args.addOption("shift", "noshift",
+                   "history policy for static branches: "
+                   "noshift/shift/shiftpred");
+    args.addOption("branches", "2000000",
+                   "branches in the measured window");
+    args.addOption("warmup", "0", "unmeasured warmup branches");
+    args.addOption("profile-branches", "1000000",
+                   "branches simulated in the profiling phase");
+    args.addOption("profile-input", "",
+                   "input profiled in phase 1 (default: same as "
+                   "--input, i.e. self-trained)");
+    args.addOption("cutoff", "0.95", "Static_95 bias cutoff");
+    args.addFlag("filter-unstable",
+                 "apply the cross-training merge filter (5% rule)");
+    args.addFlag("csv", "emit one machine-readable CSV row per cell");
+    args.parse(argc, argv, 2);
+
+    service::ServiceRequest request;
+    Result<service::RequestKind> kind =
+        service::requestKindFromName(args.get("op"));
+    if (!kind.ok())
+        raise(std::move(kind.error()));
+    request.kind = kind.value();
+    request.deadlineMs = args.getUint("deadline-ms");
+    request.faultSpec = args.get("fault");
+    request.targetId = args.get("target");
+    request.sweep.program = args.get("program");
+    request.sweep.input = args.get("input");
+    request.sweep.seed = args.getUint("seed");
+    request.sweep.predictor = args.get("predictor");
+    request.sweep.sizes = parseSizes(args.get("sizes"));
+    request.sweep.scheme = args.get("scheme");
+    request.sweep.shift = args.get("shift");
+    request.sweep.evalBranches = args.getUint("branches");
+    request.sweep.warmupBranches = args.getUint("warmup");
+    request.sweep.profileBranches = args.getUint("profile-branches");
+    request.sweep.profileInput = args.get("profile-input");
+    request.sweep.cutoff = args.getDouble("cutoff");
+    request.sweep.filterUnstable = args.getFlag("filter-unstable");
+    request.id = args.get("id");
+    if (request.id.empty()) {
+        // Deterministic default so resubmitting the same command
+        // line correlates naturally in the daemon's journal.
+        request.id = args.get("op") + "-" + request.sweep.program +
+                     "-" + request.sweep.predictor + "-" +
+                     args.get("sizes") + "-" + request.sweep.scheme;
+    }
+
+    Result<service::ServiceClient> client =
+        service::ServiceClient::connect(args.get("socket"));
+    if (!client.ok())
+        raise(std::move(client.error()));
+    Result<service::ServiceResponse> reply =
+        client.value().call(request);
+    if (!reply.ok())
+        raise(std::move(reply.error()));
+    const service::ServiceResponse &response = reply.value();
+
+    if (!args.get("save").empty()) {
+        appendTranscript(args.get("save"),
+                         {service::renderRequest(request),
+                          service::renderResponse(response)});
+    }
+
+    if (!response.ok) {
+        const Error &failure = response.failure.has_value()
+                                   ? *response.failure
+                                   : Error(ErrorCode::Internal,
+                                           "daemon reported failure "
+                                           "without an error object");
+        std::fprintf(stderr,
+                     "bpsim_cli client: request '%s' failed: %s\n",
+                     response.id.c_str(),
+                     failure.describe().c_str());
+        if (response.retryAfterMs > 0) {
+            std::fprintf(stderr,
+                         "bpsim_cli client: retry after %llu ms\n",
+                         static_cast<unsigned long long>(
+                             response.retryAfterMs));
+        }
+        return failure.code() == ErrorCode::ConfigInvalid
+                   ? usageExitCode
+                   : 1;
+    }
+
+    if (request.kind == service::RequestKind::Status) {
+        std::printf("state=%s queue=%llu/%llu active=%llu "
+                    "completed=%llu rejected=%llu quarantined=%llu\n",
+                    response.state.c_str(),
+                    static_cast<unsigned long long>(
+                        response.queueDepth),
+                    static_cast<unsigned long long>(
+                        response.queueLimit),
+                    static_cast<unsigned long long>(response.active),
+                    static_cast<unsigned long long>(
+                        response.completed),
+                    static_cast<unsigned long long>(
+                        response.rejected),
+                    static_cast<unsigned long long>(
+                        response.quarantined));
+        return 0;
+    }
+    if (request.kind == service::RequestKind::Cancel ||
+        request.kind == service::RequestKind::Shutdown) {
+        std::printf("request '%s': ok\n", response.id.c_str());
+        return 0;
+    }
+
+    bool csv_header = false;
+    for (const CheckpointRecord &cell : response.cells) {
+        report(args, request.sweep.program, request.sweep.predictor,
+               bytesFromLabel(cell.label), request.sweep.scheme,
+               request.sweep.shift, cell.result.hintCount,
+               cell.result.stats, csv_header);
+    }
+    for (const service::CellFailure &failed : response.cellErrors) {
+        std::fprintf(stderr,
+                     "bpsim_cli client: cell '%s' failed: %s: %s\n",
+                     failed.label.c_str(), failed.code.c_str(),
+                     failed.message.c_str());
+    }
+    if (!args.getFlag("csv")) {
+        std::printf("request '%s': ok (executed=%llu restored=%llu "
+                    "failed=%llu fingerprint=%s)\n",
+                    response.id.c_str(),
+                    static_cast<unsigned long long>(
+                        response.executed),
+                    static_cast<unsigned long long>(
+                        response.restored),
+                    static_cast<unsigned long long>(response.failed),
+                    response.fingerprint.c_str());
+    }
+    return response.cellErrors.empty() ? 0 : 1;
+}
+
 int
 cmdList()
 {
     std::printf("programs:  ");
     for (const auto id : allSpecPrograms())
         std::printf("%s ", specProgramName(id).c_str());
-    std::printf("\npredictors (paper): ");
+    std::printf("\npredictors:\n");
     for (const PredictorInfo *info :
-         PredictorRegistry::instance().all())
-        if (info->paperKind)
-            std::printf("%s ", info->name.c_str());
-    std::printf("\npredictors (extensions): ");
-    for (const PredictorInfo *info :
-         PredictorRegistry::instance().all())
-        if (!info->paperKind)
-            std::printf("%s ", info->name.c_str());
-    std::printf("\n");
+         PredictorRegistry::instance().all()) {
+        std::printf("  %-12s %-6s default=%zuB kernel=%-3s "
+                    "batch=%-3s  %s\n",
+                    info->name.c_str(),
+                    info->paperKind ? "paper" : "ext",
+                    info->defaultBytes,
+                    info->kernelCapable ? "yes" : "no",
+                    info->batchCapable ? "yes" : "no",
+                    info->description.c_str());
+    }
     std::printf("schemes:   none static_95 static_acc static_fac "
                 "static_alias\n");
     std::printf("shifts:    noshift shift shiftpred\n");
@@ -634,6 +846,8 @@ main(int argc, char **argv)
             return cmdSweep(argc, argv);
         if (command == "merge")
             return cmdMerge(argc, argv);
+        if (command == "client")
+            return cmdClient(argc, argv);
         if (command == "list")
             return cmdList();
     } catch (const ErrorException &failure) {
@@ -644,7 +858,8 @@ main(int argc, char **argv)
                    : 1;
     }
     std::fprintf(stderr,
-                 "usage: bpsim_cli <run|sweep|merge|list> [options]\n"
+                 "usage: bpsim_cli <run|sweep|merge|client|list> "
+                 "[options]\n"
                  "       bpsim_cli run --help\n");
     return usageExitCode;
 }

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The bpsim service daemon: a long-lived experiment server over a
+ * Unix domain socket (see src/service/server.hh for the robustness
+ * model). Clients speak newline-delimited JSON — the repo's own
+ * `bpsim_cli client`, the service tests, or anything that can write
+ * a JSONL line to a socket.
+ *
+ *   bpsim_serve --socket /tmp/bpsim.sock --state-dir /tmp/bpsim-state
+ *
+ * SIGTERM/SIGINT begin a graceful drain: admission stops, the
+ * request in flight finishes and is checkpointed, queued requests
+ * are answered with resource_exhausted, the journal is flushed, and
+ * the process exits 0.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+
+#include <unistd.h>
+
+#include "service/server.hh"
+#include "support/args.hh"
+
+using namespace bpsim;
+
+namespace
+{
+
+/** Drain-pipe write end for the signal handler (write(2) is the
+ * only async-signal-safe thing the server exposes). */
+volatile int drain_fd = -1;
+
+extern "C" void
+onTermSignal(int)
+{
+    const char byte = 'd';
+    if (drain_fd >= 0)
+        (void)!::write(drain_fd, &byte, 1);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("bpsim_serve");
+    args.addOption("socket", "bpsim.sock",
+                   "unix socket path to listen on");
+    args.addOption("state-dir", "bpsim-state",
+                   "directory for request checkpoints and the "
+                   "quarantine list (created if absent)");
+    args.addOption("threads", "0",
+                   "runner worker threads per request (0 = "
+                   "hardware/BPSIM_THREADS)");
+    args.addOption("queue-limit", "8",
+                   "admitted requests allowed to wait before "
+                   "load-shedding");
+    args.addOption("quarantine-threshold", "3",
+                   "consecutive failing requests that quarantine a "
+                   "config fingerprint");
+    args.addOption("retry-after-ms", "250",
+                   "client back-off hint attached to shed requests");
+    args.addOption("journal", "",
+                   "write the service journal (JSONL + metrics) "
+                   "here on drain (empty = disabled)");
+    args.addFlag("allow-fault-inject",
+                 "honor per-request fault-injection specs (test/CI "
+                 "servers only)");
+    args.parse(argc, argv);
+
+    service::ServiceOptions options;
+    options.socketPath = args.get("socket");
+    options.stateDir = args.get("state-dir");
+    options.threads = static_cast<unsigned>(args.getUint("threads"));
+    options.queueLimit =
+        static_cast<std::size_t>(args.getUint("queue-limit"));
+    options.quarantineThreshold =
+        static_cast<unsigned>(args.getUint("quarantine-threshold"));
+    options.retryAfterMs = args.getUint("retry-after-ms");
+    options.journalPath = args.get("journal");
+    options.allowFaultInjection = args.getFlag("allow-fault-inject");
+
+    service::ServiceServer server(options);
+    const Result<void> started = server.start();
+    if (!started.ok()) {
+        std::fprintf(stderr, "bpsim_serve: %s\n",
+                     started.error().describe().c_str());
+        return 1;
+    }
+
+    drain_fd = server.drainFd();
+    struct sigaction action{};
+    action.sa_handler = onTermSignal;
+    sigemptyset(&action.sa_mask);
+    sigaction(SIGTERM, &action, nullptr);
+    sigaction(SIGINT, &action, nullptr);
+
+    std::printf("bpsim_serve: listening on %s (state: %s)\n",
+                options.socketPath.c_str(),
+                options.stateDir.c_str());
+    std::fflush(stdout);
+
+    server.waitUntilStopped();
+    const service::ServiceStats stats = server.stats();
+    std::printf("bpsim_serve: drained (completed=%llu failed=%llu "
+                "rejected=%llu)\n",
+                static_cast<unsigned long long>(stats.completed),
+                static_cast<unsigned long long>(stats.failed),
+                static_cast<unsigned long long>(stats.rejected));
+    return 0;
+}

@@ -122,6 +122,8 @@ ERROR_CODES = {
     "resource_exhausted",
     "cell_failed",
     "internal",
+    "cancelled",
+    "deadline_exceeded",
 }
 
 CELL_ERROR_OBJECT_REQUIRED = {
@@ -144,6 +146,11 @@ EVENT_KINDS = {
     "cache",
     "cache_corrupt",
     "run_end",
+    "request_begin",
+    "request_cell",
+    "request_end",
+    "request_rejected",
+    "service_state",
 }
 
 EVENT_REQUIRED = {
@@ -925,12 +932,243 @@ def check_merge_file(path):
           f"{data['matrix_cells']} matrix cells)")
 
 
+# --- service protocol (bpsim_serve / bpsim_cli client) ---------------
+
+SERVICE_REQUEST_SCHEMA_ID = "bpsim-request-v1"
+SERVICE_RESPONSE_SCHEMA_ID = "bpsim-response-v1"
+
+SERVICE_OPS = {"run", "sweep", "status", "cancel", "shutdown",
+               "subscribe"}
+
+SERVICE_STATES = {"listening", "draining", "stopped"}
+
+SERVICE_REJECT_REASONS = {"malformed", "draining", "quarantined",
+                          "duplicate_id", "queue_full"}
+
+SERVICE_OUTCOMES = ERROR_CODES | {"ok"}
+
+SERVICE_REQUEST_REQUIRED = {
+    "schema": str,
+    "id": str,
+    "op": str,
+}
+
+SERVICE_SWEEP_REQUIRED = {
+    "program": str,
+    "input": str,
+    "seed": int,
+    "predictor": str,
+    "sizes": list,
+    "scheme": str,
+    "shift": str,
+    "eval_branches": int,
+    "warmup_branches": int,
+    "profile_branches": int,
+    "profile_input": str,
+    "cutoff": (int, float),
+    "filter_unstable": bool,
+}
+
+SERVICE_RESPONSE_REQUIRED = {
+    "schema": str,
+    "id": str,
+    "ok": bool,
+}
+
+SERVICE_ERROR_REQUIRED = {
+    "code": str,
+    "message": str,
+}
+
+REQUEST_BEGIN_REQUIRED = {
+    "fingerprint": str,
+    "op": str,
+    "cells": int,
+    "deadline_ms": int,
+}
+
+REQUEST_CELL_REQUIRED = {
+    "cell": int,
+    "ok": bool,
+    "restored": bool,
+}
+
+REQUEST_END_REQUIRED = {
+    "outcome": str,
+    "fingerprint": str,
+    "executed": int,
+    "restored": int,
+    "failed": int,
+}
+
+
+def check_service_request(path, obj, where):
+    check_fields(path, obj, SERVICE_REQUEST_REQUIRED, where)
+    if obj["op"] not in SERVICE_OPS:
+        fail(path, f"{where}: unknown op '{obj['op']}'")
+    if not obj["id"]:
+        fail(path, f"{where}: empty request id")
+    if obj["op"] in ("run", "sweep"):
+        sweep = obj.get("sweep")
+        if not isinstance(sweep, dict):
+            fail(path, f"{where}: {obj['op']} request without a "
+                       f"sweep object")
+        check_fields(path, sweep, SERVICE_SWEEP_REQUIRED,
+                     f"{where}: sweep")
+        if not sweep["sizes"]:
+            fail(path, f"{where}: sweep has no sizes")
+        for size in sweep["sizes"]:
+            if isinstance(size, bool) or not isinstance(size, int) \
+                    or size <= 0:
+                fail(path, f"{where}: sweep size '{size}' is not a "
+                           f"positive integer")
+        if sweep["scheme"] not in KNOWN_SCHEMES:
+            fail(path, f"{where}: unknown scheme "
+                       f"'{sweep['scheme']}'")
+        if sweep["predictor"] not in KNOWN_PREDICTORS:
+            fail(path, f"{where}: unknown predictor "
+                       f"'{sweep['predictor']}'")
+    if obj["op"] == "cancel" and not obj.get("target"):
+        fail(path, f"{where}: cancel request without a target")
+
+
+def check_service_response(path, obj, where):
+    check_fields(path, obj, SERVICE_RESPONSE_REQUIRED, where)
+    if not obj["ok"]:
+        error = obj.get("error")
+        if not isinstance(error, dict):
+            fail(path, f"{where}: failed response without an error "
+                       f"object")
+        check_fields(path, error, SERVICE_ERROR_REQUIRED,
+                     f"{where}: error")
+        if error["code"] not in ERROR_CODES:
+            fail(path, f"{where}: unknown error code "
+                       f"'{error['code']}'")
+    if "retry_after_ms" in obj:
+        check_fields(path, obj, {"retry_after_ms": int}, where)
+    if "state" in obj and obj["state"] not in SERVICE_STATES:
+        fail(path, f"{where}: unknown daemon state '{obj['state']}'")
+    cells = obj.get("cells", [])
+    if not isinstance(cells, list):
+        fail(path, f"{where}: cells must be a list")
+    for index, cell in enumerate(cells):
+        cell_where = f"{where}: cells[{index}]"
+        if not isinstance(cell, dict):
+            fail(path, f"{cell_where}: must be an object")
+        check_fields(path, cell, CHECKPOINT_REQUIRED, cell_where)
+        if cell["schema"] != CHECKPOINT_SCHEMA_ID:
+            fail(path, f"{cell_where}: schema '{cell['schema']}' != "
+                       f"'{CHECKPOINT_SCHEMA_ID}'")
+        check_cell_label(path, cell["label"], cell_where)
+    if "executed" in obj and "restored" in obj:
+        # Response cells are read back from the request checkpoint:
+        # everything executed or restored is in it, failures are not.
+        if len(cells) != obj["executed"] + obj["restored"]:
+            fail(path, f"{where}: {len(cells)} cells != executed "
+                       f"{obj['executed']} + restored "
+                       f"{obj['restored']}")
+    for index, cell_error in enumerate(obj.get("cell_errors", [])):
+        err_where = f"{where}: cell_errors[{index}]"
+        if not isinstance(cell_error, dict):
+            fail(path, f"{err_where}: must be an object")
+        check_fields(path, cell_error,
+                     {"label": str, "code": str, "message": str},
+                     err_where)
+        if cell_error["code"] not in ERROR_CODES:
+            fail(path, f"{err_where}: unknown error code "
+                       f"'{cell_error['code']}'")
+
+
+def check_service_event(path, obj, where):
+    check_fields(path, obj, EVENT_REQUIRED, where)
+    kind = obj["event"]
+    if kind not in EVENT_KINDS:
+        fail(path, f"{where}: unknown event kind '{kind}'")
+    if kind == "service_state":
+        if obj["label"] not in SERVICE_STATES:
+            fail(path, f"{where}: unknown service state "
+                       f"'{obj['label']}'")
+    elif kind == "request_begin":
+        check_fields(path, obj, REQUEST_BEGIN_REQUIRED, where)
+        if obj["op"] not in SERVICE_OPS:
+            fail(path, f"{where}: unknown op '{obj['op']}'")
+    elif kind == "request_cell":
+        check_fields(path, obj, REQUEST_CELL_REQUIRED, where)
+        if "code" in obj and obj["code"] not in ERROR_CODES:
+            fail(path, f"{where}: unknown error code '{obj['code']}'")
+    elif kind == "request_end":
+        check_fields(path, obj, REQUEST_END_REQUIRED, where)
+        if obj["outcome"] not in SERVICE_OUTCOMES:
+            fail(path, f"{where}: unknown outcome "
+                       f"'{obj['outcome']}'")
+    elif kind == "request_rejected":
+        check_fields(path, obj, {"reason": str}, where)
+        if obj["reason"] not in SERVICE_REJECT_REASONS:
+            fail(path, f"{where}: unknown reject reason "
+                       f"'{obj['reason']}'")
+
+
+def check_service_file(path):
+    """Validate a service-mode JSONL stream.
+
+    Accepts any mix of protocol lines (a `bpsim_cli client --save`
+    transcript) and service journal events (a bpsim_serve --journal
+    file or a subscriber capture), dispatching per line on the
+    "schema"/"event" keys.
+    """
+    try:
+        with open(path, encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    except OSError as error:
+        fail(path, f"cannot read: {error}")
+
+    requests = responses = events = 0
+    begun = ended = 0
+    for number, line in enumerate(lines, start=1):
+        where = f"line {number}"
+        if not line.strip():
+            fail(path, f"{where}: blank line in JSONL stream")
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as error:
+            fail(path, f"{where}: not valid JSON: {error}")
+        if not isinstance(obj, dict):
+            fail(path, f"{where}: line must be an object")
+        schema = obj.get("schema")
+        if schema == SERVICE_REQUEST_SCHEMA_ID:
+            check_service_request(path, obj, where)
+            requests += 1
+        elif schema == SERVICE_RESPONSE_SCHEMA_ID:
+            check_service_response(path, obj, where)
+            responses += 1
+        elif "event" in obj:
+            check_service_event(path, obj, where)
+            events += 1
+            if obj["event"] == "request_begin":
+                begun += 1
+            elif obj["event"] == "request_end":
+                ended += 1
+        else:
+            fail(path, f"{where}: neither a protocol line nor a "
+                       f"journal event")
+
+    if requests + responses + events == 0:
+        fail(path, "service stream is empty")
+    if ended > begun:
+        fail(path, f"{ended} request_end events > {begun} "
+                   f"request_begin events")
+
+    print(f"{path}: ok ({requests} requests, {responses} responses, "
+          f"{events} journal events)")
+
+
 CHECKERS = {
     "runner": check_runner_file,
     "journal": check_journal_file,
     "metrics": check_metrics_file,
     "checkpoint": check_checkpoint_file,
     "merge": check_merge_file,
+    "service": check_service_file,
 }
 
 
