@@ -37,6 +37,15 @@ constexpr Count profileBranches = 1'000'000;
  */
 constexpr double seedBaselineSeconds = 3.5;
 
+/**
+ * One-thread wall time of the fig_multicontext matrix on the
+ * reference container. Scenario cells run the record-at-a-time
+ * engine with per-branch attribution attached (the dense-profile
+ * SIMD kernel bypasses the tag path the attribution reads), so this
+ * baseline is measured on that path, not the batch kernels.
+ */
+constexpr double multicontextBaselineSeconds = 13.5;
+
 /** Shared experiment defaults. */
 inline ExperimentConfig
 baseConfig(PredictorKind kind, std::size_t size_bytes,

@@ -60,7 +60,7 @@ shardOfFingerprint(const std::string &fingerprint,
 }
 
 std::string
-cellFingerprint(const SyntheticProgram &program,
+cellFingerprint(const WorkloadSource &program,
                 const ExperimentConfig &config)
 {
     const std::string predictor = predictorIdentityOf(config);
@@ -82,6 +82,12 @@ cellFingerprint(const SyntheticProgram &program,
        << config.selection.minExecutions << ","
        << fingerprintDouble(config.selection.aliasCutoffBias) << ","
        << fingerprintDouble(config.selection.aliasMinCollisionRate);
+    // Scenario cells carry per-context bookkeeping a plain cell
+    // lacks, so they never resume from (or shadow) a non-scenario
+    // record of the same sweep axes. Plain cells keep the historical
+    // suffix-free form: old checkpoints stay resumable.
+    if (config.scenarioContexts > 0)
+        os << "|ctx" << config.scenarioContexts;
     return os.str();
 }
 
@@ -193,6 +199,41 @@ SweepCheckpoint::load()
         record.usedSimd =
             simd != nullptr && simd->isBool() && simd->asBool();
         record.phaseBranches = countField(object, "phase_branches");
+        // Optional scenario payload (absent on plain cells and on
+        // checkpoints that predate scenarios).
+        const JsonValue *contexts = object.find("contexts");
+        if (contexts != nullptr && contexts->isArray()) {
+            for (const JsonValue &entry : contexts->items()) {
+                if (!entry.isArray() || entry.items().size() != 5)
+                    continue;
+                const std::vector<JsonValue> &v = entry.items();
+                ContextStats ctx;
+                ctx.branches = static_cast<Count>(v[0].asNumber());
+                ctx.instructions =
+                    static_cast<Count>(v[1].asNumber());
+                ctx.mispredictions =
+                    static_cast<Count>(v[2].asNumber());
+                ctx.staticPredicted =
+                    static_cast<Count>(v[3].asNumber());
+                ctx.collisions = static_cast<Count>(v[4].asNumber());
+                record.result.contextStats.push_back(ctx);
+            }
+        }
+        const JsonValue *matrix = object.find("alias_matrix");
+        if (matrix != nullptr && matrix->isArray()) {
+            for (const JsonValue &entry : matrix->items()) {
+                if (!entry.isArray() || entry.items().size() != 3)
+                    continue;
+                const std::vector<JsonValue> &v = entry.items();
+                ContextAliasCell cell;
+                cell.collisions = static_cast<Count>(v[0].asNumber());
+                cell.constructive =
+                    static_cast<Count>(v[1].asNumber());
+                cell.destructive =
+                    static_cast<Count>(v[2].asNumber());
+                record.result.aliasMatrix.push_back(cell);
+            }
+        }
 
         const auto [it, inserted] =
             index.try_emplace(record.fingerprint, records.size());
@@ -227,7 +268,35 @@ SweepCheckpoint::renderLine(const CheckpointRecord &record)
        << record.result.simulatedBranches
        << ", \"kernel\": " << (record.usedKernel ? "true" : "false")
        << ", \"simd\": " << (record.usedSimd ? "true" : "false")
-       << ", \"phase_branches\": " << record.phaseBranches << "}";
+       << ", \"phase_branches\": " << record.phaseBranches;
+    // Scenario cells append their per-context stats and interference
+    // matrix so a restored cell is bit-identical to an executed one.
+    // Plain cells keep the historical line format byte-for-byte.
+    if (!record.result.contextStats.empty()) {
+        os << ", \"contexts\": [";
+        for (std::size_t i = 0;
+             i < record.result.contextStats.size(); ++i) {
+            const ContextStats &ctx = record.result.contextStats[i];
+            os << (i == 0 ? "" : ", ") << "[" << ctx.branches << ", "
+               << ctx.instructions << ", " << ctx.mispredictions
+               << ", " << ctx.staticPredicted << ", "
+               << ctx.collisions << "]";
+        }
+        os << "]";
+    }
+    if (!record.result.aliasMatrix.empty()) {
+        os << ", \"alias_matrix\": [";
+        for (std::size_t i = 0; i < record.result.aliasMatrix.size();
+             ++i) {
+            const ContextAliasCell &cell =
+                record.result.aliasMatrix[i];
+            os << (i == 0 ? "" : ", ") << "[" << cell.collisions
+               << ", " << cell.constructive << ", "
+               << cell.destructive << "]";
+        }
+        os << "]";
+    }
+    os << "}";
     return os.str();
 }
 

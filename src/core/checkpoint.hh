@@ -30,7 +30,7 @@
 
 #include "core/experiment.hh"
 #include "support/error.hh"
-#include "workload/synthetic_program.hh"
+#include "workload/workload_source.hh"
 
 namespace bpsim
 {
@@ -113,7 +113,7 @@ struct CheckpointRecord
  * with no key the cell is unfingerprintable and returns "" (the
  * runner then runs it unconditionally and never checkpoints it).
  */
-std::string cellFingerprint(const SyntheticProgram &program,
+std::string cellFingerprint(const WorkloadSource &program,
                             const ExperimentConfig &config);
 
 /**

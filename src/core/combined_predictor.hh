@@ -70,6 +70,12 @@ class CombinedPredictor : public BranchPredictor
     void clearCollisionStats() override;
     Count lastPredictCollisions() const override;
 
+    void
+    attachAliasSink(ContextAliasSink *sink) override
+    {
+        dynamic->attachAliasSink(sink);
+    }
+
     /** True when the most recent prediction came from a hint. */
     bool lastWasStatic() const { return staticActive; }
 

@@ -133,7 +133,19 @@ evalSimOptions(const ExperimentConfig &config)
     options.maxBranches = config.evalBranches;
     options.warmupBranches = config.evalWarmupBranches;
     options.counters = config.counters;
-    options.simd = config.simd;
+    // Scenario cells must run record-at-a-time: the SIMD dense-profile
+    // kernels bypass the per-lookup tag path the alias sink observes.
+    options.simd = config.simd && config.scenarioContexts == 0;
+    return options;
+}
+
+SimOptions
+evalSimOptions(const ExperimentConfig &config,
+               const PreparedEvaluation &prepared)
+{
+    SimOptions options = evalSimOptions(config);
+    if (prepared.evalProfile != nullptr)
+        options.profile = prepared.evalProfile.get();
     return options;
 }
 
@@ -312,13 +324,21 @@ prepareEvaluationReplay(const ReplayBuffer *profile_buffer,
     prepared.hintCount = hints.size();
     prepared.combined = std::make_unique<CombinedPredictor>(
         makeDynamicComponent(config), std::move(hints), config.shift);
+
+    if (config.scenarioContexts > 0) {
+        prepared.evalProfile = std::make_unique<ProfileDb>();
+        prepared.aliasSink =
+            std::make_unique<ContextAliasSink>(config.scenarioContexts);
+        prepared.combined->attachAliasSink(prepared.aliasSink.get());
+    }
     return prepared;
 }
 
 ExperimentResult
 finishPreparedEvaluation(const PreparedEvaluation &prepared,
                          const ExperimentConfig &config,
-                         const SimStats &eval_stats)
+                         const SimStats &eval_stats,
+                         const ReplayBuffer *eval_buffer)
 {
     ExperimentResult result;
     result.stats = eval_stats;
@@ -330,6 +350,55 @@ finishPreparedEvaluation(const PreparedEvaluation &prepared,
     result.simulatedBranches = prepared.preEvalBranches +
                                config.evalWarmupBranches +
                                eval_stats.branches;
+
+    if (config.scenarioContexts > 0 &&
+        prepared.evalProfile != nullptr) {
+        const std::size_t n = config.scenarioContexts;
+        result.contextStats.assign(n, ContextStats{});
+
+        // Branch/instruction ownership: the context id rides in the
+        // PC's high bits, so a single pass over the measured window
+        // attributes both exactly.
+        if (eval_buffer != nullptr) {
+            const Count begin = config.evalWarmupBranches;
+            const Count end = begin + eval_stats.branches;
+            BranchRecord record;
+            for (Count i = begin; i < end; ++i) {
+                eval_buffer->get(i, record);
+                const std::size_t ctx = contextOfPc(record.pc);
+                if (ctx >= n)
+                    continue;
+                ++result.contextStats[ctx].branches;
+                result.contextStats[ctx].instructions += record.instGap;
+            }
+        }
+
+        // Misprediction/collision ownership from the per-branch
+        // profile: hinted branches mispredict exactly when the
+        // outcome opposes the hint (the engine records only their
+        // outcomes); dynamic branches carry prediction and collision
+        // counts directly.
+        for (const auto &[pc, prof] :
+             prepared.evalProfile->entries()) {
+            const std::size_t ctx = contextOfPc(pc);
+            if (ctx >= n)
+                continue;
+            ContextStats &stats = result.contextStats[ctx];
+            bool hint_taken = false;
+            if (prepared.combined->hintDb().lookup(pc, hint_taken)) {
+                stats.staticPredicted += prof.executed;
+                stats.mispredictions += hint_taken
+                                            ? prof.executed - prof.taken
+                                            : prof.taken;
+            } else {
+                stats.mispredictions += prof.predicted - prof.correct;
+                stats.collisions += prof.collisions;
+            }
+        }
+
+        if (prepared.aliasSink != nullptr)
+            result.aliasMatrix = prepared.aliasSink->cells();
+    }
     return result;
 }
 
@@ -343,9 +412,10 @@ runEvaluationReplay(const ReplayBuffer &eval_buffer,
         nullptr, eval_buffer, config, profile_phase);
     const SimStats stats =
         simulateReplay(*prepared.combined, eval_buffer,
-                       evalSimOptions(config), used_fast_path,
+                       evalSimOptions(config, prepared), used_fast_path,
                        used_simd);
-    return finishPreparedEvaluation(prepared, config, stats);
+    return finishPreparedEvaluation(prepared, config, stats,
+                                    &eval_buffer);
 }
 
 ExperimentResult
@@ -379,12 +449,14 @@ runExperimentReplay(const ReplayBuffer *profile_buffer,
     bool eval_simd = false;
     const SimStats stats =
         simulateReplay(*prepared.combined, eval_buffer,
-                       evalSimOptions(config), &eval_fast, &eval_simd);
+                       evalSimOptions(config, prepared), &eval_fast,
+                       &eval_simd);
     if (used_fast_path != nullptr)
         *used_fast_path = prepared.preEvalFastPath && eval_fast;
     if (used_simd != nullptr)
         *used_simd = prepared.preEvalSimd && eval_simd;
-    return finishPreparedEvaluation(prepared, config, stats);
+    return finishPreparedEvaluation(prepared, config, stats,
+                                    &eval_buffer);
 }
 
 std::vector<FusedProfileOutcome>

@@ -19,6 +19,7 @@
 #include "core/combined_predictor.hh"
 #include "core/engine.hh"
 #include "core/sim_stats.hh"
+#include "predictor/context_alias.hh"
 #include "predictor/factory.hh"
 #include "profile/profile_db.hh"
 #include "staticsel/selection.hh"
@@ -131,6 +132,18 @@ struct ExperimentConfig
     bool simd = true;
 
     /**
+     * Number of contexts in the cell's workload when it is a
+     * multi-context scenario (scenario/scenario.hh), 0 for ordinary
+     * single-program cells. When positive, the evaluation attaches a
+     * per-branch profile and a ContextAliasSink so the result carries
+     * per-context statistics and the NxN interference matrix; the
+     * evaluation also runs record-at-a-time (SIMD batch variants
+     * off), since the dense-profile kernels bypass the tag path the
+     * sink observes. Aggregate stats stay bit-identical.
+     */
+    std::size_t scenarioContexts = 0;
+
+    /**
      * Fail-fast validation: returns a config_invalid Error naming the
      * offending field when the config cannot run (non-power-of-two
      * table budget, zero-length streams, out-of-range tunables).
@@ -205,6 +218,32 @@ std::vector<FusedProfileOutcome> runProfilePhasesFusedReplay(
     const std::vector<const ExperimentConfig *> &configs,
     const SiteIndex *sites = nullptr);
 
+/**
+ * Evaluation-window statistics of one context of a multi-context
+ * scenario. Sums over all contexts reproduce the corresponding
+ * SimStats totals exactly (pinned by test_scenario.cc).
+ */
+struct ContextStats
+{
+    /** Measured branches owned by the context. */
+    Count branches = 0;
+
+    /** Instructions represented by those branches. */
+    Count instructions = 0;
+
+    /** Mispredictions (static- and dynamic-predicted). */
+    Count mispredictions = 0;
+
+    /** Branches resolved by a static hint. */
+    Count staticPredicted = 0;
+
+    /** Table collisions at the context's dynamic lookups. */
+    Count collisions = 0;
+
+    /** Mispredictions per thousand instructions. */
+    double mispKi() const { return perKilo(mispredictions, instructions); }
+};
+
 /** Outcome of one experiment. */
 struct ExperimentResult
 {
@@ -217,6 +256,16 @@ struct ExperimentResult
     /** Branches simulated across all phases (profiling, stability
      * filtering, evaluation) — the experiment's total work. */
     Count simulatedBranches = 0;
+
+    /** Per-context statistics; config.scenarioContexts entries for
+     * scenario cells, empty otherwise. */
+    std::vector<ContextStats> contextStats;
+
+    /** Row-major scenarioContexts^2 interference matrix: cell
+     * [victim * n + aggressor] counts the victim context's lookups
+     * that collided with state last touched by the aggressor, split
+     * constructive/destructive. Empty for non-scenario cells. */
+    std::vector<ContextAliasCell> aliasMatrix;
 };
 
 /**
@@ -288,6 +337,16 @@ struct PreparedEvaluation
      * SIMD-dispatch kernels (vacuously true when no profiling
      * simulation ran here). */
     bool preEvalSimd = true;
+
+    /**
+     * Scenario instrumentation (config.scenarioContexts > 0 only):
+     * the evaluation run records its per-branch profile here, and the
+     * sink — already attached to the combined predictor's tables —
+     * gathers the per-context-pair collision matrix. Both feed
+     * finishPreparedEvaluation()'s per-context derivation.
+     */
+    std::unique_ptr<ProfileDb> evalProfile;
+    std::unique_ptr<ContextAliasSink> aliasSink;
 };
 
 /**
@@ -306,13 +365,26 @@ PreparedEvaluation prepareEvaluationReplay(
 SimOptions evalSimOptions(const ExperimentConfig &config);
 
 /**
+ * Evaluation-phase SimOptions of a specific PreparedEvaluation:
+ * evalSimOptions(config) plus the scenario instrumentation —
+ * attaches @p prepared's eval profile and disables the SIMD batch
+ * variants for scenario cells. Use this form whenever the prepared
+ * evaluation is at hand (the fused executor does).
+ */
+SimOptions evalSimOptions(const ExperimentConfig &config,
+                          const PreparedEvaluation &prepared);
+
+/**
  * Assemble the ExperimentResult of an executed evaluation:
  * @p eval_stats from simulating prepared.combined under
- * evalSimOptions(config) over the evaluation buffer.
+ * evalSimOptions(config, prepared) over the evaluation buffer.
+ * @p eval_buffer is only read for scenario cells (per-context
+ * branch/instruction attribution scans the measured window); it may
+ * be null otherwise.
  */
 ExperimentResult finishPreparedEvaluation(
     const PreparedEvaluation &prepared, const ExperimentConfig &config,
-    const SimStats &eval_stats);
+    const SimStats &eval_stats, const ReplayBuffer *eval_buffer = nullptr);
 
 /**
  * Full experiment over materialized traces. Uses @p cached_profile

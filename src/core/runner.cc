@@ -446,7 +446,7 @@ ExperimentRunner::fingerprintOf(std::size_t index)
         fingerprintMemo.resize(cells.size());
     if (!fingerprintMemo[index].has_value()) {
         fingerprintMemo[index] = cellFingerprint(
-            programs[cells[index].programIndex], cells[index].config);
+            *programs[cells[index].programIndex], cells[index].config);
     }
     return *fingerprintMemo[index];
 }
@@ -469,17 +469,25 @@ ExperimentRunner::cellInShard(std::size_t index)
 std::size_t
 ExperimentRunner::addProgram(SyntheticProgram program)
 {
-    programs.push_back(std::move(program));
+    return addWorkload(
+        std::make_unique<SyntheticProgram>(std::move(program)));
+}
+
+std::size_t
+ExperimentRunner::addWorkload(std::unique_ptr<WorkloadSource> workload)
+{
+    bpsim_assert(workload != nullptr, "null workload registered");
+    programs.push_back(std::move(workload));
     demand.push_back({});
     buffers.emplace_back();
     return programs.size() - 1;
 }
 
-const SyntheticProgram &
+const WorkloadSource &
 ExperimentRunner::program(std::size_t index) const
 {
     bpsim_assert(index < programs.size(), "program index out of range");
-    return programs[index];
+    return *programs[index];
 }
 
 std::size_t
@@ -505,7 +513,7 @@ ExperimentRunner::addCell(std::size_t program_index,
     cell.config.simd = cell.config.simd && options.simd;
     if (label.empty()) {
         const std::string identity = predictorIdentityOf(config);
-        label = programs[program_index].name() + "/" +
+        label = programs[program_index]->name() + "/" +
                 (identity.empty()
                      ? predictorKindName(config.kind) + ":" +
                            std::to_string(config.sizeBytes)
@@ -600,7 +608,7 @@ ExperimentRunner::materialize()
     const auto start = std::chrono::steady_clock::now();
     taskPool.parallelFor(pending.size(), [&](std::size_t i) {
         const std::size_t p = pending[i];
-        faultPoint(fault_points::materialize, programs[p].name());
+        faultPoint(fault_points::materialize, programs[p]->name());
         for (unsigned input = 0; input < numInputSets; ++input) {
             const Count needed = plan[p][input];
             const ReplayBuffer *existing = buffers[p][input].get();
@@ -609,8 +617,8 @@ ExperimentRunner::materialize()
                 continue;
             std::string key;
             if (cache != nullptr) {
-                key = replayArtifactKey(programs[p].name(),
-                                        programs[p].seedValue(),
+                key = replayArtifactKey(programs[p]->name(),
+                                        programs[p]->seedValue(),
                                         input, needed);
                 auto lookup = cache->loadReplay(key);
                 if (!lookup.ok()) {
@@ -624,7 +632,7 @@ ExperimentRunner::materialize()
                         journal->record(
                             obs::EventKind::CacheCorrupt,
                             TaskPool::currentWorkerIndex(),
-                            programs[p].name(),
+                            programs[p]->name(),
                             {obs::Field::str("artifact", "replay"),
                              obs::Field::str("key", key)});
                     }
@@ -635,7 +643,7 @@ ExperimentRunner::materialize()
                         journal->record(
                             obs::EventKind::Cache,
                             TaskPool::currentWorkerIndex(),
-                            programs[p].name(),
+                            programs[p]->name(),
                             {obs::Field::str("artifact", "replay"),
                              obs::Field::str("op", "hit"),
                              obs::Field::u64(
@@ -645,9 +653,9 @@ ExperimentRunner::materialize()
                     continue;
                 }
             }
-            programs[p].setInput(static_cast<InputSet>(input));
+            programs[p]->setInput(static_cast<InputSet>(input));
             buffers[p][input] = std::make_unique<ReplayBuffer>(
-                ReplayBuffer::materialize(programs[p], needed));
+                ReplayBuffer::materialize(*programs[p], needed));
             if (cache != nullptr) {
                 auto stored =
                     cache->storeReplay(key, *buffers[p][input]);
@@ -662,7 +670,7 @@ ExperimentRunner::materialize()
                     journal->record(
                         obs::EventKind::Cache,
                         TaskPool::currentWorkerIndex(),
-                        programs[p].name(),
+                        programs[p]->name(),
                         {obs::Field::str("artifact", "replay"),
                          obs::Field::str("op", "store"),
                          obs::Field::u64(
@@ -972,8 +980,8 @@ ExperimentRunner::run()
         for (const std::size_t j : phase_exec) {
             const ProfileTask &task = profile_tasks[j];
             const ExperimentConfig &config = *task.config;
-            const SyntheticProgram &program =
-                programs[task.programIndex];
+            const WorkloadSource &program =
+                *programs[task.programIndex];
             const std::string identity = predictorIdentityOf(config);
             phase_disk_keys[j] = profileArtifactKey(
                 program.name(), program.seedValue(),
@@ -1053,7 +1061,7 @@ ExperimentRunner::run()
         return slot.index.get();
     };
     const auto groupLabel = [&](const FusedGroupPlan &chunk) {
-        return programs[chunk.programIndex].name() + "/" +
+        return programs[chunk.programIndex]->name() + "/" +
                inputSetName(chunk.input);
     };
 
@@ -1065,7 +1073,7 @@ ExperimentRunner::run()
     const auto runFusedProfileChunk = [&](const FusedGroupPlan
                                               &chunk) {
         const std::string &program_name =
-            programs[chunk.programIndex].name();
+            programs[chunk.programIndex]->name();
         std::vector<std::size_t> live;
         for (const std::size_t j : chunk.members) {
             if (cancelled()) {
@@ -1179,7 +1187,7 @@ ExperimentRunner::run()
     const auto runProfilePhaseSolo = [&](std::size_t j) {
         const ProfileTask &task = profile_tasks[j];
         const std::string &program_name =
-            programs[task.programIndex].name();
+            programs[task.programIndex]->name();
         if (cancelled()) {
             phase_errors[j] =
                 Error(ErrorCode::Cancelled,
@@ -1271,7 +1279,7 @@ ExperimentRunner::run()
                 journal->record(
                     obs::EventKind::Cache,
                     TaskPool::currentWorkerIndex(),
-                    programs[profile_tasks[j].programIndex].name(),
+                    programs[profile_tasks[j].programIndex]->name(),
                     {obs::Field::str("artifact", "profile"),
                      obs::Field::str("op", "store"),
                      obs::Field::u64("branches",
@@ -1362,6 +1370,44 @@ ExperimentRunner::run()
              obs::Field::u64("destructive",
                              stats.collisions.destructive),
              obs::Field::u64("neutral", neutral)});
+
+        // Scenario cells add a compact multi-context summary: the
+        // cross- vs self-context split of the attributed collisions.
+        // The full NxN matrix is runner/bench JSON payload, not a
+        // journal event.
+        const std::vector<ContextAliasCell> &matrix =
+            out.result.aliasMatrix;
+        const std::size_t contexts =
+            cells[i].config.scenarioContexts;
+        if (contexts == 0 ||
+            matrix.size() != contexts * contexts)
+            return;
+        Count cross_collisions = 0;
+        Count cross_destructive = 0;
+        Count self_collisions = 0;
+        Count self_destructive = 0;
+        for (std::size_t victim = 0; victim < contexts; ++victim) {
+            for (std::size_t aggr = 0; aggr < contexts; ++aggr) {
+                const ContextAliasCell &entry =
+                    matrix[victim * contexts + aggr];
+                if (victim == aggr) {
+                    self_collisions += entry.collisions;
+                    self_destructive += entry.destructive;
+                } else {
+                    cross_collisions += entry.collisions;
+                    cross_destructive += entry.destructive;
+                }
+            }
+        }
+        journal->record(
+            obs::EventKind::ScenarioCell,
+            TaskPool::currentWorkerIndex(), cells[i].label,
+            {obs::Field::u64("cell", i),
+             obs::Field::u64("contexts", contexts),
+             obs::Field::u64("collisions_cross", cross_collisions),
+             obs::Field::u64("destructive_cross", cross_destructive),
+             obs::Field::u64("collisions_self", self_collisions),
+             obs::Field::u64("destructive_self", self_destructive)});
     };
 
     // Persist before the journal event: a kill between the two can
@@ -1613,8 +1659,8 @@ ExperimentRunner::run()
         std::vector<FusedSim> sims(live.size());
         for (std::size_t k = 0; k < live.size(); ++k) {
             sims[k].predictor = live[k].prepared.combined.get();
-            sims[k].options =
-                evalSimOptions(cells[live[k].index].config);
+            sims[k].options = evalSimOptions(
+                cells[live[k].index].config, live[k].prepared);
         }
         ScopedTimer pass_timer(timers, "runner.fused_pass");
         unsigned pass_attempts = 0;
@@ -1661,7 +1707,8 @@ ExperimentRunner::run()
             const std::size_t i = live[k].index;
             CellResult &out = result.cells[i];
             out.result = finishPreparedEvaluation(
-                live[k].prepared, cells[i].config, sims[k].stats);
+                live[k].prepared, cells[i].config, sims[k].stats,
+                &eval_buffer);
             out.attempts = live[k].attempts + pass_attempts - 1;
             out.profileCached = live[k].cached;
             const bool fast = live[k].prepared.preEvalFastPath &&
@@ -1880,6 +1927,66 @@ writeRunnerJson(const std::string &path, const std::string &bench,
             std::fprintf(file, ", \"restored\": true");
         if (cell.shardSkipped)
             std::fprintf(file, ", \"shard_skipped\": true");
+        // Scenario cells carry the per-context breakdown and the
+        // full NxN interference matrix (victim-major order).
+        if (meta.config.scenarioContexts > 0 &&
+            !cell.result.contextStats.empty()) {
+            const std::size_t contexts =
+                cell.result.contextStats.size();
+            std::fprintf(file,
+                         ", \"scenario\": true, \"contexts\": %zu",
+                         contexts);
+            std::fprintf(file, ", \"context_stats\": [");
+            for (std::size_t c = 0; c < contexts; ++c) {
+                const ContextStats &ctx =
+                    cell.result.contextStats[c];
+                std::fprintf(
+                    file,
+                    "%s{\"context\": %zu, \"branches\": %llu, "
+                    "\"instructions\": %llu, "
+                    "\"mispredictions\": %llu, \"misp_ki\": %.6f, "
+                    "\"static_predicted\": %llu, "
+                    "\"collisions\": %llu}",
+                    c == 0 ? "" : ", ", c,
+                    static_cast<unsigned long long>(ctx.branches),
+                    static_cast<unsigned long long>(
+                        ctx.instructions),
+                    static_cast<unsigned long long>(
+                        ctx.mispredictions),
+                    ctx.mispKi(),
+                    static_cast<unsigned long long>(
+                        ctx.staticPredicted),
+                    static_cast<unsigned long long>(
+                        ctx.collisions));
+            }
+            std::fprintf(file, "]");
+            if (cell.result.aliasMatrix.size() ==
+                contexts * contexts) {
+                std::fprintf(file, ", \"interference\": [");
+                for (std::size_t v = 0; v < contexts; ++v) {
+                    for (std::size_t a = 0; a < contexts; ++a) {
+                        const ContextAliasCell &pair =
+                            cell.result
+                                .aliasMatrix[v * contexts + a];
+                        std::fprintf(
+                            file,
+                            "%s{\"victim\": %zu, "
+                            "\"aggressor\": %zu, "
+                            "\"collisions\": %llu, "
+                            "\"constructive\": %llu, "
+                            "\"destructive\": %llu}",
+                            v == 0 && a == 0 ? "" : ", ", v, a,
+                            static_cast<unsigned long long>(
+                                pair.collisions),
+                            static_cast<unsigned long long>(
+                                pair.constructive),
+                            static_cast<unsigned long long>(
+                                pair.destructive));
+                    }
+                }
+                std::fprintf(file, "]");
+            }
+        }
         if (!cell.ok()) {
             std::fprintf(
                 file,

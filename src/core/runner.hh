@@ -45,6 +45,7 @@
 #include "support/error.hh"
 #include "trace/replay_buffer.hh"
 #include "workload/synthetic_program.hh"
+#include "workload/workload_source.hh"
 
 namespace bpsim
 {
@@ -475,8 +476,17 @@ class ExperimentRunner
     /** Register @p program; returns its index. */
     std::size_t addProgram(SyntheticProgram program);
 
-    /** Registered program (valid between cells/buffer queries). */
-    const SyntheticProgram &program(std::size_t index) const;
+    /**
+     * Register any workload (a ScenarioWorkload, a custom stream);
+     * returns its index. A multi-context scenario registers exactly
+     * like a program — one workload, one stream, one buffer per
+     * input — so fused grouping, the artifact cache, checkpointing
+     * and sharding compose with scenarios structurally.
+     */
+    std::size_t addWorkload(std::unique_ptr<WorkloadSource> workload);
+
+    /** Registered workload (valid between cells/buffer queries). */
+    const WorkloadSource &program(std::size_t index) const;
 
     std::size_t programCount() const { return programs.size(); }
 
@@ -545,7 +555,7 @@ class ExperimentRunner
 
     RunnerOptions options;
     TaskPool taskPool;
-    std::vector<SyntheticProgram> programs;
+    std::vector<std::unique_ptr<WorkloadSource>> programs;
     std::vector<MatrixCell> cells;
 
     /** Explicit requireBuffer() demands; cell demands are folded in

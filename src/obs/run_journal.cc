@@ -50,6 +50,8 @@ eventKindName(EventKind kind)
         return "cell_error";
       case EventKind::FusedGroup:
         return "fused_group";
+      case EventKind::ScenarioCell:
+        return "scenario_cell";
       case EventKind::Cache:
         return "cache";
       case EventKind::CacheCorrupt:
@@ -285,6 +287,7 @@ RunJournal::summary() const
             break;
           case EventKind::Cache:
           case EventKind::CacheCorrupt:
+          case EventKind::ScenarioCell:
           case EventKind::RequestBegin:
           case EventKind::RequestCell:
           case EventKind::RequestEnd:

@@ -54,6 +54,10 @@ enum class EventKind
     CellError,    ///< cell failed: error code, message, attempts
     FusedGroup,   ///< one fused pass executed: membership, timing,
                   ///< per-cell branch/misprediction snapshots
+    ScenarioCell, ///< multi-context summary of a scenario cell:
+                  ///< context count, cross- vs self-context collision
+                  ///< and destructive totals (the full NxN matrix
+                  ///< goes to the runner/bench JSON, not the journal)
     Cache,        ///< artifact-cache traffic: a replay buffer or
                   ///< profile phase was served from / stored to the
                   ///< content-addressed cache

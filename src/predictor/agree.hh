@@ -55,6 +55,12 @@ class Agree : public BranchPredictor
     void clearCollisionStats() override;
     Count lastPredictCollisions() const override;
 
+    void
+    attachAliasSink(ContextAliasSink *sink) override
+    {
+        table.setAliasSink(sink);
+    }
+
     /** Number of branches with an assigned bias bit. */
     std::size_t biasBitCount() const { return biasBits.size(); }
 

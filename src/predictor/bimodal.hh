@@ -44,6 +44,12 @@ class Bimodal : public BranchPredictor
     void clearCollisionStats() override;
     Count lastPredictCollisions() const override;
 
+    void
+    attachAliasSink(ContextAliasSink *sink) override
+    {
+        table.setAliasSink(sink);
+    }
+
     /** Non-virtual predict(). */
     template <bool Track>
     bool

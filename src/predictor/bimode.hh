@@ -51,6 +51,14 @@ class BiMode : public BranchPredictor
     void clearCollisionStats() override;
     Count lastPredictCollisions() const override;
 
+    void
+    attachAliasSink(ContextAliasSink *sink) override
+    {
+        choice.setAliasSink(sink);
+        takenTable.setAliasSink(sink);
+        notTakenTable.setAliasSink(sink);
+    }
+
     /** Non-virtual predict(). */
     template <bool Track>
     bool

@@ -13,6 +13,7 @@
 #include "support/logging.hh"
 #include "support/sat_counter.hh"
 #include "support/types.hh"
+#include "predictor/context_alias.hh"
 #include "predictor/predictor.hh"
 
 namespace bpsim
@@ -152,6 +153,8 @@ class CounterTable
             const bool collided = tag != invalidTag && tag != pc;
             collisionStats.collisions += collided;
             pendingCollisions += collided;
+            if (collided && aliasSink != nullptr)
+                aliasSink->note(pc, tag);
             tags[index] = pc;
         } else {
             (void)pc;
@@ -191,6 +194,8 @@ class CounterTable
         collisionStats.constructive += correct ? pendingCollisions : 0;
         collisionStats.destructive += correct ? 0 : pendingCollisions;
         pendingCollisions = 0;
+        if (aliasSink != nullptr)
+            aliasSink->classify(correct);
     }
 
     /** Reset every counter (and tag) to the power-on state. */
@@ -203,7 +208,20 @@ class CounterTable
     Count pending() const { return pendingCollisions; }
 
     /** Zero the collision statistics. */
-    void clearStats() { collisionStats = CollisionStats{}; }
+    void
+    clearStats()
+    {
+        collisionStats = CollisionStats{};
+        if (aliasSink != nullptr)
+            aliasSink->clear();
+    }
+
+    /**
+     * Route per-context collision attribution into @p sink (null
+     * detaches). Shared by all tables of one predictor; the pooled
+     * flush protocol is documented on ContextAliasSink.
+     */
+    void setAliasSink(ContextAliasSink *sink) { aliasSink = sink; }
 
     /**
      * @name Raw structure-of-arrays access for the batch kernels
@@ -223,6 +241,7 @@ class CounterTable
     std::vector<std::uint8_t> counters;
     std::vector<Addr> tags;
     CollisionStats collisionStats;
+    ContextAliasSink *aliasSink = nullptr;
     Count pendingCollisions = 0;
     std::size_t idxMask = 0;
     BitCount counterBits;

@@ -45,6 +45,12 @@ class Ghist : public BranchPredictor
     void clearCollisionStats() override;
     Count lastPredictCollisions() const override;
 
+    void
+    attachAliasSink(ContextAliasSink *sink) override
+    {
+        table.setAliasSink(sink);
+    }
+
     /** History length in use (== index width). */
     BitCount historyBits() const { return table.indexBits(); }
 

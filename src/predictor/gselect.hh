@@ -43,6 +43,12 @@ class Gselect : public BranchPredictor
     void clearCollisionStats() override;
     Count lastPredictCollisions() const override;
 
+    void
+    attachAliasSink(ContextAliasSink *sink) override
+    {
+        table.setAliasSink(sink);
+    }
+
     /** History bits participating in the index. */
     BitCount historyBits() const { return history.width(); }
 

@@ -48,6 +48,12 @@ class Gshare : public BranchPredictor
     void clearCollisionStats() override;
     Count lastPredictCollisions() const override;
 
+    void
+    attachAliasSink(ContextAliasSink *sink) override
+    {
+        table.setAliasSink(sink);
+    }
+
     /** History length in use. */
     BitCount historyBits() const { return history.width(); }
 

@@ -65,6 +65,13 @@ class HashedPerceptron : public BranchPredictor
     void clearCollisionStats() override;
     Count lastPredictCollisions() const override;
 
+    void
+    attachAliasSink(ContextAliasSink *sink) override
+    {
+        for (CounterTable &table : tables)
+            table.setAliasSink(sink);
+    }
+
     /** Non-virtual predict(): sign of the selected-weight sum. */
     template <bool Track>
     bool

@@ -28,6 +28,8 @@ namespace bpsim
  */
 template <typename Predictor> struct BatchTraits;
 
+class ContextAliasSink;
+
 /**
  * Aliasing statistics, maintained exactly as §5 of the paper defines:
  * a per-counter tag holds the PC of the last branch to use the
@@ -115,6 +117,19 @@ class BranchPredictor
      * work.
      */
     virtual Count lastPredictCollisions() const { return 0; }
+
+    /**
+     * Route per-context-pair collision attribution into @p sink
+     * (null detaches). Implementations forward the sink to every
+     * component CounterTable; predictors without tagged counter
+     * tables ignore it, reporting no attribution. Only meaningful
+     * under tracked (record-at-a-time) simulation — the runner
+     * disables batch kernels for scenario cells.
+     */
+    virtual void attachAliasSink(ContextAliasSink *sink)
+    {
+        (void)sink;
+    }
 };
 
 } // namespace bpsim

@@ -77,6 +77,14 @@ class Tage : public BranchPredictor
     void clearCollisionStats() override;
     Count lastPredictCollisions() const override;
 
+    void
+    attachAliasSink(ContextAliasSink *sink) override
+    {
+        base.setAliasSink(sink);
+        for (Bank &bank : banks)
+            bank.pred.setAliasSink(sink);
+    }
+
     /** Non-virtual predict(); see class comment. */
     template <bool Track>
     bool

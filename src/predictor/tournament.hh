@@ -45,6 +45,14 @@ class Tournament : public BranchPredictor
     void clearCollisionStats() override;
     Count lastPredictCollisions() const override;
 
+    void
+    attachAliasSink(ContextAliasSink *sink) override
+    {
+        localCounters.setAliasSink(sink);
+        global.setAliasSink(sink);
+        choice.setAliasSink(sink);
+    }
+
     /** Entries in the per-branch local history table. */
     std::size_t localHistoryEntries() const
     {

@@ -66,6 +66,15 @@ class TwoBcGskew : public BranchPredictor
     void clearCollisionStats() override;
     Count lastPredictCollisions() const override;
 
+    void
+    attachAliasSink(ContextAliasSink *sink) override
+    {
+        bim.setAliasSink(sink);
+        g0.setAliasSink(sink);
+        g1.setAliasSink(sink);
+        meta.setAliasSink(sink);
+    }
+
     /** Configured history lengths (G0, G1, meta). */
     BitCount histG0Bits() const { return histG0; }
     BitCount histG1Bits() const { return histG1; }

@@ -53,6 +53,12 @@ class Yags : public BranchPredictor
     void clearCollisionStats() override;
     Count lastPredictCollisions() const override;
 
+    void
+    attachAliasSink(ContextAliasSink *sink) override
+    {
+        choice.setAliasSink(sink);
+    }
+
     /** Entries in each exception cache. */
     std::size_t cacheEntries() const { return takenCache.size(); }
 

@@ -187,6 +187,46 @@ parseRecordObject(const JsonValue &object, std::size_t index)
     Result<void> parsed = reader.done();
     if (!parsed.ok())
         return std::move(parsed.error());
+    // Optional scenario payload (per-context stats + NxN matrix),
+    // same compact-array form the checkpoint file uses.
+    if (const JsonValue *contexts = object.find("contexts");
+        contexts != nullptr && contexts->isArray()) {
+        for (const JsonValue &entry : contexts->items()) {
+            if (!entry.isArray() || entry.items().size() != 5)
+                continue;
+            const std::vector<JsonValue> &v = entry.items();
+            bool numeric = true;
+            for (const JsonValue &element : v)
+                numeric = numeric && element.isNumber();
+            if (!numeric)
+                continue;
+            ContextStats ctx;
+            ctx.branches = static_cast<Count>(v[0].asNumber());
+            ctx.instructions = static_cast<Count>(v[1].asNumber());
+            ctx.mispredictions = static_cast<Count>(v[2].asNumber());
+            ctx.staticPredicted = static_cast<Count>(v[3].asNumber());
+            ctx.collisions = static_cast<Count>(v[4].asNumber());
+            record.result.contextStats.push_back(ctx);
+        }
+    }
+    if (const JsonValue *matrix = object.find("alias_matrix");
+        matrix != nullptr && matrix->isArray()) {
+        for (const JsonValue &entry : matrix->items()) {
+            if (!entry.isArray() || entry.items().size() != 3)
+                continue;
+            const std::vector<JsonValue> &v = entry.items();
+            bool numeric = true;
+            for (const JsonValue &element : v)
+                numeric = numeric && element.isNumber();
+            if (!numeric)
+                continue;
+            ContextAliasCell cell;
+            cell.collisions = static_cast<Count>(v[0].asNumber());
+            cell.constructive = static_cast<Count>(v[1].asNumber());
+            cell.destructive = static_cast<Count>(v[2].asNumber());
+            record.result.aliasMatrix.push_back(cell);
+        }
+    }
     return record;
 }
 
@@ -326,7 +366,18 @@ renderRequest(const ServiceRequest &request)
            << ", \"profile_input\": " << jsonQuote(sweep.profileInput)
            << ", \"cutoff\": " << renderDouble(sweep.cutoff)
            << ", \"filter_unstable\": "
-           << (sweep.filterUnstable ? "true" : "false") << "}";
+           << (sweep.filterUnstable ? "true" : "false");
+        if (!sweep.scenario.empty()) {
+            os << ", \"scenario\": " << jsonQuote(sweep.scenario)
+               << ", \"programs\": [";
+            for (std::size_t i = 0; i < sweep.programs.size(); ++i) {
+                os << (i > 0 ? ", " : "")
+                   << jsonQuote(sweep.programs[i]);
+            }
+            os << "], \"quantum\": " << sweep.quantum
+               << ", \"zipf\": " << renderDouble(sweep.zipf);
+        }
+        os << "}";
     }
     os << "}";
     return os.str();
@@ -448,9 +499,28 @@ parseRequest(const std::string &line)
         sweep_reader.str("profile_input", spec.profileInput);
         sweep_reader.number("cutoff", spec.cutoff);
         sweep_reader.boolean("filter_unstable", spec.filterUnstable);
+        sweep_reader.str("scenario", spec.scenario);
+        sweep_reader.count("quantum", spec.quantum);
+        sweep_reader.number("zipf", spec.zipf);
         Result<void> sweep_fields = sweep_reader.done();
         if (!sweep_fields.ok())
             return std::move(sweep_fields.error());
+        if (const JsonValue *members = sweep->find("programs");
+            members != nullptr) {
+            if (!members->isArray()) {
+                return Error(ErrorCode::ConfigInvalid,
+                             "sweep 'programs' must be an array of "
+                             "program names");
+            }
+            for (const JsonValue &member : members->items()) {
+                if (!member.isString()) {
+                    return Error(ErrorCode::ConfigInvalid,
+                                 "sweep 'programs' must be an array "
+                                 "of program names");
+                }
+                spec.programs.push_back(member.asString());
+            }
+        }
 
         const JsonValue *sizes = sweep->find("sizes");
         if (sizes == nullptr || !sizes->isArray() ||
@@ -612,8 +682,36 @@ compileSweep(const SweepSpec &spec)
     }
 
     CompiledSweep compiled;
-    compiled.program.emplace(
-        makeSpecProgram(program.value(), input.value(), spec.seed));
+    std::size_t scenario_contexts = 0;
+    if (!spec.scenario.empty()) {
+        Result<ScenarioKind> kind = parseScenarioKind(spec.scenario);
+        if (!kind.ok())
+            return std::move(kind.error());
+        if (spec.programs.empty()) {
+            return Error(ErrorCode::ConfigInvalid,
+                         "scenario sweeps need a non-empty "
+                         "'programs' member list");
+        }
+        std::vector<SyntheticProgram> members;
+        for (const std::string &name : spec.programs) {
+            Result<SpecProgram> member = parseProgramName(name);
+            if (!member.ok())
+                return std::move(member.error());
+            members.push_back(makeSpecProgram(
+                member.value(), input.value(), spec.seed));
+        }
+        ScenarioSpec scenario_spec;
+        scenario_spec.kind = kind.value();
+        scenario_spec.quantum = spec.quantum;
+        scenario_spec.zipfExponent = spec.zipf;
+        scenario_contexts = members.size();
+        compiled.program = std::make_unique<ScenarioWorkload>(
+            scenario_spec, std::move(members));
+    } else {
+        compiled.program = std::make_unique<SyntheticProgram>(
+            makeSpecProgram(program.value(), input.value(),
+                            spec.seed));
+    }
 
     std::string joined = "svc1";
     for (const std::size_t bytes : spec.sizes) {
@@ -629,6 +727,7 @@ compileSweep(const SweepSpec &spec)
         config.evalInput = input.value();
         config.profileInput = profile_input;
         config.filterUnstable = spec.filterUnstable;
+        config.scenarioContexts = scenario_contexts;
 
         const std::string label = compiled.program->name() + "/" +
                                   config.predictor + ":" +

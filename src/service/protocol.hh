@@ -26,12 +26,14 @@
 #define BPSIM_SERVICE_PROTOCOL_HH
 
 #include <cstddef>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "core/checkpoint.hh"
 #include "core/experiment.hh"
+#include "scenario/scenario.hh"
 #include "support/error.hh"
 #include "workload/specint.hh"
 #include "workload/synthetic_program.hh"
@@ -81,6 +83,21 @@ struct SweepSpec
     std::string profileInput;
     double cutoff = 0.95;
     bool filterUnstable = false;
+
+    /** Multi-context scenario kind ("smt"/"ctxsw"/"server"); empty =
+     * plain single-program cell. */
+    std::string scenario;
+
+    /** Member program names when scenario is set (context id =
+     * position; each member is built with this spec's input and
+     * seed, like `program` is for a plain cell). */
+    std::vector<std::string> programs;
+
+    /** Context-switch quantum in branches (scenario "ctxsw"). */
+    Count quantum = 20'000;
+
+    /** Zipf exponent of the tenant skew (scenario "server"). */
+    double zipf = 1.2;
 };
 
 /** One parsed request line. */
@@ -180,10 +197,10 @@ Result<ShiftPolicy> parseShiftName(const std::string &name);
 /** A validated sweep, ready to hand to the matrix runner. */
 struct CompiledSweep
 {
-    /** The synthetic workload the cells run on (always engaged on a
-     * successful compileSweep(); optional only because the program
-     * type is move-only with no default construction). */
-    std::optional<SyntheticProgram> program;
+    /** The workload the cells run on: a SyntheticProgram for plain
+     * sweeps, a ScenarioWorkload when the spec names a scenario.
+     * Always non-null after a successful compileSweep(). */
+    std::unique_ptr<WorkloadSource> program;
 
     /** One config per requested size, in request order. */
     std::vector<ExperimentConfig> configs;

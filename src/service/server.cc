@@ -392,7 +392,7 @@ ServiceServer::executeJob(const std::shared_ptr<Job> &job)
 
         ExperimentRunner runner(runner_options);
         const std::size_t program_index =
-            runner.addProgram(std::move(*job->compiled.program));
+            runner.addWorkload(std::move(job->compiled.program));
         for (std::size_t i = 0; i < job->compiled.configs.size();
              ++i) {
             runner.addCell(program_index, job->compiled.configs[i],

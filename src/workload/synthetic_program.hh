@@ -18,14 +18,14 @@
 
 #include "support/error.hh"
 #include "support/random.hh"
-#include "trace/branch_stream.hh"
 #include "workload/cfg.hh"
+#include "workload/workload_source.hh"
 
 namespace bpsim
 {
 
 /** A runnable synthetic program. The stream never ends; bound it. */
-class SyntheticProgram : public BranchStream
+class SyntheticProgram : public WorkloadSource
 {
   public:
     /**
@@ -49,16 +49,16 @@ class SyntheticProgram : public BranchStream
     void reset() override;
 
     /** Switch input set (also resets execution state). */
-    void setInput(InputSet input);
+    void setInput(InputSet input) override;
 
     /** Current input set. */
-    InputSet input() const { return currentInput; }
+    InputSet input() const override { return currentInput; }
 
     /** Program name. */
-    const std::string &name() const { return programName; }
+    const std::string &name() const override { return programName; }
 
     /** Run seed (with the name, the program's checkpoint identity). */
-    std::uint64_t seedValue() const { return seed; }
+    std::uint64_t seedValue() const override { return seed; }
 
     /** Number of static conditional branches in the program. */
     std::size_t staticBranchCount() const;

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The runner-facing workload abstraction: a named, seeded, replayable
+ * branch stream with selectable input sets.
+ *
+ * Everything the experiment runner needs from a workload — a stable
+ * name and seed for fingerprints and artifact-cache keys, input-set
+ * switching for cross-training, and the BranchStream protocol for
+ * materialization — lives here, so single programs (SyntheticProgram)
+ * and multi-context scenario interleaves (ScenarioWorkload) are
+ * interchangeable matrix entries: fused grouping, the profile cache,
+ * checkpoint fingerprints, sharding and service mode all key on this
+ * interface and compose with any implementation.
+ */
+
+#ifndef BPSIM_WORKLOAD_WORKLOAD_SOURCE_HH
+#define BPSIM_WORKLOAD_WORKLOAD_SOURCE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "trace/branch_stream.hh"
+#include "workload/cfg.hh"
+
+namespace bpsim
+{
+
+/** A named, seeded branch stream the runner can own and replay. */
+class WorkloadSource : public BranchStream
+{
+  public:
+    ~WorkloadSource() override = default;
+
+    /**
+     * Stable workload name. Together with seedValue() this is the
+     * workload's identity in checkpoint fingerprints and artifact
+     * cache keys, so it must encode every stream-affecting parameter
+     * (scenario implementations fold their interleave spec in).
+     */
+    virtual const std::string &name() const = 0;
+
+    /** Run seed (the other half of the checkpoint identity). */
+    virtual std::uint64_t seedValue() const = 0;
+
+    /** Switch input set (also resets execution state). */
+    virtual void setInput(InputSet input) = 0;
+
+    /** Current input set. */
+    virtual InputSet input() const = 0;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_WORKLOAD_WORKLOAD_SOURCE_HH

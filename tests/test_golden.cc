@@ -34,6 +34,7 @@
 #include "core/experiment.hh"
 #include "predictor/factory.hh"
 #include "predictor/registry.hh"
+#include "scenario/scenario.hh"
 #include "staticsel/selection.hh"
 #include "support/atomic_file.hh"
 #include "support/json.hh"
@@ -371,6 +372,312 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::ValuesIn(PredictorRegistry::instance().names()),
     [](const ::testing::TestParamInfo<std::string> &info) {
         // gtest parameter names must be alphanumeric/underscore.
+        std::string name = info.param;
+        for (char &c : name)
+            if (std::isalnum(static_cast<unsigned char>(c)) == 0)
+                c = '_';
+        return name;
+    });
+
+/*
+ * Scenario goldens: for every registered predictor, one SMT and one
+ * context-switch interleave of two pinned member programs sharing the
+ * predictor, with the per-context attribution and the victim x
+ * aggressor alias matrix pinned alongside the shared totals. Any
+ * change to the interleave schedule, the context PC encoding, or the
+ * attribution arithmetic shows up here as an exact-value diff.
+ *
+ * Regeneration works exactly like the plain goldens
+ * (BPSIM_WRITE_GOLDEN=1); files land as tests/golden/scenario_*.json.
+ */
+
+constexpr std::size_t scenarioGoldenContexts = 2;
+constexpr Count scenarioGoldenQuantum = 5'000;
+
+const std::vector<ScenarioKind> scenarioGoldenKinds = {
+    ScenarioKind::Smt,
+    ScenarioKind::ContextSwitch,
+};
+
+const std::vector<StaticScheme> scenarioGoldenSchemes = {
+    StaticScheme::None,
+    StaticScheme::Static95,
+};
+
+/**
+ * The two pinned tenants. Member 0 is the plain golden workload;
+ * member 1 reshapes it (and reseeds) so the interleave genuinely
+ * mixes two different branch populations rather than two clones.
+ */
+ProgramConfig
+scenarioMemberConfig(std::size_t context)
+{
+    ProgramConfig cfg = goldenProgramConfig();
+    if (context == 1) {
+        cfg.name = "golden_b";
+        cfg.seed = 0xb01d; // "bold"; arbitrary but pinned forever
+        cfg.fracHighBias = 0.30;
+        cfg.loopDensity = 0.20;
+        cfg.meanTripCount = 20;
+    }
+    return cfg;
+}
+
+ScenarioSpec
+scenarioGoldenSpec(ScenarioKind kind)
+{
+    ScenarioSpec spec;
+    spec.kind = kind;
+    spec.quantum = scenarioGoldenQuantum;
+    return spec;
+}
+
+/** Scenario cell key inside the golden file ("smt/none", ...). */
+std::string
+scenarioCellKey(ScenarioKind kind, StaticScheme scheme)
+{
+    return scenarioKindName(kind) + "/" + staticSchemeName(scheme);
+}
+
+struct ScenarioGoldenCell
+{
+    GoldenStats totals;
+    std::vector<ContextStats> contexts;
+    std::vector<ContextAliasCell> matrix;
+};
+
+ScenarioGoldenCell
+scenarioCellFromResult(const ExperimentResult &result)
+{
+    ScenarioGoldenCell cell;
+    cell.totals = fromResult(result);
+    cell.contexts = result.contextStats;
+    cell.matrix = result.aliasMatrix;
+    return cell;
+}
+
+ScenarioGoldenCell
+scenarioCellFromJson(const JsonValue &cell)
+{
+    ScenarioGoldenCell g;
+    g.totals = fromJson(cell);
+    for (const JsonValue &ctx : cell.at("contexts").items()) {
+        ContextStats stats;
+        stats.branches = jsonCount(ctx, "branches");
+        stats.instructions = jsonCount(ctx, "instructions");
+        stats.mispredictions = jsonCount(ctx, "mispredictions");
+        stats.staticPredicted = jsonCount(ctx, "static_predicted");
+        stats.collisions = jsonCount(ctx, "collisions");
+        g.contexts.push_back(stats);
+    }
+    for (const JsonValue &entry : cell.at("alias_matrix").items()) {
+        const std::vector<JsonValue> &triple = entry.items();
+        ContextAliasCell alias;
+        alias.collisions = static_cast<Count>(triple[0].asNumber());
+        alias.constructive = static_cast<Count>(triple[1].asNumber());
+        alias.destructive = static_cast<Count>(triple[2].asNumber());
+        g.matrix.push_back(alias);
+    }
+    return g;
+}
+
+void
+expectMatchesScenarioGolden(const ScenarioGoldenCell &golden,
+                            const ScenarioGoldenCell &got,
+                            const std::string &path)
+{
+    expectMatchesGolden(golden.totals, got.totals, path);
+    SCOPED_TRACE(path);
+    ASSERT_EQ(golden.contexts.size(), got.contexts.size());
+    for (std::size_t c = 0; c < golden.contexts.size(); ++c) {
+        EXPECT_EQ(golden.contexts[c].branches,
+                  got.contexts[c].branches)
+            << "context " << c;
+        EXPECT_EQ(golden.contexts[c].instructions,
+                  got.contexts[c].instructions)
+            << "context " << c;
+        EXPECT_EQ(golden.contexts[c].mispredictions,
+                  got.contexts[c].mispredictions)
+            << "context " << c;
+        EXPECT_EQ(golden.contexts[c].staticPredicted,
+                  got.contexts[c].staticPredicted)
+            << "context " << c;
+        EXPECT_EQ(golden.contexts[c].collisions,
+                  got.contexts[c].collisions)
+            << "context " << c;
+    }
+    ASSERT_EQ(golden.matrix.size(), got.matrix.size());
+    for (std::size_t i = 0; i < golden.matrix.size(); ++i) {
+        EXPECT_EQ(golden.matrix[i].collisions, got.matrix[i].collisions)
+            << "matrix cell " << i;
+        EXPECT_EQ(golden.matrix[i].constructive,
+                  got.matrix[i].constructive)
+            << "matrix cell " << i;
+        EXPECT_EQ(golden.matrix[i].destructive,
+                  got.matrix[i].destructive)
+            << "matrix cell " << i;
+    }
+}
+
+void
+writeScenarioGoldenFile(const std::string &name,
+                        const std::vector<ScenarioGoldenCell> &cells)
+{
+    const std::string path = goldenPath(name);
+    std::ostringstream out;
+    out << "{\n";
+    out << "  \"schema\": \"bpsim-golden-v1\",\n";
+    out << "  \"predictor\": \"" << name << "\",\n";
+    out << "  \"size_bytes\": " << goldenSizeBytes << ",\n";
+    out << "  \"profile_branches\": " << goldenProfileBranches
+        << ",\n";
+    out << "  \"eval_branches\": " << goldenEvalBranches << ",\n";
+    out << "  \"cells\": {\n";
+    std::size_t index = 0;
+    for (const ScenarioKind kind : scenarioGoldenKinds) {
+        for (const StaticScheme scheme : scenarioGoldenSchemes) {
+            const ScenarioGoldenCell &g = cells[index++];
+            out << "    \"" << scenarioCellKey(kind, scheme)
+                << "\": {\n";
+            out << "      \"branches\": " << g.totals.branches
+                << ",\n";
+            out << "      \"instructions\": " << g.totals.instructions
+                << ",\n";
+            out << "      \"mispredictions\": "
+                << g.totals.mispredictions << ",\n";
+            out << "      \"misp_ki\": "
+                << formatDouble(g.totals.mispKi) << ",\n";
+            out << "      \"static_predicted\": "
+                << g.totals.staticPredicted << ",\n";
+            out << "      \"static_mispredictions\": "
+                << g.totals.staticMispredictions << ",\n";
+            out << "      \"hints\": " << g.totals.hints << ",\n";
+            out << "      \"simulated_branches\": "
+                << g.totals.simulatedBranches << ",\n";
+            out << "      \"lookups\": " << g.totals.lookups << ",\n";
+            out << "      \"collisions\": " << g.totals.collisions
+                << ",\n";
+            out << "      \"constructive\": " << g.totals.constructive
+                << ",\n";
+            out << "      \"destructive\": " << g.totals.destructive
+                << ",\n";
+            out << "      \"contexts\": [\n";
+            for (std::size_t c = 0; c < g.contexts.size(); ++c) {
+                const ContextStats &ctx = g.contexts[c];
+                out << "        {\"branches\": " << ctx.branches
+                    << ", \"instructions\": " << ctx.instructions
+                    << ", \"mispredictions\": " << ctx.mispredictions
+                    << ", \"static_predicted\": "
+                    << ctx.staticPredicted
+                    << ", \"collisions\": " << ctx.collisions << "}"
+                    << (c + 1 < g.contexts.size() ? "," : "") << "\n";
+            }
+            out << "      ],\n";
+            out << "      \"alias_matrix\": [\n";
+            for (std::size_t i = 0; i < g.matrix.size(); ++i) {
+                out << "        [" << g.matrix[i].collisions << ", "
+                    << g.matrix[i].constructive << ", "
+                    << g.matrix[i].destructive << "]"
+                    << (i + 1 < g.matrix.size() ? "," : "") << "\n";
+            }
+            out << "      ]\n";
+            const bool last = index == cells.size();
+            out << "    }" << (last ? "" : ",") << "\n";
+        }
+    }
+    out << "  }\n";
+    out << "}\n";
+    const Result<void> written = writeFileAtomic(path, out.str());
+    ASSERT_TRUE(written.ok())
+        << "write failed for " << path << ": "
+        << (written.ok() ? "" : written.error().describe());
+}
+
+/**
+ * One scenario golden per registered predictor, mirroring GoldenTest.
+ * The replay path carries the attribution payload; the virtual stream
+ * path computes no attribution but must agree with it on every shared
+ * total, which pins the two paths to each other over the interleaved
+ * stream too.
+ */
+class ScenarioGoldenTest : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(ScenarioGoldenTest, PinsAttributionAndTotals)
+{
+    const PredictorInfo *info =
+        PredictorRegistry::instance().find(GetParam());
+    ASSERT_NE(info, nullptr);
+    const std::string name = "scenario_" + info->goldenFile;
+
+    std::vector<ScenarioGoldenCell> cells;
+    std::vector<GoldenStats> stream_totals;
+    for (const ScenarioKind kind : scenarioGoldenKinds) {
+        std::vector<SyntheticProgram> members;
+        for (std::size_t c = 0; c < scenarioGoldenContexts; ++c)
+            members.push_back(buildProgram(scenarioMemberConfig(c),
+                                           InputSet::Ref));
+        ScenarioWorkload workload(scenarioGoldenSpec(kind),
+                                  std::move(members));
+        const ReplayBuffer buffer = ReplayBuffer::materialize(
+            workload,
+            std::max(goldenProfileBranches, goldenEvalBranches));
+
+        for (const StaticScheme scheme : scenarioGoldenSchemes) {
+            ExperimentConfig config = goldenExperimentConfig(
+                PredictorKind::Gshare, scheme);
+            config.predictor = info->name;
+            config.scenarioContexts = scenarioGoldenContexts;
+
+            const ExperimentResult replayed =
+                runExperimentReplay(&buffer, buffer, config);
+            cells.push_back(scenarioCellFromResult(replayed));
+
+            ReplayBuffer::Cursor profile_stream = buffer.cursor();
+            ReplayBuffer::Cursor eval_stream = buffer.cursor();
+            const ExperimentResult streamed = runExperimentStreams(
+                profile_stream, eval_stream, config);
+            stream_totals.push_back(fromResult(streamed));
+        }
+    }
+
+    // Path agreement on the shared totals, golden or not.
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        expectMatchesGolden(cells[i].totals, stream_totals[i],
+                            name + " cell " + std::to_string(i) +
+                                " (paths)");
+
+    if (std::getenv("BPSIM_WRITE_GOLDEN") != nullptr) {
+        writeScenarioGoldenFile(name, cells);
+        return;
+    }
+
+    const std::string path = goldenPath(name);
+    ASSERT_TRUE(std::ifstream(path).good())
+        << path << " missing; regenerate with BPSIM_WRITE_GOLDEN=1";
+    const JsonValue golden = JsonValue::parseFile(path);
+    EXPECT_EQ(golden.at("schema").asString(), "bpsim-golden-v1");
+    EXPECT_EQ(golden.at("predictor").asString(), name);
+
+    const JsonValue &golden_cells = golden.at("cells");
+    std::size_t index = 0;
+    for (const ScenarioKind kind : scenarioGoldenKinds) {
+        for (const StaticScheme scheme : scenarioGoldenSchemes) {
+            const std::string key = scenarioCellKey(kind, scheme);
+            const JsonValue *cell = golden_cells.find(key);
+            ASSERT_NE(cell, nullptr)
+                << "no golden cell for " << key << " in " << path;
+            expectMatchesScenarioGolden(scenarioCellFromJson(*cell),
+                                        cells[index++], key);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, ScenarioGoldenTest,
+    ::testing::ValuesIn(PredictorRegistry::instance().names()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
         std::string name = info.param;
         for (char &c : name)
             if (std::isalnum(static_cast<unsigned char>(c)) == 0)

@@ -118,8 +118,8 @@ runDirect(const service::SweepSpec &spec)
     RunnerOptions options;
     options.threads = 1;
     ExperimentRunner runner(options);
-    const std::size_t program = runner.addProgram(
-        std::move(*compiled.value().program));
+    const std::size_t program = runner.addWorkload(
+        std::move(compiled.value().program));
     for (std::size_t i = 0; i < compiled.value().configs.size(); ++i) {
         runner.addCell(program, compiled.value().configs[i],
                        compiled.value().labels[i]);

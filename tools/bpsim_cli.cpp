@@ -39,6 +39,7 @@
 #include "core/simd.hh"
 #include "obs/run_journal.hh"
 #include "predictor/registry.hh"
+#include "scenario/scenario.hh"
 #include "service/client.hh"
 #include "service/protocol.hh"
 #include "support/args.hh"
@@ -209,6 +210,24 @@ addCommonOptions(ArgParser &args)
                    "write the structured run journal (JSONL) to this "
                    "path; the metrics summary lands next to it "
                    "(empty = disabled)");
+}
+
+/** Split a comma-separated name list ("go,gcc,perl"). */
+std::vector<std::string>
+splitNames(const std::string &list)
+{
+    std::vector<std::string> names;
+    std::size_t pos = 0;
+    while (pos <= list.size()) {
+        const auto comma = list.find(',', pos);
+        names.push_back(list.substr(
+            pos, comma == std::string::npos ? std::string::npos
+                                            : comma - pos));
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return names;
 }
 
 SyntheticProgram
@@ -449,6 +468,19 @@ cmdSweep(int argc, char **argv)
                    "replay buffers and profiling phases are persisted "
                    "there and mmap'd back on later (or concurrent) "
                    "runs (empty = disabled)");
+    args.addOption("scenario", "",
+                   "interleave several programs into one shared "
+                   "predictor: smt/ctxsw/server (empty = plain "
+                   "single-program sweep)");
+    args.addOption("programs", "",
+                   "comma-separated member programs for --scenario, "
+                   "context id = position (default: --program alone)");
+    args.addOption("quantum", "20000",
+                   "branches per scheduling quantum "
+                   "(--scenario ctxsw)");
+    args.addOption("zipf", "1.2",
+                   "Zipf exponent of the tenant popularity skew "
+                   "(--scenario server)");
     args.parse(argc, argv, 2);
 
     Result<ParsedPredictorSpec> parsed =
@@ -493,8 +525,36 @@ cmdSweep(int argc, char **argv)
     }
 
     ExperimentRunner runner(options);
-    const std::size_t program_index =
-        runner.addProgram(makeProgram(args));
+    std::size_t scenario_contexts = 0;
+    std::size_t program_index = 0;
+    if (!args.get("scenario").empty()) {
+        Result<ScenarioKind> kind =
+            parseScenarioKind(args.get("scenario"));
+        if (!kind.ok())
+            raise(std::move(kind.error()));
+        const InputSet input = args.get("input") == "train"
+                                   ? InputSet::Train
+                                   : InputSet::Ref;
+        const std::string member_list = args.get("programs").empty()
+                                            ? args.get("program")
+                                            : args.get("programs");
+        std::vector<SyntheticProgram> members;
+        for (const std::string &name : splitNames(member_list)) {
+            members.push_back(
+                makeSpecProgram(specProgramFromName(name), input,
+                                args.getUint("seed")));
+        }
+        ScenarioSpec scenario_spec;
+        scenario_spec.kind = kind.value();
+        scenario_spec.quantum = args.getUint("quantum");
+        scenario_spec.zipfExponent = args.getDouble("zipf");
+        scenario_contexts = members.size();
+        program_index =
+            runner.addWorkload(std::make_unique<ScenarioWorkload>(
+                scenario_spec, std::move(members)));
+    } else {
+        program_index = runner.addProgram(makeProgram(args));
+    }
     const std::string program_name =
         runner.program(program_index).name();
 
@@ -508,6 +568,7 @@ cmdSweep(int argc, char **argv)
         config.evalWarmupBranches = args.getUint("warmup");
         config.profileBranches = args.getUint("profile-branches");
         config.selection.cutoffBias = args.getDouble("cutoff");
+        config.scenarioContexts = scenario_contexts;
         config.counters =
             journal != nullptr ? &journal->counters() : nullptr;
         runner.addCell(program_index, config,
@@ -688,6 +749,19 @@ cmdClient(int argc, char **argv)
     args.addOption("cutoff", "0.95", "Static_95 bias cutoff");
     args.addFlag("filter-unstable",
                  "apply the cross-training merge filter (5% rule)");
+    args.addOption("scenario", "",
+                   "interleave several programs into one shared "
+                   "predictor: smt/ctxsw/server (empty = plain "
+                   "single-program sweep)");
+    args.addOption("programs", "",
+                   "comma-separated member programs for --scenario, "
+                   "context id = position (default: --program alone)");
+    args.addOption("quantum", "20000",
+                   "branches per scheduling quantum "
+                   "(--scenario ctxsw)");
+    args.addOption("zipf", "1.2",
+                   "Zipf exponent of the tenant popularity skew "
+                   "(--scenario server)");
     args.addFlag("csv", "emit one machine-readable CSV row per cell");
     args.parse(argc, argv, 2);
 
@@ -713,6 +787,15 @@ cmdClient(int argc, char **argv)
     request.sweep.profileInput = args.get("profile-input");
     request.sweep.cutoff = args.getDouble("cutoff");
     request.sweep.filterUnstable = args.getFlag("filter-unstable");
+    request.sweep.scenario = args.get("scenario");
+    if (!request.sweep.scenario.empty()) {
+        request.sweep.programs =
+            splitNames(args.get("programs").empty()
+                           ? args.get("program")
+                           : args.get("programs"));
+        request.sweep.quantum = args.getUint("quantum");
+        request.sweep.zipf = args.getDouble("zipf");
+    }
     request.id = args.get("id");
     if (request.id.empty()) {
         // Deterministic default so resubmitting the same command

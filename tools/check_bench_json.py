@@ -140,6 +140,7 @@ EVENT_KINDS = {
     "materialize",
     "profile_phase",
     "fused_group",
+    "scenario_cell",
     "cell_begin",
     "cell_end",
     "cell_error",
@@ -197,6 +198,41 @@ FUSED_GROUP_PHASES = {"profile", "cells"}
 FUSED_CELLS_PHASE_REQUIRED = {
     "branches_per_cell": str,
     "mispredictions_per_cell": str,
+}
+
+# One scenario_cell event per multi-context cell: the cross- vs
+# self-context split of its collision classification. The full NxN
+# victim x aggressor matrix lives in the runner JSON ('interference'),
+# not the journal.
+SCENARIO_CELL_EVENT_REQUIRED = {
+    "cell": int,
+    "contexts": int,
+    "collisions_cross": int,
+    "destructive_cross": int,
+    "collisions_self": int,
+    "destructive_self": int,
+}
+
+# Per-context stat block of a scenario cell in the runner JSON.
+SCENARIO_CONTEXT_STAT_REQUIRED = {
+    "context": int,
+    "branches": int,
+    "instructions": int,
+    "mispredictions": int,
+    "misp_ki": (int, float),
+    "static_predicted": int,
+    "collisions": int,
+}
+
+# One victim x aggressor pair of a scenario cell's interference
+# matrix in the runner JSON (row-major: victim outer, aggressor
+# inner).
+SCENARIO_INTERFERENCE_REQUIRED = {
+    "victim": int,
+    "aggressor": int,
+    "collisions": int,
+    "constructive": int,
+    "destructive": int,
 }
 
 METRICS_REQUIRED = {
@@ -293,6 +329,65 @@ def check_fields(path, obj, spec, where):
                 fail(path, f"{where}: key '{key}' is negative")
 
 
+def check_scenario_cell(path, cell, where):
+    """Validate the scenario payload of one runner-JSON cell."""
+    if cell["scenario"] is not True:
+        fail(path, f"{where}: 'scenario', when present, must be true")
+    check_fields(path, cell, {"contexts": int,
+                              "context_stats": list}, where)
+    contexts = cell["contexts"]
+    if contexts < 1:
+        fail(path, f"{where}: contexts {contexts} < 1")
+    stats = cell["context_stats"]
+    if len(stats) != contexts:
+        fail(path, f"{where}: context_stats has {len(stats)} "
+                   f"entries, expected {contexts}")
+    for index, entry in enumerate(stats):
+        entry_where = f"{where}.context_stats[{index}]"
+        if not isinstance(entry, dict):
+            fail(path, f"{entry_where}: must be an object")
+        check_fields(path, entry, SCENARIO_CONTEXT_STAT_REQUIRED,
+                     entry_where)
+        if entry["context"] != index:
+            fail(path, f"{entry_where}: context {entry['context']} "
+                       f"!= position {index}")
+        if entry["mispredictions"] > entry["branches"]:
+            fail(path, f"{entry_where}: mispredictions > branches")
+        if entry["branches"] > entry["instructions"]:
+            fail(path, f"{entry_where}: branches > instructions")
+        if entry["instructions"] > 0:
+            computed = 1000.0 * entry["mispredictions"] / \
+                entry["instructions"]
+            if abs(computed - entry["misp_ki"]) > 1e-3:
+                fail(path, f"{entry_where}: misp_ki "
+                           f"{entry['misp_ki']} != computed "
+                           f"{computed:.6f}")
+    if "interference" in cell:
+        matrix = cell["interference"]
+        if not isinstance(matrix, list):
+            fail(path, f"{where}: 'interference' must be a list")
+        if len(matrix) != contexts * contexts:
+            fail(path, f"{where}: interference has {len(matrix)} "
+                       f"pairs, expected {contexts * contexts}")
+        for index, pair in enumerate(matrix):
+            pair_where = f"{where}.interference[{index}]"
+            if not isinstance(pair, dict):
+                fail(path, f"{pair_where}: must be an object")
+            check_fields(path, pair, SCENARIO_INTERFERENCE_REQUIRED,
+                         pair_where)
+            if pair["victim"] != index // contexts or \
+                    pair["aggressor"] != index % contexts:
+                fail(path, f"{pair_where}: expected victim "
+                           f"{index // contexts} / aggressor "
+                           f"{index % contexts}, got "
+                           f"{pair['victim']}/{pair['aggressor']}")
+            classified = pair["constructive"] + pair["destructive"]
+            if classified > pair["collisions"]:
+                fail(path, f"{pair_where}: constructive + "
+                           f"destructive {classified} > collisions "
+                           f"{pair['collisions']}")
+
+
 def check_runner_file(path, warm_cache=False):
     try:
         with open(path, encoding="utf-8") as handle:
@@ -317,6 +412,8 @@ def check_runner_file(path, warm_cache=False):
             fail(path, f"{where}: must be an object")
         check_fields(path, cell, CELL_REQUIRED, where)
         check_cell_label(path, cell["label"], where)
+        if "scenario" in cell:
+            check_scenario_cell(path, cell, where)
         if "restored" in cell:
             if cell["restored"] is not True:
                 fail(path, f"{where}: 'restored', when present, must "
@@ -579,6 +676,26 @@ def check_journal_file(path):
                     fail(path, f"{where}: {key} entries must be "
                                f"unsigned integers")
         fused_groups.append(event)
+
+    # Multi-context cells journal one scenario_cell event each; the
+    # cross/self split must classify no more than it counted.
+    for index, event in enumerate(events):
+        if event["event"] != "scenario_cell":
+            continue
+        where = f"line {index + 1}"
+        check_fields(path, event, SCENARIO_CELL_EVENT_REQUIRED, where)
+        if event["contexts"] < 1:
+            fail(path, f"{where}: contexts {event['contexts']} < 1")
+        if event["destructive_cross"] > event["collisions_cross"]:
+            fail(path, f"{where}: destructive_cross > "
+                       f"collisions_cross")
+        if event["destructive_self"] > event["collisions_self"]:
+            fail(path, f"{where}: destructive_self > "
+                       f"collisions_self")
+        if event["contexts"] == 1 and event["collisions_cross"] != 0:
+            fail(path, f"{where}: single-context scenario reports "
+                       f"{event['collisions_cross']} cross-context "
+                       f"collisions")
 
     begun = set()
     closed = set()
@@ -845,6 +962,40 @@ def check_checkpoint_file(path):
             fail(path, f"{where}: constructive + destructive "
                        f"{classified} > collisions "
                        f"{record['collisions']}")
+        # Scenario cells persist per-context stats as 5-number rows
+        # and the NxN interference matrix as 3-number triples; both
+        # are absent on plain cells.
+        if "contexts" in record:
+            contexts = record["contexts"]
+            if not isinstance(contexts, list) or not contexts:
+                fail(path, f"{where}: 'contexts' must be a "
+                           f"non-empty list")
+            for index, row in enumerate(contexts):
+                if not isinstance(row, list) or len(row) != 5 or \
+                        not all(isinstance(v, int) and v >= 0
+                                for v in row):
+                    fail(path, f"{where}: contexts[{index}] must be "
+                               f"5 non-negative integers")
+            if "alias_matrix" in record:
+                matrix = record["alias_matrix"]
+                expected = len(contexts) * len(contexts)
+                if not isinstance(matrix, list) or \
+                        len(matrix) != expected:
+                    fail(path, f"{where}: alias_matrix must hold "
+                               f"{expected} triples")
+                for index, triple in enumerate(matrix):
+                    if not isinstance(triple, list) or \
+                            len(triple) != 3 or \
+                            not all(isinstance(v, int) and v >= 0
+                                    for v in triple):
+                        fail(path, f"{where}: alias_matrix[{index}] "
+                                   f"must be 3 non-negative integers")
+                    if triple[1] + triple[2] > triple[0]:
+                        fail(path, f"{where}: alias_matrix[{index}] "
+                                   f"classifies more than its "
+                                   f"collisions")
+        elif "alias_matrix" in record:
+            fail(path, f"{where}: alias_matrix without contexts")
 
     if header is not None and \
             len(fingerprints) > header["shard_cells"]:
